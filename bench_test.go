@@ -1,0 +1,248 @@
+package fleetsim_test
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment end to end
+// and reports the paper's headline quantities as custom benchmark metrics
+// (so `go test -bench=.` regenerates the evaluation). ns/op is the wall
+// time of one full experiment; the interesting outputs are the custom
+// metrics, e.g. fleet-vs-android median speedup for Fig. 13.
+//
+// The shapes to compare against the paper are recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"fleetsim/fleet"
+)
+
+// benchParams are reduced-round parameters so the full harness finishes in
+// minutes; run cmd/fleetsim for the full versions.
+func benchParams() fleet.Params {
+	p := fleet.DefaultParams()
+	p.Rounds = 4
+	return p
+}
+
+func BenchmarkFig02HotVsCold(b *testing.B) {
+	p := benchParams()
+	p.Rounds = 3
+	for i := 0; i < b.N; i++ {
+		rows := fleet.Fig2(p)
+		var hot, cold float64
+		for _, r := range rows {
+			hot += r.HotMs
+			cold += r.ColdMs
+		}
+		n := float64(len(rows))
+		b.ReportMetric(hot/n, "hot-ms")
+		b.ReportMetric(cold/n, "cold-ms")
+		b.ReportMetric(cold/hot, "cold/hot-x")
+	}
+}
+
+func BenchmarkFig03TailBaselines(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows := fleet.Fig3(p)
+		var noswap, swap, marvin float64
+		for _, r := range rows {
+			noswap += r.NoSwapMs
+			swap += r.SwapMs
+			marvin += r.MarvinMs
+		}
+		n := float64(len(rows))
+		b.ReportMetric(noswap/n, "noswap-p90-ms")
+		b.ReportMetric(swap/n, "swap-p90-ms")
+		b.ReportMetric(marvin/n, "marvin-p90-ms")
+	}
+}
+
+func BenchmarkFig04AccessTimeline(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := fleet.Fig4(p)
+		gcPts := 0
+		for _, pt := range res.Points {
+			if pt.GC {
+				gcPts++
+			}
+		}
+		b.ReportMetric(float64(len(res.Points)), "samples")
+		b.ReportMetric(float64(gcPts), "gc-spike-samples")
+	}
+}
+
+func BenchmarkFig05Lifetime(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := fleet.Fig5(p)
+		b.ReportMetric(100*res.AliveFGO, "fgo-alive-%")
+		b.ReportMetric(100*res.AliveBGO, "bgo-alive-%")
+	}
+}
+
+func BenchmarkFig06ReAccess(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows := fleet.Fig6a(p)
+		var nro, union float64
+		for _, r := range rows {
+			nro += r.NROFrac
+			union += r.BothFrac
+		}
+		n := float64(len(rows))
+		b.ReportMetric(100*nro/n, "nro-coverage-%")
+		b.ReportMetric(100*union/n, "union-coverage-%")
+	}
+}
+
+func BenchmarkFig07SizeCDF(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows := fleet.Fig7(p)
+		var subPage float64
+		for _, r := range rows {
+			subPage += r.CDF[8] // ≤ 4096 B
+		}
+		b.ReportMetric(100*subPage/float64(len(rows)), "below-page-%")
+	}
+}
+
+func BenchmarkFig11aCachingLarge(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		s := fleet.Fig11a(p)
+		b.ReportMetric(float64(s[0].Max), "android-max-apps")
+		b.ReportMetric(float64(s[1].Max), "marvin-max-apps")
+		b.ReportMetric(float64(s[2].Max), "fleet-max-apps")
+	}
+}
+
+func BenchmarkFig11bCachingSmall(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		s := fleet.Fig11b(p)
+		b.ReportMetric(float64(s[1].Max), "marvin-max-apps")
+		b.ReportMetric(float64(s[2].Max), "fleet-max-apps")
+		b.ReportMetric(float64(s[2].Max)/float64(s[1].Max), "fleet/marvin-x")
+	}
+}
+
+func BenchmarkFig11cCachingCommercial(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		s := fleet.Fig11c(p)
+		b.ReportMetric(float64(s[0].Max), "noswap-max-apps")
+		b.ReportMetric(float64(s[1].Max), "swap-max-apps")
+		b.ReportMetric(float64(s[2].Max), "fleet-max-apps")
+	}
+}
+
+func BenchmarkFig12aGCWorkingSet(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows := fleet.Fig12a(p)
+		b.ReportMetric(rows[0].MeanObjects, "android-objs")
+		b.ReportMetric(rows[2].MeanObjects, "fleet-bgc-objs")
+		if rows[2].MeanObjects > 0 {
+			b.ReportMetric(rows[0].MeanObjects/rows[2].MeanObjects, "reduction-x")
+		}
+	}
+}
+
+func BenchmarkFig12bTwitchTimeline(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := fleet.Fig12b(p)
+		var androidBg, fleetBg int64
+		for _, pt := range res.Android {
+			if pt.TimeSec >= res.BackSec && pt.TimeSec < res.FrontSec {
+				androidBg += pt.GC
+			}
+		}
+		for _, pt := range res.Fleet {
+			if pt.TimeSec >= res.BackSec && pt.TimeSec < res.FrontSec {
+				fleetBg += pt.GC
+			}
+		}
+		b.ReportMetric(float64(androidBg), "android-bg-gc-objs")
+		b.ReportMetric(float64(fleetBg), "fleet-bg-gc-objs")
+	}
+}
+
+func BenchmarkFig13HotLaunch(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := fleet.Fig13(p)
+		sa, sm := res.MedianSpeedups()
+		ta, tm := res.PercentileSpeedups(90)
+		b.ReportMetric(sa, "med-vs-android-x")
+		b.ReportMetric(sm, "med-vs-marvin-x")
+		b.ReportMetric(ta, "p90-vs-android-x")
+		b.ReportMetric(tm, "p90-vs-marvin-x")
+	}
+}
+
+func BenchmarkFig14Frames(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows := fleet.Fig14(p)
+		var aj, fj, mj float64
+		for _, r := range rows {
+			aj += r.AndroidJank
+			mj += r.MarvinJank
+			fj += r.FleetJank
+		}
+		n := float64(len(rows))
+		b.ReportMetric(100*aj/n, "android-jank-%")
+		b.ReportMetric(100*mj/n, "marvin-jank-%")
+		b.ReportMetric(100*fj/n, "fleet-jank-%")
+	}
+}
+
+func BenchmarkFig15Speedups(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows := fleet.Fig15(fleet.Fig13(p))
+		for _, r := range rows {
+			if r.Statistic == "90th percentile" {
+				b.ReportMetric(r.VsAndroid, "p90-vs-android-x")
+				b.ReportMetric(r.VsMarvin, "p90-vs-marvin-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig16MoreCDFs(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res := fleet.Fig16(p)
+		sa, _ := res.MedianSpeedups()
+		b.ReportMetric(sa, "med-vs-android-x")
+	}
+}
+
+func BenchmarkSec73CPU(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		r := fleet.Sec73(p)
+		b.ReportMetric(100*(r.FleetGCShare-r.AndroidGCShare), "gc-cpu-delta-pp")
+		b.ReportMetric(r.FleetPower, "fleet-mw")
+		b.ReportMetric(r.AndroidPower, "android-mw")
+	}
+}
+
+func BenchmarkSec74HeapSensitivity(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows := fleet.Sec74(p)
+		for _, r := range rows {
+			if r.Policy == "Fleet" && r.Growth == 1.1 {
+				b.ReportMetric(float64(r.MaxCached), "fleet-1.1x-max-apps")
+			}
+			if r.Policy == "Android" && r.Growth == 1.1 {
+				b.ReportMetric(float64(r.MaxCached), "android-1.1x-max-apps")
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Command fleetsim reproduces the paper's tables and figures from the
+// command line:
+//
+//	fleetsim [flags] <experiment> [experiment...]
+//	fleetsim all
+//
+// Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig11a fig11b fig11c fig12a
+// fig12b fig13 fig14 fig15 fig16 tab1 tab2 tab3 sec73 sec74.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fleetsim/fleet"
+)
+
+var (
+	scale  = flag.Int64("scale", 32, "device scale divisor (1 = full Pixel 3; larger = faster runs)")
+	rounds = flag.Int("rounds", 10, "launch rounds per hot-launch experiment (paper: 20)")
+	seed   = flag.Uint64("seed", 1, "simulation seed")
+	quick  = flag.Bool("quick", false, "reduced rounds for a fast pass")
+)
+
+func params() fleet.Params {
+	p := fleet.DefaultParams()
+	p.Scale = *scale
+	p.Rounds = *rounds
+	p.Seed = *seed
+	if *quick {
+		p = p.Quick()
+	}
+	return p
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(p fleet.Params)
+}
+
+var table = []experiment{
+	{"fig2", "hot vs cold launch times", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig2(fleet.Fig2(p)))
+	}},
+	{"fig3", "tail hot-launch: w/o swap, w/ swap, Marvin", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig3(fleet.Fig3(p)))
+	}},
+	{"fig4", "object accesses over time (CSV)", func(p fleet.Params) {
+		res := fleet.Fig4(p)
+		fmt.Printf("# fore->back %.0fs, GC %.0fs, back->fore %.0fs\n", res.ToBackSec, res.GCSec, res.ToFrontSec)
+		fmt.Println("time_sec,object_seq,gc")
+		for _, pt := range res.Points {
+			g := 0
+			if pt.GC {
+				g = 1
+			}
+			fmt.Printf("%.2f,%d,%d\n", pt.TimeSec, pt.Seq, g)
+		}
+	}},
+	{"fig5", "FGO/BGO lifetime and footprint", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig5(fleet.Fig5(p)))
+	}},
+	{"fig6", "NRO/FYO re-access coverage + depth sweep", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig6(fleet.Fig6a(p), fleet.Fig6b(p)))
+	}},
+	{"fig7", "object size CDFs", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig7(fleet.Fig7(p)))
+	}},
+	{"fig11a", "caching capacity, 2048B-object apps", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig11("Fig 11a — caching capacity (large objects)", fleet.Fig11a(p)))
+	}},
+	{"fig11b", "caching capacity, 512B-object apps", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig11("Fig 11b — caching capacity (small objects)", fleet.Fig11b(p)))
+	}},
+	{"fig11c", "caching capacity, commercial apps", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig11("Fig 11c — caching capacity (commercial apps)", fleet.Fig11c(p)))
+	}},
+	{"fig12a", "background GC working set", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig12a(fleet.Fig12a(p)))
+	}},
+	{"fig12b", "Twitch access timeline (CSV)", func(p fleet.Params) {
+		res := fleet.Fig12b(p)
+		fmt.Println("time_sec,android_gc,fleet_gc,android_mutator")
+		n := len(res.Android)
+		if len(res.Fleet) < n {
+			n = len(res.Fleet)
+		}
+		for i := 0; i < n; i++ {
+			fmt.Printf("%.0f,%d,%d,%d\n", res.Android[i].TimeSec, res.Android[i].GC, res.Fleet[i].GC, res.Android[i].Mutator)
+		}
+	}},
+	{"fig13", "hot-launch study under pressure (+13m,13n)", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig13(fleet.Fig13(p)))
+		fmt.Print(fleet.FormatFig13n(fleet.Fig13n(p)))
+	}},
+	{"fig14", "jank ratio and FPS", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig14(fleet.Fig14(p)))
+	}},
+	{"fig15", "percentile speedups", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig15(fleet.Fig15(fleet.Fig13(p))))
+	}},
+	{"fig16", "hot-launch distributions, remaining 6 apps", func(p fleet.Params) {
+		fmt.Print(fleet.FormatFig13(fleet.Fig16(p)))
+	}},
+	{"tab1", "comparison methods", func(fleet.Params) {
+		fmt.Print(`Table 1 — comparison methods
+  Android: native GC;            page-granularity swap; LRU scheme
+  Marvin:  bookmarking GC;       object-granularity swap; object-LRU scheme
+  Fleet:   background-object GC; grouped-page swap;       runtime-guided scheme
+`)
+	}},
+	{"tab2", "Fleet default parameters", func(fleet.Params) {
+		cfg := fleet.DefaultFleetConfig()
+		fmt.Printf(`Table 2 — Fleet defaults
+  NRO depth D:          %d
+  Background wait Ts:   %v
+  Foreground wait Tf:   %v
+  CARD_SHIFT:           %d
+  Region size:          256 KiB
+`, cfg.NRODepth, cfg.BackgroundWait, cfg.ForegroundWait, cfg.CardShift)
+	}},
+	{"tab3", "commercial app set", func(p fleet.Params) {
+		fmt.Println("Table 3 — commercial apps")
+		for _, pr := range fleet.CommercialApps(p.Scale) {
+			fmt.Printf("  %-12s %-14s java %3.0f%% of footprint\n", pr.Name, pr.Category, 100*pr.JavaHeapFrac)
+		}
+	}},
+	{"sec73", "CPU / memory / power overheads", func(p fleet.Params) {
+		fmt.Print(fleet.FormatSec73(fleet.Sec73(p)))
+	}},
+	{"sec74", "background heap-size sensitivity", func(p fleet.Params) {
+		fmt.Print(fleet.FormatSec74(fleet.Sec74(p)))
+	}},
+	{"extprefetch", "extension: ASAP-style launch prefetch baseline", func(p fleet.Params) {
+		fmt.Print(fleet.FormatExt("Extension — prefetch baseline vs Fleet", fleet.ExtPrefetch(p)))
+	}},
+	{"extzram", "extension: compressed-RAM (zram) swap device", func(p fleet.Params) {
+		fmt.Print(fleet.FormatExt("Extension — flash vs zram swap", fleet.ExtZram(p)))
+	}},
+	{"extdepth", "ablation: NRO depth sweep, end to end", func(p fleet.Params) {
+		fmt.Print(fleet.FormatExt("Ablation — NRO depth (end-to-end)", fleet.ExtDepthSweep(p)))
+	}},
+	{"extadvice", "ablation: madvise halves (COLD/HOT_RUNTIME)", func(p fleet.Params) {
+		fmt.Print(fleet.FormatExt("Ablation — runtime-guided swap advice", fleet.ExtAdviceAblation(p)))
+	}},
+	{"trace", "dump a systrace-style event log of a Fleet scenario (CSV)", func(p fleet.Params) {
+		sys := fleet.NewSystem(fleet.DefaultSystemConfig(fleet.PolicyFleet, p.Scale))
+		log := sys.EnableTrace(0)
+		apps := fleet.CommercialApps(p.Scale)[:6]
+		procs := make([]*fleet.Proc, len(apps))
+		for i, pr := range apps {
+			procs[i] = sys.Launch(pr)
+			sys.Use(12 * time.Second)
+		}
+		for r := 0; r < 2; r++ {
+			for i := range procs {
+				_, procs[i] = sys.SwitchTo(procs[i])
+				sys.Use(12 * time.Second)
+			}
+		}
+		fmt.Print(log.CSV())
+		fmt.Fprintf(os.Stderr, "%d events\n", log.Len())
+	}},
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fleetsim [flags] <experiment>...\n\nexperiments:\n")
+		for _, e := range table {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n\nflags:\n", "all", "run everything except the CSV dumps")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	p := params()
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToLower(a)] = true
+	}
+	ran := 0
+	for _, e := range table {
+		if want["all"] && (e.name == "fig4" || e.name == "fig12b" || e.name == "trace") {
+			continue // CSV dumps are opt-in
+		}
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		e.run(p)
+		fmt.Printf("  [%s took %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim: no such experiment %v\n", flag.Args())
+		os.Exit(2)
+	}
+}

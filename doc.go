@@ -1,0 +1,10 @@
+// Package fleetsim reproduces "More Apps, Faster Hot-Launch on Mobile
+// Devices via Fore/Background-aware GC-Swap Co-design" (Huang et al.,
+// ASPLOS 2024) as a deterministic simulation of Android's two-layer memory
+// management.
+//
+// The public API lives in the fleet subpackage; cmd/fleetsim is the
+// experiment CLI; bench_test.go in this directory regenerates every table
+// and figure of the paper's evaluation as Go benchmarks. See README.md for
+// a tour and DESIGN.md for the system inventory.
+package fleetsim

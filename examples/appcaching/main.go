@@ -1,0 +1,50 @@
+// App-caching capacity: keep launching apps until the low-memory killer
+// starts firing, and compare how many each policy can cache — the paper's
+// Fig. 11 scenario.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fleetsim/fleet"
+)
+
+func run(policy fleet.Policy, objSize int32, scale int64) (maxAlive int, trace []int) {
+	sys := fleet.NewSystem(fleet.DefaultSystemConfig(policy, scale))
+	footprint := int64(180) << 20 / scale
+	for i := 0; i < 26; i++ {
+		sys.Launch(fleet.SyntheticApp(fmt.Sprintf("app-%02d", i), objSize, footprint))
+		sys.Use(15 * time.Second)
+		n := sys.AliveCount()
+		trace = append(trace, n)
+		if n > maxAlive {
+			maxAlive = n
+		}
+	}
+	return maxAlive, trace
+}
+
+func spark(trace []int) string {
+	var b strings.Builder
+	for _, n := range trace {
+		b.WriteString(fmt.Sprintf("%2d ", n))
+	}
+	return b.String()
+}
+
+func main() {
+	const scale = 32
+	fmt.Println("fleetsim appcaching — how many 180 MB apps fit? (paper Fig. 11)")
+	for _, objSize := range []int32{2048, 512} {
+		fmt.Printf("\nobject size %d B:\n", objSize)
+		for _, policy := range []fleet.Policy{fleet.PolicyAndroid, fleet.PolicyMarvin, fleet.PolicyFleet} {
+			max, trace := run(policy, objSize, scale)
+			fmt.Printf("  %-8s max %2d   %s\n", policy, max, spark(trace))
+		}
+	}
+	fmt.Println("\nLarge objects: Fleet ≈ Marvin > Android (the GC-swap conflict caps Android).")
+	fmt.Println("Small objects: Marvin collapses — its object-granularity swap skips objects")
+	fmt.Println("below its 1 KiB threshold, so small-object heaps can never be swapped.")
+}

@@ -1,0 +1,51 @@
+// Hot-launch tail latency under memory pressure: the paper's §7.2
+// scenario. Seventeen commercial apps cycle through the foreground; every
+// switch's latency is recorded, including the slow cold relaunches of apps
+// the low-memory killer evicted.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"fleetsim/fleet"
+)
+
+func main() {
+	p := fleet.DefaultParams()
+	p.Rounds = 6
+
+	fmt.Println("fleetsim hotlaunch — §7.2 protocol, 17 apps, 6 rounds")
+	fmt.Println("(this runs three full system simulations; give it a minute)")
+	fmt.Println()
+
+	res := fleet.Fig13(p)
+	fmt.Printf("%-12s %26s %26s\n", "", "median (ms)", "90th percentile (ms)")
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s %8s\n", "app", "Android", "Marvin", "Fleet", "Android", "Marvin", "Fleet")
+	for _, a := range res.Apps {
+		fmt.Printf("%-12s %8.0f %8.0f %8.0f %8.0f %8.0f %8.0f\n",
+			a.App,
+			a.Android.Median(), a.Marvin.Median(), a.Fleet.Median(),
+			a.Android.Percentile(90), a.Marvin.Percentile(90), a.Fleet.Percentile(90))
+	}
+	sa, sm := res.MedianSpeedups()
+	ta, tm := res.PercentileSpeedups(90)
+	fmt.Println()
+	fmt.Printf("Fleet median speedup: %.2fx vs Android, %.2fx vs Marvin\n", sa, sm)
+	fmt.Printf("Fleet p90 speedup:    %.2fx vs Android, %.2fx vs Marvin\n", ta, tm)
+	fmt.Printf("lmkd kills: Android %d, Marvin %d, Fleet %d\n",
+		res.AndroidKills, res.MarvinKills, res.FleetKills)
+
+	// A per-app CDF, as in the paper's Fig. 13 panels.
+	fmt.Println("\nTwitter launch-time CDF (ms):")
+	for _, a := range res.Apps {
+		if a.App != "Twitter" {
+			continue
+		}
+		for _, pct := range []float64{10, 25, 50, 75, 90, 99} {
+			fmt.Printf("  p%-3.0f Android %7.0f   Marvin %7.0f   Fleet %7.0f\n",
+				pct, a.Android.Percentile(pct), a.Marvin.Percentile(pct), a.Fleet.Percentile(pct))
+		}
+	}
+	_ = time.Second
+}

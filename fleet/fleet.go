@@ -1,0 +1,204 @@
+// Package fleet is the public API of fleetsim, a Go reproduction of
+// "More Apps, Faster Hot-Launch on Mobile Devices via Fore/Background-aware
+// GC-Swap Co-design" (Huang et al., ASPLOS 2024).
+//
+// The library simulates Android's two-layer memory management — an
+// ART-style region heap with copying garbage collection on top of a
+// Linux-style page LRU with a flash swap partition — and implements three
+// memory policies over it:
+//
+//   - Android: the stock design, where GC and the kernel's LRU swap are
+//     independent and conflict (the GC's tracing faults swapped pages back
+//     in; the LRU evicts pages the next hot-launch needs).
+//   - Marvin: the bookmarking-GC / object-granularity-swap baseline
+//     (Lebeck et al., USENIX ATC 2020).
+//   - Fleet: the paper's contribution — a fore/background-aware GC-swap
+//     co-design with a background-object GC (BGC) that never touches
+//     swapped foreground objects, and a runtime-guided swap (RGS) that
+//     groups launch-critical objects into pages and steers the kernel via
+//     madvise.
+//
+// # Quick start
+//
+//	sys := fleet.NewSystem(fleet.DefaultSystemConfig(fleet.PolicyFleet, 32))
+//	twitter := fleet.AppByName("Twitter", 32)
+//	p := sys.Launch(*twitter)      // cold launch
+//	sys.Use(30 * time.Second)      // foreground usage
+//	sys.Launch(fleet.SyntheticApp("filler", 512, 8<<20))
+//	sys.Use(60 * time.Second)      // Twitter is cached; Fleet groups + swaps
+//	d, _ := sys.SwitchTo(p)        // hot launch
+//	fmt.Println("hot launch took", d)
+//
+// # Reproducing the paper
+//
+// Every table and figure of the paper's evaluation has a runner in this
+// package (Fig2 … Fig16, Sec73, Sec74); cmd/fleetsim prints them and
+// EXPERIMENTS.md records paper-versus-measured values. The simulation is
+// fully deterministic: same Params, same output.
+package fleet
+
+import (
+	"time"
+
+	"fleetsim/internal/android"
+	"fleetsim/internal/apps"
+	"fleetsim/internal/core"
+	"fleetsim/internal/experiments"
+)
+
+// Policy selects the memory-management design under test (Table 1 of the
+// paper).
+type Policy = android.PolicyKind
+
+// The three policies of Table 1.
+const (
+	// PolicyAndroid is stock Android: native GC + kernel LRU page swap.
+	PolicyAndroid = android.PolicyAndroid
+	// PolicyMarvin is the bookmarking-GC baseline.
+	PolicyMarvin = android.PolicyMarvin
+	// PolicyFleet is the paper's GC-swap co-design.
+	PolicyFleet = android.PolicyFleet
+)
+
+// FleetConfig carries Fleet's own tunables (Table 2): NRO depth D, the
+// background wait Ts, the foreground wait Tf and the card-table shift.
+type FleetConfig = core.Config
+
+// DefaultFleetConfig returns Table 2's defaults (D=2, Ts=10 s, Tf=3 s,
+// CARD_SHIFT=10).
+func DefaultFleetConfig() FleetConfig { return core.DefaultConfig() }
+
+// DeviceConfig sizes the simulated device (DRAM, system reservation, swap
+// partition).
+type DeviceConfig = android.DeviceConfig
+
+// Pixel3 returns the paper's evaluation platform at the given scale
+// divisor: 4 GB DRAM, ~1.4 GB system-reserved, 2 GB swap at 20.3 MB/s
+// read. Scale divides sizes and IO bandwidth together, so launch-time
+// milliseconds stay comparable to the real device while simulations run
+// quickly. Scale 1 is the full-size phone.
+func Pixel3(scale int64) DeviceConfig { return android.Pixel3(scale) }
+
+// Pixel3NoSwap is the same device with the swap partition disabled.
+func Pixel3NoSwap(scale int64) DeviceConfig { return android.Pixel3NoSwap(scale) }
+
+// SystemConfig configures a simulated system: device, policy, GC
+// parameters, lmkd thresholds.
+type SystemConfig = android.SystemConfig
+
+// DefaultSystemConfig returns the calibrated evaluation configuration for
+// a policy at the given device scale.
+func DefaultSystemConfig(policy Policy, scale int64) SystemConfig {
+	return android.DefaultSystemConfig(policy, scale)
+}
+
+// System is a running simulated device: an activity manager, the kernel
+// memory manager, and any number of app processes. Drive it with Launch /
+// SwitchTo / Use / Kill and read results from its Metrics.
+type System = android.System
+
+// Proc is one app process within a System.
+type Proc = android.Proc
+
+// Metrics aggregates everything a System measured: launch records, GC
+// records, frame statistics, CPU time and lmkd kills.
+type Metrics = android.Metrics
+
+// NewSystem boots a simulated device.
+func NewSystem(cfg SystemConfig) *System { return android.NewSystem(cfg) }
+
+// AppProfile describes one app's memory behaviour: Java heap size and
+// share, object-size distribution, allocation and access rates, launch
+// costs and hot-launch re-access pattern.
+type AppProfile = apps.Profile
+
+// CommercialApps returns the 18 Table 3 app profiles at the given device
+// scale, calibrated to the paper's Figs. 2, 7 and 13n.
+func CommercialApps(scale int64) []AppProfile { return apps.CommercialProfiles(scale) }
+
+// AppByName returns one Table 3 profile (nil if unknown).
+func AppByName(name string, scale int64) *AppProfile { return apps.ProfileByName(name, scale) }
+
+// SyntheticApp builds one of the paper's manually created test apps: all
+// objects are objSize bytes and the Java heap is footprint bytes (§6 uses
+// 512 B / 2048 B objects and 180 MB).
+func SyntheticApp(name string, objSize int32, footprint int64) AppProfile {
+	return apps.SyntheticProfile(name, objSize, footprint)
+}
+
+// Params are the experiment knobs shared by the Fig*/Sec* runners.
+type Params = experiments.Params
+
+// DefaultParams returns the calibrated experiment parameters (device
+// scale 32, 10 rounds, 17-app pressure population).
+func DefaultParams() Params { return experiments.DefaultParams() }
+
+// Experiment runners — one per table/figure of the paper. See
+// EXPERIMENTS.md for the paper-vs-measured record.
+var (
+	// Fig2 measures hot vs cold launch without pressure (§2.1).
+	Fig2 = experiments.Fig2
+	// Fig3 shows swap and Marvin degrading tail hot-launches (§3.1).
+	Fig3 = experiments.Fig3
+	// Fig4 is the object-access timeline with the background-GC spike
+	// (§3.2).
+	Fig4 = experiments.Fig4
+	// Fig5 is the FGO/BGO lifetime and footprint study (§4.1).
+	Fig5 = experiments.Fig5
+	// Fig6a measures NRO/FYO hot-launch re-access coverage (§4.2).
+	Fig6a = experiments.Fig6a
+	// Fig6b sweeps the NRO depth parameter (§4.2).
+	Fig6b = experiments.Fig6b
+	// Fig7 samples the object-size distributions (§4.3).
+	Fig7 = experiments.Fig7
+	// Fig11a/b/c measure app-caching capacity (§7.1).
+	Fig11a = experiments.Fig11a
+	Fig11b = experiments.Fig11b
+	Fig11c = experiments.Fig11c
+	// Fig12a/b measure the background GC working set (§7.1).
+	Fig12a = experiments.Fig12a
+	Fig12b = experiments.Fig12b
+	// Fig13 is the main hot-launch study (§7.2); Fig15 and Fig16 derive
+	// the appendix statistics and the remaining apps' distributions.
+	Fig13 = experiments.Fig13
+	// Fig13n is the controlled speedup-vs-Java-share correlation.
+	Fig13n = experiments.Fig13nControlled
+	Fig15  = experiments.Fig15
+	Fig16  = experiments.Fig16
+	// Fig14 measures jank ratio and FPS (§7.3).
+	Fig14 = experiments.Fig14
+	// Sec73 measures CPU, memory and power overheads (§7.3).
+	Sec73 = experiments.Sec73
+	// Sec74 is the background heap-size sensitivity study (§7.4).
+	Sec74 = experiments.Sec74
+
+	// Extension studies beyond the paper's evaluation (see
+	// EXPERIMENTS.md): an ASAP-style prefetch baseline, a compressed-RAM
+	// swap device, the NRO-depth ablation and the madvise ablation.
+	ExtPrefetch       = experiments.ExtPrefetch
+	ExtZram           = experiments.ExtZram
+	ExtDepthSweep     = experiments.ExtDepthSweep
+	ExtAdviceAblation = experiments.ExtAdviceAblation
+)
+
+// Formatting helpers for the experiment results.
+var (
+	FormatFig2   = experiments.FormatFig2
+	FormatFig3   = experiments.FormatFig3
+	FormatFig5   = experiments.FormatFig5
+	FormatFig6   = experiments.FormatFig6
+	FormatFig7   = experiments.FormatFig7
+	FormatFig11  = experiments.FormatFig11
+	FormatFig12a = experiments.FormatFig12a
+	FormatFig13  = experiments.FormatFig13
+	FormatFig13n = experiments.FormatFig13n
+	FormatFig14  = experiments.FormatFig14
+	FormatFig15  = experiments.FormatFig15
+	FormatSec73  = experiments.FormatSec73
+	FormatExt    = experiments.FormatExt
+	FormatSec74  = experiments.FormatSec74
+)
+
+// Use is a readability alias: sys.Use(d) advances simulated time by d with
+// the current foreground app in use.
+func Use(sys *System, d time.Duration) { sys.Use(d) }

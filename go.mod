@@ -1,0 +1,3 @@
+module fleetsim
+
+go 1.22

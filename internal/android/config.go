@@ -1,0 +1,202 @@
+// Package android is the system layer of the simulation: the device
+// (DRAM + swap), the activity manager that moves apps between foreground
+// and background, hot/cold launch execution with the first-frame time
+// model, per-policy memory management (stock Android, Marvin, Fleet), the
+// low-memory killer, and the frame/jank/CPU/power accounting the paper's
+// §7.3 reports.
+package android
+
+import (
+	"time"
+
+	"fleetsim/internal/core"
+	"fleetsim/internal/units"
+	"fleetsim/internal/vmem"
+)
+
+// PolicyKind selects the memory-management policy (Table 1).
+type PolicyKind int
+
+// Policies.
+const (
+	// PolicyAndroid is stock Android: native GC + kernel LRU page swap.
+	PolicyAndroid PolicyKind = iota
+	// PolicyMarvin is the bookmarking-GC / object-granularity-swap
+	// baseline.
+	PolicyMarvin
+	// PolicyFleet is the paper's system: BGC + runtime-guided swap.
+	PolicyFleet
+)
+
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyAndroid:
+		return "Android"
+	case PolicyMarvin:
+		return "Marvin"
+	case PolicyFleet:
+		return "Fleet"
+	default:
+		return "unknown"
+	}
+}
+
+// DeviceConfig sizes the simulated device.
+type DeviceConfig struct {
+	// DRAMBytes is total physical memory.
+	DRAMBytes int64
+	// SystemReservedBytes is memory held by the kernel, HALs and
+	// persistent system services — never available to apps.
+	SystemReservedBytes int64
+	// Swap configures the swap partition; SizeBytes 0 disables swap.
+	Swap vmem.SwapDeviceConfig
+}
+
+// AppBytes returns memory available to apps.
+func (d DeviceConfig) AppBytes() int64 { return d.DRAMBytes - d.SystemReservedBytes }
+
+// Pixel3 is the paper's platform (§6): 4 GB LPDDR4X, a 2 GB flash swap
+// partition, and roughly 1.4 GB held by the system. scale divides every
+// size — and the swap bandwidths — so experiments run quickly while staying
+// faithful: capacity ratios are scale-invariant (apps shrink by the same
+// factor, see apps.CommercialProfiles), and because IO throughput shrinks
+// with memory, per-launch fault *milliseconds* match the full-size device.
+func Pixel3(scale int64) DeviceConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	swap := vmem.DefaultSwapConfig()
+	swap.SizeBytes = 2 * units.GiB / scale
+	swap.ReadBandwidth /= float64(scale)
+	swap.WriteBandwidth /= float64(scale)
+	return DeviceConfig{
+		DRAMBytes:           4 * units.GiB / scale,
+		SystemReservedBytes: 1400 * units.MiB / scale,
+		Swap:                swap,
+	}
+}
+
+// Pixel3NoSwap is the same device with swap disabled (the "w/o swap"
+// baseline of Figs. 3 and 11c).
+func Pixel3NoSwap(scale int64) DeviceConfig {
+	d := Pixel3(scale)
+	d.Swap.SizeBytes = 0
+	return d
+}
+
+// Pixel3Zram is the vendor "RAM plus" variant: 1.5 GB of DRAM become a
+// compressed swap device holding ~3 GB at 2:1, replacing the flash
+// partition. Swap IO runs at memory-ish speed, but usable DRAM shrinks.
+func Pixel3Zram(scale int64) DeviceConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	zramBacking := 1536 * units.MiB / scale
+	return DeviceConfig{
+		DRAMBytes:           4*units.GiB/scale - zramBacking,
+		SystemReservedBytes: 1400 * units.MiB / scale,
+		Swap:                vmem.ZramSwapConfig(zramBacking, 2.0),
+	}
+}
+
+// SystemConfig carries the tunables of the runtime layer.
+type SystemConfig struct {
+	Device DeviceConfig
+	Policy PolicyKind
+
+	// Scale is the device scale divisor (kept so heap-controller
+	// headrooms shrink with the device).
+	Scale int64
+
+	// Fleet holds Fleet's Table 2 parameters (used when Policy ==
+	// PolicyFleet).
+	Fleet core.Config
+
+	// BgHeapGrowth is the background heap-growth factor (§7.4 studies 1.1
+	// vs 2.0; Android's background default is tight).
+	BgHeapGrowth float64
+	// FgHeapGrowth is the foreground factor.
+	FgHeapGrowth float64
+
+	// BgGCPeriod is how often a cached app runs its full background
+	// collection.
+	BgGCPeriod time.Duration
+	// FgTick / BgTick are the workload step sizes.
+	FgTick time.Duration
+	BgTick time.Duration
+
+	// PSIWindow, PSIKillThreshold and PSICooldown configure the
+	// pressure-stall lmkd: when the fraction of wall time spent waiting
+	// on *refault* IO (swap-ins of recently evicted pages — thrashing)
+	// over the window exceeds the threshold, and the swap device is
+	// mostly full, the least-recently-used cached app is killed. This is
+	// how sustained GC↔swap thrashing — Android's failure mode in
+	// Fig. 11 — converts into reduced caching capacity.
+	PSIWindow        time.Duration
+	PSIKillThreshold float64
+	PSICooldown      time.Duration
+
+	// FleetNoBGC is the Fig. 12a ablation: Fleet still groups and advises
+	// the swap, but background collections fall back to full-heap major
+	// GCs instead of BGC.
+	FleetNoBGC bool
+
+	// LaunchPrefetch enables an ASAP-style launch prefetcher (Son et al.,
+	// ATC'21, discussed in the paper's related work): before a hot launch
+	// runs, every swapped page of the app's Java heap and launch-critical
+	// native range is read back sequentially at readahead speed. It
+	// removes random launch faults but still pays the bulk IO — and does
+	// nothing about the GC-swap conflict.
+	LaunchPrefetch bool
+
+	// KswapdLowFrac / KswapdHighFrac set the reclaim watermarks as
+	// fractions of app DRAM. Android keeps a large free-memory headroom
+	// (extra_free_kbytes) so launches and camera bursts never wait on
+	// reclaim; that headroom is what keeps cached apps' cold pages
+	// flowing to swap.
+	KswapdLowFrac  float64
+	KswapdHighFrac float64
+
+	// Seed feeds every per-app RNG.
+	Seed uint64
+}
+
+// DefaultSystemConfig returns the evaluation defaults at the given scale.
+func DefaultSystemConfig(policy PolicyKind, scale int64) SystemConfig {
+	return SystemConfig{
+		Device:       Pixel3(scale),
+		Policy:       policy,
+		Scale:        scale,
+		Fleet:        core.DefaultConfig(),
+		BgHeapGrowth: 1.1,
+		FgHeapGrowth: 2.0,
+		BgGCPeriod:   60 * time.Second,
+		FgTick:       100 * time.Millisecond,
+		BgTick:       time.Second,
+
+		PSIWindow:        30 * time.Second,
+		PSIKillThreshold: 0.15,
+		PSICooldown:      10 * time.Second,
+
+		KswapdLowFrac:  0.08,
+		KswapdHighFrac: 0.14,
+
+		Seed: 1,
+	}
+}
+
+// MinHeadroomBytes returns the heap controller's minimum allocation
+// budget. It deliberately does NOT scale with the device: the background
+// GC cadence it induces (roughly one threshold collection per minute of
+// cached trickle allocation) is part of the calibrated Android behaviour;
+// see DESIGN.md §4.
+func (c SystemConfig) MinHeadroomBytes() int64 {
+	return 2 * units.MiB
+}
+
+// FrameBudget is the 60 fps deadline the jank metric uses (§7.3: 16.7 ms).
+const FrameBudget = 16700 * time.Microsecond
+
+// baseRenderCPU is the CPU cost of rendering one frame when nothing
+// stalls.
+const baseRenderCPU = 6 * time.Millisecond

@@ -1,0 +1,146 @@
+package android
+
+import (
+	"time"
+
+	"fleetsim/internal/metrics"
+)
+
+// LaunchRecord is one measured launch.
+type LaunchRecord struct {
+	App  string
+	Hot  bool
+	Time time.Duration
+	At   time.Duration
+}
+
+// GCRecord is one collection, tagged with the app state it ran in.
+type GCRecord struct {
+	App           string
+	Kind          string
+	Background    bool
+	ObjectsTraced int64
+	Pause         time.Duration
+	FaultStall    time.Duration
+	CPU           time.Duration
+	At            time.Duration
+}
+
+// FrameStats accumulates the rendering metrics of §7.3.
+type FrameStats struct {
+	Frames int64
+	Janks  int64
+	// Busy is summed frame time (render + stalls) for FPS derivation.
+	Busy time.Duration
+}
+
+// JankRatio is janked frames over total frames.
+func (f FrameStats) JankRatio() float64 {
+	if f.Frames == 0 {
+		return 0
+	}
+	return float64(f.Janks) / float64(f.Frames)
+}
+
+// FPS is frames divided by the busy time they took.
+func (f FrameStats) FPS() float64 {
+	if f.Busy <= 0 {
+		return 0
+	}
+	return float64(f.Frames) / f.Busy.Seconds()
+}
+
+// CPUStats partitions simulated CPU time.
+type CPUStats struct {
+	Mutator time.Duration
+	GC      time.Duration
+}
+
+// Metrics collects everything the experiments report.
+type Metrics struct {
+	Launches []LaunchRecord
+	GCs      []GCRecord
+
+	// Frames per app name.
+	Frames map[string]*FrameStats
+
+	// CPU per app name.
+	CPU map[string]*CPUStats
+
+	// Kills is the lmkd kill count; AliveHighWater the most apps ever
+	// cached+running simultaneously. HardKills are out-of-memory kills
+	// (reclaim failed); PSIKills are thrash-detector kills.
+	Kills          int
+	HardKills      int
+	PSIKills       int
+	AliveHighWater int
+
+	// AliveTrace records the alive-app count after each launch
+	// (Fig. 11's y-axis).
+	AliveTrace []int
+
+	// IOTime sums swap-device busy time attributed to launches.
+	IOTime time.Duration
+}
+
+// NewMetrics returns empty metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Frames: make(map[string]*FrameStats),
+		CPU:    make(map[string]*CPUStats),
+	}
+}
+
+func (m *Metrics) frames(app string) *FrameStats {
+	f, ok := m.Frames[app]
+	if !ok {
+		f = &FrameStats{}
+		m.Frames[app] = f
+	}
+	return f
+}
+
+func (m *Metrics) cpu(app string) *CPUStats {
+	c, ok := m.CPU[app]
+	if !ok {
+		c = &CPUStats{}
+		m.CPU[app] = c
+	}
+	return c
+}
+
+// HotLaunchSample returns the hot-launch times (ms) for one app.
+func (m *Metrics) HotLaunchSample(app string) *metrics.Sample {
+	s := &metrics.Sample{}
+	for _, l := range m.Launches {
+		if l.Hot && l.App == app {
+			s.Add(float64(l.Time) / float64(time.Millisecond))
+		}
+	}
+	return s
+}
+
+// ColdLaunchSample returns the cold-launch times (ms) for one app.
+func (m *Metrics) ColdLaunchSample(app string) *metrics.Sample {
+	s := &metrics.Sample{}
+	for _, l := range m.Launches {
+		if !l.Hot && l.App == app {
+			s.Add(float64(l.Time) / float64(time.Millisecond))
+		}
+	}
+	return s
+}
+
+// BackgroundGCWorkingSet returns the objects-traced counts of background
+// collections (Fig. 12a's metric), optionally filtered by app. Fleet's
+// one-off grouping GC is excluded: the metric covers the recurring
+// collections that run while an app stays cached.
+func (m *Metrics) BackgroundGCWorkingSet(app string) *metrics.Sample {
+	s := &metrics.Sample{}
+	for _, g := range m.GCs {
+		if g.Background && g.Kind != "grouping" && (app == "" || g.App == app) {
+			s.Add(float64(g.ObjectsTraced))
+		}
+	}
+	return s
+}

@@ -1,0 +1,167 @@
+package android
+
+import (
+	"time"
+
+	"fleetsim/internal/apps"
+	"fleetsim/internal/core"
+	"fleetsim/internal/gc"
+	"fleetsim/internal/heap"
+	"fleetsim/internal/marvin"
+	"fleetsim/internal/trace"
+)
+
+// ProcState is an app process's lifecycle state.
+type ProcState int
+
+// States.
+const (
+	StateForeground ProcState = iota
+	StateBackground
+	StateDead
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateForeground:
+		return "foreground"
+	case StateBackground:
+		return "background"
+	default:
+		return "dead"
+	}
+}
+
+// Proc is one running app process plus its policy machinery.
+type Proc struct {
+	sys *System
+	App *apps.App
+
+	// Policy attachments (exactly one is non-nil besides RS/Ctrl).
+	Fleet  *core.Fleet
+	Marvin *marvin.Marvin
+	RS     *gc.RememberedSet
+	Ctrl   *gc.Controller
+
+	state  ProcState
+	alive  bool
+	lastFg time.Duration
+
+	// bgSeq invalidates scheduled background events when the app leaves
+	// the background (or dies): handlers compare their captured seq.
+	bgSeq int
+
+	lastFullGC time.Duration
+	fgGCs      int
+}
+
+// State returns the process state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Alive reports whether the process exists.
+func (p *Proc) Alive() bool { return p.alive }
+
+// Name returns the app name.
+func (p *Proc) Name() string { return p.App.Name }
+
+// wirePolicy installs the policy's hooks into the heap.
+func (p *Proc) wirePolicy() {
+	h := p.App.H
+	p.RS = gc.NewRememberedSet(h, 10)
+	switch p.sys.Cfg.Policy {
+	case PolicyFleet:
+		p.Fleet = core.New(p.sys.Cfg.Fleet, h, p.sys.VM)
+		h.WriteBarrier = func(id heap.ObjectID) {
+			p.RS.Barrier(id)
+			p.Fleet.WriteBarrier(id)
+		}
+	case PolicyMarvin:
+		p.Marvin = marvin.New(h, p.sys.VM)
+		h.WriteBarrier = p.RS.Barrier
+		h.ReadBarrier = p.Marvin.NoteAccess
+		p.App.OnAlloc = p.Marvin.PinAllocation
+	default:
+		h.WriteBarrier = p.RS.Barrier
+	}
+}
+
+// backgroundGC runs the policy's cached-app collection (Table 1's "GC
+// approach") and records it.
+func (p *Proc) backgroundGC(now time.Duration) gc.Result {
+	var res gc.Result
+	switch {
+	case p.Fleet != nil && p.sys.Cfg.FleetNoBGC:
+		res = gc.Major(p.App.H, p.RS, now)
+	case p.Fleet != nil:
+		res = p.Fleet.RunBGC(now)
+	case p.Marvin != nil:
+		// Marvin first collects (so garbage is not uselessly written to
+		// swap), then evicts cold objects at object granularity, then
+		// compacts the holes the eviction left. Both collections' costs
+		// count — the repeated stub-consistency pauses are exactly the
+		// §3.1 drawback.
+		res = p.Marvin.RunGC(now)
+		_, _, pause := p.Marvin.SwapOutCold(now, p.App.JavaHeapBytes)
+		res.PauseSTW += pause
+		second := p.Marvin.RunGC(now)
+		res.Add(second)
+	default:
+		res = gc.Major(p.App.H, p.RS, now)
+	}
+	p.finishGC(now, res, true)
+	return res
+}
+
+// foregroundGC runs the in-use collection: minor CC cycles with an
+// occasional full compaction (Marvin always runs its own collector).
+func (p *Proc) foregroundGC(now time.Duration) gc.Result {
+	var res gc.Result
+	if p.Marvin != nil {
+		res = p.Marvin.RunGC(now)
+	} else {
+		p.fgGCs++
+		if p.fgGCs%8 == 0 {
+			res = gc.Major(p.App.H, p.RS, now)
+		} else {
+			res = gc.Minor(p.App.H, p.RS, now)
+		}
+	}
+	p.finishGC(now, res, false)
+	return res
+}
+
+func (p *Proc) finishGC(now time.Duration, res gc.Result, background bool) {
+	p.Ctrl.Update(p.App.H.LiveBytes())
+	p.sys.M.GCs = append(p.sys.M.GCs, GCRecord{
+		App:           p.App.Name,
+		Kind:          string(res.Kind),
+		Background:    background,
+		ObjectsTraced: res.ObjectsTraced,
+		Pause:         res.PauseSTW,
+		FaultStall:    res.GCFaultStall,
+		CPU:           res.GCThreadCPU,
+		At:            now,
+	})
+	c := p.sys.M.cpu(p.App.Name)
+	c.GC += res.GCThreadCPU + res.PauseSTW
+	p.sys.Trace.Emit(trace.Event{
+		At: now, Kind: trace.KindGC, App: p.App.Name, Detail: string(res.Kind),
+		Dur: res.PauseSTW + res.GCFaultStall, N: res.ObjectsTraced,
+	})
+	// The collector's fault IO occupies real time on the swap device and
+	// feeds the lmkd thrash detector.
+	p.sys.gcFaultCum += res.GCFaultStall
+	p.sys.Clock.Advance(res.GCFaultStall)
+}
+
+// maybeThresholdGC runs a collection if the heap-growth controller says so,
+// returning its result and whether it ran.
+func (p *Proc) maybeThresholdGC(now time.Duration, background bool) (gc.Result, bool) {
+	if !p.Ctrl.ShouldCollect(p.App.H.BytesSinceGC) {
+		return gc.Result{}, false
+	}
+	if background {
+		return p.backgroundGC(now), true
+	}
+	return p.foregroundGC(now), true
+}

@@ -1,0 +1,401 @@
+package android
+
+import (
+	"fmt"
+	"time"
+
+	"fleetsim/internal/apps"
+	"fleetsim/internal/gc"
+	"fleetsim/internal/mem"
+	"fleetsim/internal/simclock"
+	"fleetsim/internal/trace"
+	"fleetsim/internal/vmem"
+	"fleetsim/internal/xrand"
+)
+
+// System is the simulated device: the activity manager, the kernel memory
+// manager and all running processes.
+type System struct {
+	Cfg   SystemConfig
+	Clock *simclock.Clock
+	VM    *vmem.Manager
+	M     *Metrics
+
+	// Trace, when set via EnableTrace, records launch/GC/kill/state
+	// events (the systrace analogue).
+	Trace *trace.Log
+
+	rng   *xrand.Rand
+	procs []*Proc
+	fg    *Proc
+
+	// PSI lmkd state: samples of (time, cumulative GC-induced swap-in
+	// stall) — see psiTick.
+	psiSamples  []psiSample
+	lastPSIKill time.Duration
+	gcFaultCum  time.Duration
+}
+
+type psiSample struct {
+	at    time.Duration
+	stall time.Duration
+}
+
+// NewSystem boots a device with the given configuration.
+func NewSystem(cfg SystemConfig) *System {
+	phys := mem.NewPhysical(cfg.Device.AppBytes())
+	swap := vmem.NewSwapDevice(cfg.Device.Swap)
+	s := &System{
+		Cfg:   cfg,
+		Clock: simclock.New(),
+		VM:    vmem.NewManager(phys, swap),
+		M:     NewMetrics(),
+		rng:   xrand.New(cfg.Seed),
+	}
+	s.VM.OnPressure = s.onPressure
+	s.VM.Now = s.Clock.Now
+	if cfg.KswapdLowFrac > 0 {
+		s.VM.LowWatermark = int64(float64(phys.TotalFrames) * cfg.KswapdLowFrac)
+		s.VM.HighWatermark = int64(float64(phys.TotalFrames) * cfg.KswapdHighFrac)
+	}
+	if cfg.PSIWindow > 0 {
+		s.Clock.ScheduleAfter(time.Second, "psi", s.psiTick)
+	}
+	return s
+}
+
+// psiTick is the pressure-stall monitor of lmkd: a sustained rate of
+// GC-induced swap-in stall (collectors faulting back pages the reclaimer
+// just evicted — the thrashing loop of §3.2) plus a nearly full swap
+// device means memory pressure is unproductive — kill the LRU cached app.
+// This is Fig. 11's capacity limiter for stock Android, whose background
+// GCs refault the swapped heap every cycle; policies whose collectors do
+// not touch swapped pages stay below it.
+func (s *System) psiTick(c *simclock.Clock) {
+	now := c.Now()
+	s.psiSamples = append(s.psiSamples, psiSample{now, s.gcFaultCum})
+	// Trim history, but always keep one sample at or beyond the window
+	// boundary so the measured span covers at least the whole window even
+	// when long GC stalls advance the clock in big jumps.
+	cut := 0
+	for cut+1 < len(s.psiSamples)-1 && now-s.psiSamples[cut+1].at > s.Cfg.PSIWindow {
+		cut++
+	}
+	s.psiSamples = s.psiSamples[cut:]
+	oldest := s.psiSamples[0]
+	elapsed := now - oldest.at
+	if elapsed >= s.Cfg.PSIWindow/2 && now-s.lastPSIKill >= s.Cfg.PSICooldown {
+		ioFrac := float64(s.gcFaultCum-oldest.stall) / float64(elapsed)
+		swapFull := s.VM.Swap.TotalSlots == 0 ||
+			float64(s.VM.Swap.UsedSlots()) > 0.7*float64(s.VM.Swap.TotalSlots)
+		if ioFrac > s.Cfg.PSIKillThreshold && swapFull {
+			if s.onPressure(0) {
+				s.M.PSIKills++
+				s.lastPSIKill = now
+			}
+		}
+	}
+	c.ScheduleAfter(time.Second, "psi", s.psiTick)
+}
+
+// EnableTrace attaches an event log (max 0 = unlimited) and returns it.
+func (s *System) EnableTrace(max int) *trace.Log {
+	s.Trace = trace.New(max)
+	return s.Trace
+}
+
+// Procs returns all processes ever launched (including dead ones).
+func (s *System) Procs() []*Proc { return s.procs }
+
+// Foreground returns the current foreground process (nil at boot).
+func (s *System) Foreground() *Proc { return s.fg }
+
+// AliveCount returns how many app processes exist right now.
+func (s *System) AliveCount() int {
+	n := 0
+	for _, p := range s.procs {
+		if p.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// FindProc returns the newest process for the named app (alive or dead),
+// or nil.
+func (s *System) FindProc(name string) *Proc {
+	for i := len(s.procs) - 1; i >= 0; i-- {
+		if s.procs[i].App.Name == name {
+			return s.procs[i]
+		}
+	}
+	return nil
+}
+
+// onPressure is lmkd: kill the least-recently-foregrounded cached app.
+// Hard (reclaim-failure) invocations arrive with need > 0 and are counted
+// separately from PSI kills.
+func (s *System) onPressure(need int64) bool {
+	var victim *Proc
+	for _, p := range s.procs {
+		if p.alive && p.state == StateBackground {
+			if victim == nil || p.lastFg < victim.lastFg {
+				victim = p
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	if need > 0 {
+		s.M.HardKills++
+		s.Trace.Emit(trace.Event{At: s.Clock.Now(), Kind: trace.KindKill, App: victim.Name(), Detail: "hard"})
+	}
+	s.Kill(victim)
+	return true
+}
+
+// Kill terminates a process, releasing all its memory.
+func (s *System) Kill(p *Proc) {
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	p.state = StateDead
+	p.bgSeq++
+	p.App.ReleaseAll()
+	s.M.Kills++
+	if s.fg == p {
+		s.fg = nil
+	}
+}
+
+// Launch cold-starts an app and brings it to the foreground. The previous
+// foreground app is cached.
+func (s *System) Launch(profile apps.Profile) *Proc {
+	now := s.Clock.Now()
+	if s.fg != nil {
+		s.toBackground(s.fg)
+	}
+	app := apps.NewApp(profile, s.rng.Fork(uint64(len(s.procs))+7), s.VM)
+	p := &Proc{sys: s, App: app, alive: true, state: StateForeground}
+	p.Ctrl = gc.NewController(s.Cfg.FgHeapGrowth)
+	p.Ctrl.MinHeadroom = s.Cfg.MinHeadroomBytes()
+	p.wirePolicy()
+	s.procs = append(s.procs, p)
+
+	stall := app.BuildInitial(now)
+	// Settle the fresh heap with one collection, as a real cold start's
+	// early GCs would.
+	res := p.foregroundGC(s.Clock.Now())
+	t := profile.ColdLaunchCPU + stall + res.PauseSTW
+	s.Clock.Advance(profile.ColdLaunchCPU + stall)
+	s.M.Launches = append(s.M.Launches, LaunchRecord{App: profile.Name, Hot: false, Time: t, At: now})
+	s.Trace.Emit(trace.Event{At: now, Kind: trace.KindLaunch, App: profile.Name, Detail: "cold", Dur: t})
+	s.makeForeground(p)
+	s.noteAlive()
+	return p
+}
+
+// SwitchTo hot-launches a cached app (or cold-launches it again if lmkd
+// killed it). Returns the launch time.
+func (s *System) SwitchTo(p *Proc) (time.Duration, *Proc) {
+	if !p.alive {
+		np := s.Launch(p.App.Profile)
+		return s.M.Launches[len(s.M.Launches)-1].Time, np
+	}
+	if s.fg == p {
+		return 0, p
+	}
+	now := s.Clock.Now()
+	if s.fg != nil {
+		s.toBackground(s.fg)
+	}
+
+	// An ASAP-style prefetcher reads the app's predicted launch set back
+	// in bulk before the launch touches anything: the Java heap (where
+	// launch objects scatter) plus the launch-critical head of the native
+	// segment. The sequential IO is part of the perceived launch time.
+	var prefetchIO time.Duration
+	if s.Cfg.LaunchPrefetch {
+		_, io := s.VM.Prefetch(p.App.H.AS, 0, p.App.H.AddressSpanBytes())
+		head := int64(float64(p.App.Profile.NativeBytes()) * p.App.Profile.LaunchNativeFrac)
+		_, io2 := s.VM.Prefetch(p.App.NativeAS, 0, head)
+		prefetchIO = io + io2
+	}
+
+	// Hot launch: re-access the launch working set (faulting whatever the
+	// swap policy let slip out), run the launch allocation burst, and pay
+	// for any GC the burst triggers — it runs concurrently but competes
+	// for the swap device and stops the world (§4.2).
+	stall := prefetchIO + p.App.HotLaunchAccess(now)
+	stall += p.App.LaunchAllocBurst(now)
+	var gcTime time.Duration
+	if res, ran := p.maybeThresholdGC(now, true); ran {
+		gcTime = res.PauseSTW + res.GCFaultStall
+	}
+	t := p.App.HotLaunchCPU + stall + gcTime
+	s.Clock.Advance(p.App.HotLaunchCPU + stall)
+	s.M.Launches = append(s.M.Launches, LaunchRecord{App: p.App.Name, Hot: true, Time: t, At: now})
+	s.Trace.Emit(trace.Event{At: now, Kind: trace.KindLaunch, App: p.App.Name, Detail: "hot", Dur: t})
+	s.makeForeground(p)
+	s.noteAlive()
+	return t, p
+}
+
+func (s *System) noteAlive() {
+	n := s.AliveCount()
+	if n > s.M.AliveHighWater {
+		s.M.AliveHighWater = n
+	}
+	s.M.AliveTrace = append(s.M.AliveTrace, n)
+}
+
+// makeForeground installs p as the foreground app and starts its ticks.
+func (s *System) makeForeground(p *Proc) {
+	s.fg = p
+	p.state = StateForeground
+	p.lastFg = s.Clock.Now()
+	p.bgSeq++
+	s.Trace.Emit(trace.Event{At: s.Clock.Now(), Kind: trace.KindState, App: p.Name(), Detail: "foreground"})
+	p.Ctrl.GrowthFactor = s.Cfg.FgHeapGrowth
+	p.Ctrl.Update(p.App.H.LiveBytes())
+	if p.Fleet != nil {
+		p.Fleet.OnForeground()
+		fgAt := p.lastFg
+		s.Clock.ScheduleAfter(s.Cfg.Fleet.ForegroundWait, p.Name()+"-fleet-stop", func(c *simclock.Clock) {
+			if p.alive && p.state == StateForeground && p.lastFg == fgAt {
+				p.Fleet.Stop()
+			}
+		})
+	}
+	s.Clock.ScheduleAfter(s.Cfg.FgTick, p.Name()+"-fg", p.fgTickEvent)
+}
+
+// toBackground caches the app and starts its background machinery.
+func (s *System) toBackground(p *Proc) {
+	if !p.alive {
+		return
+	}
+	now := s.Clock.Now()
+	p.state = StateBackground
+	p.bgSeq++
+	seq := p.bgSeq
+	s.Trace.Emit(trace.Event{At: now, Kind: trace.KindState, App: p.Name(), Detail: "background"})
+	p.App.EnterBackground(now)
+	p.Ctrl.GrowthFactor = s.Cfg.BgHeapGrowth
+	p.Ctrl.Update(p.App.H.LiveBytes())
+	p.lastFullGC = now
+	if s.fg == p {
+		s.fg = nil
+	}
+
+	s.Clock.ScheduleAfter(s.Cfg.BgTick, p.Name()+"-bg", func(c *simclock.Clock) {
+		p.bgTickEvent(c, seq)
+	})
+
+	switch {
+	case p.Fleet != nil:
+		p.Fleet.OnBackground()
+		s.Clock.ScheduleAfter(s.Cfg.Fleet.BackgroundWait, p.Name()+"-fleet-group", func(c *simclock.Clock) {
+			if !p.alive || p.state != StateBackground || p.bgSeq != seq {
+				return
+			}
+			res := p.Fleet.RunGrouping(c.Now())
+			p.finishGC(c.Now(), res, true)
+			// Periodic HOT_RUNTIME refresh while cached.
+			var refresh func(c *simclock.Clock)
+			refresh = func(c *simclock.Clock) {
+				if !p.alive || p.state != StateBackground || p.bgSeq != seq {
+					return
+				}
+				p.Fleet.RefreshAdvice()
+				c.ScheduleAfter(s.Cfg.Fleet.AdvisePeriod, p.Name()+"-fleet-advise", refresh)
+			}
+			c.ScheduleAfter(s.Cfg.Fleet.AdvisePeriod, p.Name()+"-fleet-advise", refresh)
+		})
+	case p.Marvin != nil:
+		// Marvin's proactive object reclaim shortly after caching.
+		s.Clock.ScheduleAfter(10*time.Second, p.Name()+"-marvin-reclaim", func(c *simclock.Clock) {
+			if !p.alive || p.state != StateBackground || p.bgSeq != seq {
+				return
+			}
+			p.backgroundGC(c.Now())
+			p.lastFullGC = c.Now()
+		})
+	}
+}
+
+// fgTickEvent advances one foreground workload step.
+func (p *Proc) fgTickEvent(c *simclock.Clock) {
+	s := p.sys
+	if !p.alive || p.state != StateForeground || s.fg != p {
+		return
+	}
+	now := c.Now()
+	stall := p.App.ForegroundTick(now, s.Cfg.FgTick)
+	var pause time.Duration
+	if res, ran := p.maybeThresholdGC(now, false); ran {
+		pause = res.PauseSTW
+	}
+	p.accountFrames(s.Cfg.FgTick, stall+pause)
+	s.Clock.ScheduleAfter(s.Cfg.FgTick, p.Name()+"-fg", p.fgTickEvent)
+}
+
+// accountFrames applies the §7.3 frame model: the tick renders
+// tick/16.7 ms frames; mutator delay (fault stalls + GC pauses) janks
+// frames at one jank per exceeded frame budget.
+func (p *Proc) accountFrames(tick, delay time.Duration) {
+	f := p.sys.M.frames(p.App.Name)
+	frames := int64(tick / FrameBudget)
+	if frames < 1 {
+		frames = 1
+	}
+	// A frame janks when the tick's accumulated delay pushes it past the
+	// deadline; sub-headroom delays (minor faults) are absorbed.
+	headroom := FrameBudget - baseRenderCPU
+	janks := int64(delay / headroom)
+	if janks > frames {
+		janks = frames
+	}
+	f.Frames += frames
+	f.Janks += janks
+	// Frames are paced at the vsync budget; mutator delay stretches the
+	// interval, dragging FPS below 60.
+	f.Busy += time.Duration(frames)*FrameBudget + delay
+	cpu := p.sys.M.cpu(p.App.Name)
+	cpu.Mutator += time.Duration(frames) * baseRenderCPU
+}
+
+// bgTickEvent advances one cached-state workload step.
+func (p *Proc) bgTickEvent(c *simclock.Clock, seq int) {
+	s := p.sys
+	if !p.alive || p.state != StateBackground || p.bgSeq != seq {
+		return
+	}
+	now := c.Now()
+	p.App.BackgroundTick(now, s.Cfg.BgTick)
+	s.M.cpu(p.App.Name).Mutator += s.Cfg.BgTick / 100
+
+	if _, ran := p.maybeThresholdGC(now, true); ran {
+		p.lastFullGC = now
+	} else if now-p.lastFullGC >= s.Cfg.BgGCPeriod {
+		p.backgroundGC(now)
+		p.lastFullGC = now
+	}
+	s.Clock.ScheduleAfter(s.Cfg.BgTick, p.Name()+"-bg", func(c *simclock.Clock) {
+		p.bgTickEvent(c, seq)
+	})
+}
+
+// Use runs the simulation forward by d (the foreground app is used, cached
+// apps tick in the background).
+func (s *System) Use(d time.Duration) {
+	s.Clock.RunUntil(s.Clock.Now() + d)
+}
+
+// Debug summarises system state.
+func (s *System) Debug() string {
+	return fmt.Sprintf("t=%v alive=%d freeFrames=%d swapFree=%d kills=%d",
+		s.Clock.Now(), s.AliveCount(), s.VM.Phys.FreeFrames(), s.VM.Swap.FreeSlots(), s.M.Kills)
+}

@@ -1,0 +1,105 @@
+// Package core implements Fleet, the paper's contribution: a
+// fore/background-aware GC-swap co-design made of two cooperating parts
+// (§5):
+//
+//   - Background-object GC (BGC): once an app is backgrounded and its
+//     foreground objects (FGO) have been compacted into dedicated regions,
+//     the collector's tracing range is restricted to background objects
+//     (BGO). References from FGO into BGO are found through a dedicated
+//     card table maintained by a write barrier, so the GC never touches —
+//     and never faults in — swapped foreground pages.
+//
+//   - Runtime-guided swap (RGS): the first GC after backgrounding is a
+//     BFS grouping collection that classifies every live object as NRO
+//     (within depth D of the roots), FYO (allocated just before the
+//     switch), WS (in active use by background work) or cold, evacuates
+//     each class into its own regions, and then steers the kernel through
+//     madvise: cold regions are proactively swapped out (COLD_RUNTIME)
+//     while launch regions are rotated to the hot end of the LRU
+//     (HOT_RUNTIME) so the next hot-launch finds them resident.
+package core
+
+import (
+	"time"
+
+	"fleetsim/internal/cardtable"
+)
+
+// Config carries Fleet's tunables; defaults are the paper's Table 2.
+type Config struct {
+	// NRODepth is D: the maximum BFS depth from the roots for an object to
+	// be classified NRO.
+	NRODepth int
+	// BackgroundWait is Ts: how long after the switch to background Fleet
+	// waits before running the grouping GC, so the app settles.
+	BackgroundWait time.Duration
+	// ForegroundWait is Tf: how long after the switch to foreground Fleet
+	// waits before standing down.
+	ForegroundWait time.Duration
+	// CardShift is the BGC card table's CARD_SHIFT.
+	CardShift uint
+	// WSWindow is the recency horizon for working-set classification: an
+	// object counts as WS if a mutator touched it within this window
+	// before the grouping GC. It stands in for the paper's read-barrier
+	// marking, which needs true concurrency (see DESIGN.md §5).
+	WSWindow time.Duration
+	// AdvisePeriod is how often RGS re-issues HOT_RUNTIME advice for
+	// launch regions while the app stays backgrounded (§5.3.2 "RGS will
+	// periodically execute the madvise system call").
+	AdvisePeriod time.Duration
+
+	// LeakFallbackCycles implements §5.2's memory-leak discussion: if this
+	// many consecutive BGC cycles reclaim less than LeakFallbackRatio of
+	// the background allocation volume, Fleet "resorts to the original
+	// Android method of using full tracing to clear garbage objects from
+	// the entire Java heap". 0 disables the fallback.
+	LeakFallbackCycles int
+	// LeakFallbackRatio is the reclaim-efficiency floor for the fallback.
+	LeakFallbackRatio float64
+
+	// DisableColdAdvise is an ablation switch: grouping still happens but
+	// COLD_RUNTIME is never issued (cold pages are left to the kernel
+	// LRU).
+	DisableColdAdvise bool
+	// DisableHotAdvice is an ablation switch: launch regions get no
+	// HOT_RUNTIME protection.
+	DisableHotAdvice bool
+}
+
+// DefaultConfig returns Table 2's settings.
+func DefaultConfig() Config {
+	return Config{
+		NRODepth:           2,
+		BackgroundWait:     10 * time.Second,
+		ForegroundWait:     3 * time.Second,
+		CardShift:          cardtable.DefaultCardShift,
+		WSWindow:           10 * time.Second,
+		AdvisePeriod:       5 * time.Second,
+		LeakFallbackCycles: 4,
+		LeakFallbackRatio:  0.25,
+	}
+}
+
+// Class is an object's RGS classification (§5.3.1).
+type Class uint8
+
+// Object classes.
+const (
+	ClassCold Class = iota
+	ClassNRO
+	ClassFYO
+	ClassWS
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassNRO:
+		return "NRO"
+	case ClassFYO:
+		return "FYO"
+	case ClassWS:
+		return "WS"
+	default:
+		return "cold"
+	}
+}

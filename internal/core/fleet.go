@@ -1,0 +1,443 @@
+package core
+
+import (
+	"time"
+
+	"fleetsim/internal/cardtable"
+	"fleetsim/internal/gc"
+	"fleetsim/internal/heap"
+	"fleetsim/internal/units"
+	"fleetsim/internal/vmem"
+)
+
+// State is Fleet's per-app lifecycle state (§5.1 workflow).
+type State uint8
+
+// Lifecycle states.
+const (
+	// StateInactive: app in (stable) foreground; Fleet is standing down
+	// and the app behaves like stock Android.
+	StateInactive State = iota
+	// StatePendingGroup: app has gone background; waiting out Ts before
+	// the grouping GC.
+	StatePendingGroup
+	// StateActive: grouping is done; BGC and swap advice are live.
+	StateActive
+	// StatePendingStop: app returned to foreground; waiting out Tf before
+	// standing down.
+	StatePendingStop
+)
+
+func (s State) String() string {
+	switch s {
+	case StateInactive:
+		return "inactive"
+	case StatePendingGroup:
+		return "pending-group"
+	case StateActive:
+		return "active"
+	case StatePendingStop:
+		return "pending-stop"
+	default:
+		return "unknown"
+	}
+}
+
+// GroupingStats reports what one grouping GC classified (feeds Fig. 6).
+type GroupingStats struct {
+	NRO, FYO, WS, Cold         int64 // object counts (launch classes may overlap: NRO∩FYO counted in both)
+	NROBytes, FYOBytes         int64
+	LaunchBytes, WSBytes       int64
+	ColdBytes                  int64
+	LaunchRegions, ColdRegions int
+	WSRegions                  int
+	// AdviseIO is the swap-out time spent actively writing cold regions
+	// (issued from Fleet's background thread, not a mutator stall).
+	AdviseIO time.Duration
+}
+
+// Fleet drives BGC + RGS for one app's heap.
+type Fleet struct {
+	cfg Config
+	h   *heap.Heap
+	vm  *vmem.Manager
+
+	state State
+
+	// card is the BGC card table over FGO addresses (§5.2).
+	card *cardtable.Table
+
+	// Region sets from the last grouping.
+	launchRegions []*heap.Region
+	wsRegions     []*heap.Region
+	coldRegions   []*heap.Region
+
+	lastGrouping GroupingStats
+
+	// classes caches the last grouping's per-object classification,
+	// indexed by ObjectID (analysis + tests).
+	classes []Class
+
+	// Leak-fallback state (§5.2): consecutive low-yield BGC cycles and
+	// the allocation volume observed at the last cycle.
+	lowYieldCycles int
+	fullFallbacks  int
+}
+
+// New creates a Fleet instance for the heap. A zero Config selects
+// DefaultConfig; an explicit NRODepth of 0 is valid (only the roots are
+// near-root objects).
+func New(cfg Config, h *heap.Heap, vm *vmem.Manager) *Fleet {
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+	}
+	return &Fleet{cfg: cfg, h: h, vm: vm}
+}
+
+// Config returns the active configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// State returns the lifecycle state.
+func (f *Fleet) State() State { return f.state }
+
+// LastGrouping returns stats from the most recent grouping GC.
+func (f *Fleet) LastGrouping() GroupingStats { return f.lastGrouping }
+
+// CardTable exposes the BGC card table (nil before the first grouping).
+func (f *Fleet) CardTable() *cardtable.Table { return f.card }
+
+// ClassOf returns the last grouping's classification for an object (cold if
+// the object was allocated after the grouping).
+func (f *Fleet) ClassOf(id heap.ObjectID) Class {
+	if int(id) < len(f.classes) {
+		return f.classes[id]
+	}
+	return ClassCold
+}
+
+// OnBackground notes the switch to background; the runtime must call
+// RunGrouping once BackgroundWait has elapsed (it owns the clock).
+func (f *Fleet) OnBackground() {
+	f.state = StatePendingGroup
+}
+
+// OnForeground notes the hot-launch; the runtime must call Stop once
+// ForegroundWait has elapsed. BGC's barrier stays armed until then, as in
+// the paper.
+func (f *Fleet) OnForeground() {
+	if f.state == StateActive || f.state == StatePendingGroup {
+		f.state = StatePendingStop
+	}
+}
+
+// Stop stands Fleet down (Tf expired in stable foreground): advice is
+// cleared, the barrier is disarmed, and region classes dissolve.
+func (f *Fleet) Stop() {
+	f.state = StateInactive
+	f.card = nil
+	for _, r := range f.launchRegions {
+		if !r.Free() {
+			f.vm.AdviseNormal(f.h.AS, r.Base, units.RegionSize)
+		}
+	}
+	f.h.Regions(func(r *heap.Region) { r.FGO = false })
+	f.launchRegions, f.wsRegions, f.coldRegions = nil, nil, nil
+}
+
+// WriteBarrier is Fleet's addition to the heap's write-barrier chain: while
+// BGC is armed, writes to FGO dirty the card for the object's address
+// (§5.2). The runtime composes this with ART's remembered-set barrier.
+func (f *Fleet) WriteBarrier(id heap.ObjectID) {
+	if f.card == nil || f.state == StateInactive {
+		return
+	}
+	o := f.h.Object(id)
+	if f.h.RegionByID(o.Region).FGO {
+		f.card.MarkDirty(o.Addr)
+	}
+}
+
+// classify computes an object's class given its BFS depth (§5.3.1 rules).
+func (f *Fleet) classify(o *heap.Object, depth int, now time.Duration) Class {
+	if depth >= 0 && depth <= f.cfg.NRODepth {
+		return ClassNRO
+	}
+	if f.h.RegionByID(o.Region).NewlyAllocated {
+		return ClassFYO
+	}
+	if now-o.LastAccess <= f.cfg.WSWindow {
+		return ClassWS
+	}
+	return ClassCold
+}
+
+// RunGrouping is RGS step 1 (§5.3.1): a full BFS copying GC that classifies
+// every live object, groups the classes into typed regions, marks the
+// resulting regions FGO, arms the BGC card table, and issues the madvise
+// calls of step 2 (§5.3.2).
+func (f *Fleet) RunGrouping(now time.Duration) gc.Result {
+	h := f.h
+	res := gc.Result{Kind: gc.KindGrouping}
+	gs := GroupingStats{}
+
+	seeds := h.RootSlice()
+	res.PauseSTW += gc.FlipPause + time.Duration(len(seeds))*gc.RootScanCPU
+
+	// BFS trace recording per-object class.
+	if cap(f.classes) < h.ObjectTableSize() {
+		f.classes = make([]Class, h.ObjectTableSize())
+	}
+	f.classes = f.classes[:h.ObjectTableSize()]
+	for i := range f.classes {
+		f.classes[i] = ClassCold
+	}
+
+	h.BeginTrace()
+	st := gc.Trace(h, seeds, gc.TraceOpts{
+		BFS: true,
+		Now: now,
+		OnVisit: func(id heap.ObjectID, depth int) {
+			o := h.Object(id)
+			c := f.classify(o, depth, now)
+			f.classes[id] = c
+			switch c {
+			case ClassNRO:
+				gs.NRO++
+				gs.NROBytes += int64(o.Size)
+			case ClassFYO:
+				gs.FYO++
+				gs.FYOBytes += int64(o.Size)
+			case ClassWS:
+				gs.WS++
+				gs.WSBytes += int64(o.Size)
+			default:
+				gs.Cold++
+				gs.ColdBytes += int64(o.Size)
+			}
+		},
+	})
+	res.ObjectsTraced = st.ObjectsTraced
+	res.BytesTraced = st.BytesTraced
+	res.GCThreadCPU += st.CPU
+	res.GCFaultStall += st.FaultStall
+
+	// Evacuate everything into typed to-regions.
+	var from []*heap.Region
+	h.Regions(func(r *heap.Region) { from = append(from, r) })
+	ev := h.NewEvacuator()
+	for _, r := range from {
+		for _, id := range r.Objects {
+			o := h.Object(id)
+			if !o.Live() || o.Region != r.ID {
+				continue
+			}
+			if !h.Marked(id) {
+				res.ObjectsFreed++
+				res.BytesFreed += int64(o.Size)
+				h.KillObject(id)
+				continue
+			}
+			var kind heap.RegionKind
+			switch f.classes[id] {
+			case ClassNRO, ClassFYO:
+				kind = heap.KindLaunch
+			case ClassWS:
+				kind = heap.KindWS
+			default:
+				kind = heap.KindCold
+			}
+			ev.Copy(id, kind)
+			res.ObjectsCopied++
+			res.BytesCopied += int64(o.Size)
+			res.GCThreadCPU += gc.CopyCPU + vmem.DRAMCost(2*int64(o.Size))
+		}
+	}
+	res.GCFaultStall += ev.Stall
+	for _, r := range from {
+		h.FreeRegion(r)
+		res.RegionsFreed++
+	}
+
+	// All surviving objects are now FGO by definition: the app is in the
+	// background and everything predating this moment counts as foreground
+	// allocated (§4.1). Mark their regions.
+	f.launchRegions = f.launchRegions[:0]
+	f.wsRegions = f.wsRegions[:0]
+	f.coldRegions = f.coldRegions[:0]
+	for _, r := range ev.ToRegions() {
+		r.FGO = true
+		switch r.Kind {
+		case heap.KindLaunch:
+			f.launchRegions = append(f.launchRegions, r)
+			gs.LaunchRegions++
+			gs.LaunchBytes += r.Used
+		case heap.KindWS:
+			f.wsRegions = append(f.wsRegions, r)
+			gs.WSRegions++
+		case heap.KindCold:
+			f.coldRegions = append(f.coldRegions, r)
+			gs.ColdRegions++
+		}
+	}
+
+	res.PauseSTW += gc.FinalPause
+	h.NoteGCComplete()
+
+	// Arm BGC: fresh card table over the (now fully FGO) heap.
+	f.card = cardtable.New(f.cfg.CardShift, h.HeapBytes())
+	f.state = StateActive
+
+	// RGS step 2: steer the kernel.
+	if !f.cfg.DisableColdAdvise {
+		for _, r := range f.coldRegions {
+			gs.AdviseIO += f.vm.AdviseCold(h.AS, r.Base, units.RegionSize)
+		}
+	}
+	f.adviseHotLocked()
+
+	f.lastGrouping = gs
+	return res
+}
+
+// adviseHotLocked re-issues HOT_RUNTIME for launch regions.
+func (f *Fleet) adviseHotLocked() {
+	if f.cfg.DisableHotAdvice {
+		return
+	}
+	for _, r := range f.launchRegions {
+		if !r.Free() {
+			f.vm.AdviseHot(f.h.AS, r.Base, units.RegionSize)
+		}
+	}
+}
+
+// RefreshAdvice is the periodic advice refresh while backgrounded.
+func (f *Fleet) RefreshAdvice() {
+	if f.state == StateActive {
+		f.adviseHotLocked()
+	}
+}
+
+// RunBGC is the background-object GC (§5.2): trace only BGO, extending the
+// roots with FGO objects whose cards are dirty; evacuate live BGO; free BGO
+// regions. FGO pages are never touched except for the dirty-card scan.
+//
+// Per §5.2's memory-leak discussion, if several consecutive cycles reclaim
+// almost nothing relative to what the background allocated, Fleet falls
+// back to one full-heap tracing collection (and the FGO/BGO separation is
+// rebuilt by the next grouping).
+func (f *Fleet) RunBGC(now time.Duration) gc.Result {
+	h := f.h
+	res := gc.Result{Kind: gc.KindBGC}
+	if f.card == nil {
+		// Grouping has not happened yet; nothing to restrict — fall back
+		// to a plain major GC (worst case discussed in §5.2).
+		return gc.Major(h, nil, now)
+	}
+	allocSinceGC := h.BytesSinceGC
+
+	isBGO := func(id heap.ObjectID) bool {
+		return !h.RegionByID(h.Object(id).Region).FGO
+	}
+
+	// Seeds: roots + dirty-card FGO.
+	seeds := h.RootSlice()
+	res.PauseSTW += gc.FlipPause + time.Duration(len(seeds))*gc.RootScanCPU
+	f.card.ScanDirty(true, func(start, size int64) {
+		res.GCThreadCPU += gc.CardScanCPU
+		if start >= h.AddressSpanBytes() {
+			return
+		}
+		r := h.RegionAt(start)
+		if r.Free() || !r.FGO {
+			return
+		}
+		for _, id := range r.Objects {
+			o := h.Object(id)
+			if !o.Live() || o.Region != r.ID {
+				continue
+			}
+			if o.Addr+int64(o.Size) <= start || o.Addr >= start+size {
+				continue
+			}
+			seeds = append(seeds, id)
+		}
+	})
+
+	h.BeginTrace()
+	st := gc.Trace(h, seeds, gc.TraceOpts{ShouldTrace: isBGO, Now: now})
+	res.ObjectsTraced = st.ObjectsTraced
+	res.BytesTraced = st.BytesTraced
+	res.GCThreadCPU += st.CPU
+	res.GCFaultStall += st.FaultStall
+
+	// Evacuate live BGO out of BGO regions; FGO regions are untouched.
+	var from []*heap.Region
+	h.Regions(func(r *heap.Region) {
+		if !r.FGO {
+			from = append(from, r)
+		}
+	})
+	ev := h.NewEvacuator()
+	for _, r := range from {
+		for _, id := range r.Objects {
+			o := h.Object(id)
+			if !o.Live() || o.Region != r.ID {
+				continue
+			}
+			if h.Marked(id) {
+				ev.Copy(id, heap.KindNormal)
+				res.ObjectsCopied++
+				res.BytesCopied += int64(o.Size)
+				res.GCThreadCPU += gc.CopyCPU + vmem.DRAMCost(2*int64(o.Size))
+			} else {
+				res.ObjectsFreed++
+				res.BytesFreed += int64(o.Size)
+				h.KillObject(id)
+			}
+		}
+	}
+	res.GCFaultStall += ev.Stall
+	for _, r := range from {
+		h.FreeRegion(r)
+		res.RegionsFreed++
+	}
+
+	res.PauseSTW += gc.FinalPause
+	h.NoteGCComplete()
+
+	// Leak detection: a BGC that keeps reclaiming almost none of the
+	// background allocation volume indicates FGO-held garbage chains; run
+	// the full-heap collection the paper prescribes.
+	if f.cfg.LeakFallbackCycles > 0 && allocSinceGC > 0 {
+		if float64(res.BytesFreed) < f.cfg.LeakFallbackRatio*float64(allocSinceGC) {
+			f.lowYieldCycles++
+		} else {
+			f.lowYieldCycles = 0
+		}
+		if f.lowYieldCycles >= f.cfg.LeakFallbackCycles {
+			f.lowYieldCycles = 0
+			f.fullFallbacks++
+			full := gc.Major(h, nil, now)
+			full.Kind = gc.KindBGC
+			res.Add(full)
+			// The full compaction dissolved the FGO regions; stand the
+			// card table down until the next grouping rebuilds it.
+			f.card = nil
+			f.launchRegions, f.wsRegions, f.coldRegions = nil, nil, nil
+		}
+	}
+	return res
+}
+
+// FullFallbacks reports how many §5.2 leak-fallback full collections ran.
+func (f *Fleet) FullFallbacks() int { return f.fullFallbacks }
+
+// LaunchRegions returns the current launch regions (hot-launch critical).
+func (f *Fleet) LaunchRegions() []*heap.Region { return f.launchRegions }
+
+// ColdRegions returns the regions RGS pushed toward swap.
+func (f *Fleet) ColdRegions() []*heap.Region { return f.coldRegions }
+
+// WSRegions returns the background working-set regions.
+func (f *Fleet) WSRegions() []*heap.Region { return f.wsRegions }

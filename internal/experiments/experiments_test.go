@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"testing"
+
+	"fleetsim/internal/metrics"
+)
+
+// The experiment tests assert the paper's qualitative results (the
+// "shape"): who wins, in which direction, and where mechanisms bite. They
+// run at reduced rounds to stay fast; cmd/fleetsim runs the full versions.
+
+func quick() Params {
+	p := DefaultParams()
+	p.Rounds = 4
+	return p
+}
+
+func TestFig2HotMuchFasterThanCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := quick()
+	p.Rounds = 3
+	rows := Fig2(p)
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ColdMs < 3*r.HotMs {
+			t.Errorf("%s: cold %.0f ms not ≫ hot %.0f ms", r.App, r.ColdMs, r.HotMs)
+		}
+	}
+}
+
+func TestFig3SwapAndMarvinHurtTails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := Fig3(quick())
+	var worseSwap, worseMarvin int
+	for _, r := range rows {
+		if r.SwapMs > r.NoSwapMs {
+			worseSwap++
+		}
+		if r.MarvinMs > r.NoSwapMs {
+			worseMarvin++
+		}
+	}
+	// The motivation: enabling swap (or Marvin) degrades the tail for
+	// most apps.
+	if worseSwap < len(rows)/2 {
+		t.Errorf("swap made tails worse for only %d/%d apps", worseSwap, len(rows))
+	}
+	if worseMarvin < len(rows)/2 {
+		t.Errorf("Marvin made tails worse for only %d/%d apps", worseMarvin, len(rows))
+	}
+}
+
+func TestFig4GCSpikeTouchesOldObjects(t *testing.T) {
+	res := Fig4(quick())
+	if len(res.Points) == 0 {
+		t.Fatal("no access points")
+	}
+	// During the background window (excluding the GC spike) only a small
+	// set of objects is touched; the GC spike covers the whole ID range.
+	var bgMax, gcMax, gcCount uint64
+	var bgCount int
+	for _, pt := range res.Points {
+		if pt.GC {
+			gcCount++
+			if pt.Seq > gcMax {
+				gcMax = pt.Seq
+			}
+			continue
+		}
+		if pt.TimeSec > res.ToBackSec && pt.TimeSec < res.ToFrontSec {
+			bgCount++
+			if pt.Seq > bgMax {
+				bgMax = pt.Seq
+			}
+		}
+	}
+	if gcCount == 0 {
+		t.Fatal("no GC spike points")
+	}
+	if gcMax == 0 || res.TotalObject == 0 {
+		t.Fatal("bad seq bookkeeping")
+	}
+	// The GC touches essentially the whole live heap.
+	if float64(gcCount) < 0.5*float64(res.TotalObject)/100*0.2 {
+		t.Errorf("GC spike too small: %d points", gcCount)
+	}
+	if res.GCSec <= res.ToBackSec || res.ToFrontSec <= res.GCSec {
+		t.Errorf("phase markers out of order: %v %v %v", res.ToBackSec, res.GCSec, res.ToFrontSec)
+	}
+	_ = bgMax
+	_ = bgCount
+}
+
+func TestFig5FGOLongLivedBGOShortLived(t *testing.T) {
+	res := Fig5(quick())
+	// Paper: >40% of FGO survive 15 GCs; most BGO die within the first
+	// few.
+	if res.AliveFGO < 0.4 {
+		t.Errorf("FGO alive after %d GCs = %.0f%%, want > 40%%", res.Cycles, 100*res.AliveFGO)
+	}
+	earlyBGO := 0.0
+	for k := 0; k < 3 && k < len(res.LifetimeBGO); k++ {
+		earlyBGO += res.LifetimeBGO[k]
+	}
+	if earlyBGO+res.AliveBGO == 0 {
+		t.Fatal("no BGO observed")
+	}
+	if earlyBGO < 0.5 {
+		t.Errorf("BGO dying within 3 GCs = %.0f%%, want most", 100*earlyBGO)
+	}
+	if res.AliveBGO >= res.AliveFGO {
+		t.Errorf("BGO survival %.2f should be below FGO survival %.2f", res.AliveBGO, res.AliveFGO)
+	}
+	// Fig 5c: FGO dominates the footprint.
+	for _, f := range res.Footprints {
+		if f.FGOMiB <= f.BGOMiB {
+			t.Errorf("%s: FGO %.1f MiB not larger than BGO %.1f MiB", f.App, f.FGOMiB, f.BGOMiB)
+		}
+	}
+}
+
+func TestFig6CoverageMatchesPaper(t *testing.T) {
+	rows := Fig6a(quick())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var nro, fyo, union, mem float64
+	for _, r := range rows {
+		nro += r.NROFrac
+		fyo += r.FYOFrac
+		union += r.BothFrac
+		mem += r.LaunchMemFrac
+	}
+	nro /= 5
+	fyo /= 5
+	union /= 5
+	mem /= 5
+	// Paper averages: NRO ≈ 50%, FYO ≈ 40%, union ≈ 68%, launch classes
+	// ≈ 15.5% of heap. Allow generous bands.
+	if nro < 0.3 || nro > 0.75 {
+		t.Errorf("NRO coverage = %.0f%%, want ~50%%", 100*nro)
+	}
+	if fyo < 0.2 || fyo > 0.65 {
+		t.Errorf("FYO coverage = %.0f%%, want ~40%%", 100*fyo)
+	}
+	if union < 0.5 || union > 0.9 {
+		t.Errorf("union coverage = %.0f%%, want ~68%%", 100*union)
+	}
+	if mem > 0.4 {
+		t.Errorf("launch memory share = %.0f%%, want small", 100*mem)
+	}
+}
+
+func TestFig6bDepthTradeoff(t *testing.T) {
+	pts := Fig6b(quick())
+	if len(pts) < 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Memory share must rise with depth, and reach ~everything at D=14.
+	first, last := pts[0], pts[len(pts)-1]
+	if last.MemFrac <= first.MemFrac {
+		t.Errorf("memory share did not grow with depth: %.2f -> %.2f", first.MemFrac, last.MemFrac)
+	}
+	if last.ReAccessFrac < pts[1].ReAccessFrac {
+		t.Errorf("re-access coverage should not shrink with depth")
+	}
+	// The paper's insight: at small depth, coverage grows faster than
+	// memory. Compare D=2 against D=14.
+	var d2 Fig6bPoint
+	for _, pt := range pts {
+		if pt.Depth == 2 {
+			d2 = pt
+		}
+	}
+	if d2.ReAccessFrac/last.ReAccessFrac <= d2.MemFrac/last.MemFrac {
+		t.Errorf("at D=2, coverage share (%.2f) should outpace memory share (%.2f)",
+			d2.ReAccessFrac/last.ReAccessFrac, d2.MemFrac/last.MemFrac)
+	}
+}
+
+func TestFig7MostObjectsBelowPageSize(t *testing.T) {
+	rows := Fig7(quick())
+	for _, r := range rows {
+		// index of 4096 in Fig7Sizes is 8.
+		if got := r.CDF[8]; got < 0.95 {
+			t.Errorf("%s: only %.1f%% of objects ≤ page size", r.App, 100*got)
+		}
+		if got := r.CDF[1]; got < 0.2 {
+			t.Errorf("%s: tiny objects missing (%.1f%% ≤ 32B)", r.App, 100*got)
+		}
+	}
+}
+
+func TestFig11aLargeObjects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	series := Fig11a(quick())
+	androidMax, marvinMax, fleetMax := series[0].Max, series[1].Max, series[2].Max
+	if fleetMax <= androidMax {
+		t.Errorf("Fleet max %d should beat Android %d", fleetMax, androidMax)
+	}
+	// Paper: Marvin ≈ Fleet for large objects.
+	if diff := fleetMax - marvinMax; diff < -2 || diff > 2 {
+		t.Errorf("Fleet %d vs Marvin %d should be comparable for large objects", fleetMax, marvinMax)
+	}
+}
+
+func TestFig11bSmallObjectsBreakMarvin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	series := Fig11b(quick())
+	marvinMax, fleetMax := series[1].Max, series[2].Max
+	// Paper: Fleet caches 2x what Marvin does with small objects.
+	if float64(fleetMax) < 1.3*float64(marvinMax) {
+		t.Errorf("Fleet %d vs Marvin %d: small objects should cripple Marvin", fleetMax, marvinMax)
+	}
+}
+
+func TestFig11cCommercial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	series := Fig11c(quick())
+	noswap, swap, fleet := series[0].Max, series[1].Max, series[2].Max
+	if fleet <= noswap {
+		t.Errorf("Fleet %d should beat no-swap %d", fleet, noswap)
+	}
+	if fleet < swap {
+		t.Errorf("Fleet %d should be at least Android-with-swap %d", fleet, swap)
+	}
+}
+
+func TestFig12aBGCReducesWorkingSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := Fig12a(quick())
+	android, noBGC, withBGC := rows[0], rows[1], rows[2]
+	// Paper: ~7x reduction vs Android.
+	if withBGC.MeanObjects*2 > android.MeanObjects {
+		t.Errorf("BGC working set %0.f not ≪ Android %0.f", withBGC.MeanObjects, android.MeanObjects)
+	}
+	if withBGC.MeanObjects >= noBGC.MeanObjects {
+		t.Errorf("BGC %0.f should trace less than Fleet-without-BGC %0.f", withBGC.MeanObjects, noBGC.MeanObjects)
+	}
+}
+
+func TestFig13FleetWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := Fig13(quick())
+	sa, _ := res.MedianSpeedups()
+	ta, tm := res.PercentileSpeedups(90)
+	if sa < 1.2 {
+		t.Errorf("median speedup vs Android = %.2fx, want > 1.2x", sa)
+	}
+	if ta < 1.5 {
+		t.Errorf("p90 speedup vs Android = %.2fx, want > 1.5x", ta)
+	}
+	if tm < 1.2 {
+		t.Errorf("p90 speedup vs Marvin = %.2fx, want > 1.2x", tm)
+	}
+	if res.FleetKills >= res.AndroidKills {
+		t.Errorf("Fleet kills %d should undercut Android kills %d", res.FleetKills, res.AndroidKills)
+	}
+}
+
+func TestFig13nCorrelation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pts := Fig13nControlled(quick())
+	if len(pts) < 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	var xs, ys []float64
+	for _, pt := range pts {
+		xs = append(xs, pt.JavaHeapFrac)
+		ys = append(ys, pt.Speedup)
+	}
+	if r := metrics.Pearson(xs, ys); r < 0.4 {
+		t.Errorf("speedup vs Java share Pearson r = %.2f, want clearly positive", r)
+	}
+}
+
+func TestSec73Overheads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Sec73(quick())
+	if r.CardTableBytes != 4*1024*1024 {
+		t.Errorf("card table = %d bytes, want 4 MiB", r.CardTableBytes)
+	}
+	// Power should be in a phone-plausible band and close across
+	// policies.
+	for _, pw := range []float64{r.AndroidPower, r.MarvinPower, r.FleetPower} {
+		if pw < 1500 || pw > 3100 {
+			t.Errorf("power %v mW implausible", pw)
+		}
+	}
+	diff := r.FleetPower - r.AndroidPower
+	if diff < -400 || diff > 400 {
+		t.Errorf("Fleet vs Android power differs by %.0f mW, want comparable", diff)
+	}
+}
+
+func TestTables(t *testing.T) {
+	// Table 2 defaults and Table 3 app list are encoded in the library.
+	p := DefaultParams()
+	all := pressureAppNames(p)
+	if len(all) != 18 {
+		t.Errorf("Table 3 app count = %d, want 18", len(all))
+	}
+}
+
+func pressureAppNames(p Params) []string {
+	var names []string
+	for _, pr := range allCommercial(p) {
+		names = append(names, pr.Name)
+	}
+	return names
+}

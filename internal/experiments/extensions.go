@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fleetsim/internal/android"
+	"fleetsim/internal/core"
+)
+
+// ExtRow is one configuration of an extension study: hot-launch statistics
+// plus kill counts under the standard §7.2 pressure protocol.
+type ExtRow struct {
+	Label    string
+	MedianMs float64
+	P90Ms    float64
+	Kills    int
+}
+
+func extRow(label string, r *hotRun) ExtRow {
+	var med, p90 float64
+	n := 0
+	for _, s := range r.All {
+		med += s.Median()
+		p90 += s.Percentile(90)
+		n++
+	}
+	if n > 0 {
+		med /= float64(n)
+		p90 /= float64(n)
+	}
+	return ExtRow{Label: label, MedianMs: med, P90Ms: p90, Kills: r.Sys.M.Kills}
+}
+
+// runWithConfig is runHotLaunches with an arbitrary config mutator.
+func runWithConfig(p Params, policy android.PolicyKind, mutate func(*android.SystemConfig)) *hotRun {
+	pop, measured := pressurePopulation(p, Fig13Apps)
+	cfg := android.DefaultSystemConfig(policy, p.Scale)
+	cfg.Seed = p.Seed
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return runHotLaunchesWithSystem(p, android.NewSystem(cfg), pop, measured)
+}
+
+// ExtPrefetch compares stock Android, Android with an ASAP-style launch
+// prefetcher, and Fleet. The prefetcher removes random launch faults (big
+// median win over stock Android) but still pays bulk sequential IO and
+// does nothing about the GC-swap conflict, so Fleet keeps both the lower
+// launch floor and the capacity advantage — the paper's related-work
+// argument (§8) made quantitative.
+func ExtPrefetch(p Params) []ExtRow {
+	stock := runWithConfig(p, android.PolicyAndroid, nil)
+	asap := runWithConfig(p, android.PolicyAndroid, func(c *android.SystemConfig) {
+		c.LaunchPrefetch = true
+	})
+	fleet := runWithConfig(p, android.PolicyFleet, nil)
+	return []ExtRow{
+		extRow("Android", stock),
+		extRow("Android+prefetch", asap),
+		extRow("Fleet", fleet),
+	}
+}
+
+// ExtZram compares the flash-swap device against a vendor-style
+// compressed-RAM ("RAM plus") device for both Android and Fleet: fast swap
+// shrinks the launch-latency gap, but Fleet's GC-range restriction still
+// pays off because zram steals DRAM and the GC-swap conflict persists.
+func ExtZram(p Params) []ExtRow {
+	flashA := runWithConfig(p, android.PolicyAndroid, nil)
+	flashF := runWithConfig(p, android.PolicyFleet, nil)
+	zramA := runWithConfig(p, android.PolicyAndroid, func(c *android.SystemConfig) {
+		c.Device = android.Pixel3Zram(p.Scale)
+	})
+	zramF := runWithConfig(p, android.PolicyFleet, func(c *android.SystemConfig) {
+		c.Device = android.Pixel3Zram(p.Scale)
+	})
+	return []ExtRow{
+		extRow("Android flash", flashA),
+		extRow("Fleet flash", flashF),
+		extRow("Android zram", zramA),
+		extRow("Fleet zram", zramF),
+	}
+}
+
+// ExtDepthSweep measures end-to-end hot-launch latency under Fleet for a
+// range of NRO depths — the system-level counterpart of the Fig. 6b
+// analysis (DESIGN.md ablation).
+func ExtDepthSweep(p Params) []ExtRow {
+	var rows []ExtRow
+	for _, d := range []int{0, 2, 4, 8} {
+		run := runWithConfig(p, android.PolicyFleet, func(c *android.SystemConfig) {
+			fc := core.DefaultConfig()
+			fc.NRODepth = d
+			c.Fleet = fc
+		})
+		rows = append(rows, extRow(fmt.Sprintf("Fleet D=%d", d), run))
+	}
+	return rows
+}
+
+// ExtAdviceAblation isolates RGS's two madvise halves: no COLD_RUNTIME
+// (grouping only), no HOT_RUNTIME (active swap-out only), and full Fleet.
+func ExtAdviceAblation(p Params) []ExtRow {
+	full := runWithConfig(p, android.PolicyFleet, nil)
+	noCold := runWithConfig(p, android.PolicyFleet, func(c *android.SystemConfig) {
+		fc := core.DefaultConfig()
+		fc.DisableColdAdvise = true
+		c.Fleet = fc
+	})
+	noHot := runWithConfig(p, android.PolicyFleet, func(c *android.SystemConfig) {
+		fc := core.DefaultConfig()
+		fc.DisableHotAdvice = true
+		c.Fleet = fc
+	})
+	return []ExtRow{
+		extRow("Fleet full", full),
+		extRow("Fleet no-cold-advise", noCold),
+		extRow("Fleet no-hot-advice", noHot),
+	}
+}
+
+// FormatExt renders extension rows.
+func FormatExt(title string, rows []ExtRow) string {
+	out := title + "\n"
+	for _, r := range rows {
+		out += fmt.Sprintf("  %-22s median %7.0f ms   p90 %7.0f ms   kills %d\n",
+			r.Label, r.MedianMs, r.P90Ms, r.Kills)
+	}
+	return out
+}

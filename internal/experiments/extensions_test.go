@@ -1,0 +1,80 @@
+package experiments
+
+import "testing"
+
+// Extension studies beyond the paper's evaluation; assertions capture the
+// qualitative findings documented in EXPERIMENTS.md.
+
+func TestExtPrefetchStory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := ExtPrefetch(quick())
+	stock, asap, fleet := rows[0], rows[1], rows[2]
+	// Prefetching slashes Android's median (sequential beats random IO)…
+	if asap.MedianMs >= stock.MedianMs*0.8 {
+		t.Errorf("prefetch did not help the median: %v vs %v", asap.MedianMs, stock.MedianMs)
+	}
+	// …but does nothing for the GC-swap conflict, so kills (and the cold
+	// tail they cause) stay Android-like while Fleet avoids them.
+	if fleet.Kills >= asap.Kills {
+		t.Errorf("Fleet kills %d should undercut prefetch kills %d", fleet.Kills, asap.Kills)
+	}
+	if fleet.P90Ms >= asap.P90Ms {
+		t.Errorf("Fleet p90 %v should beat prefetch p90 %v", fleet.P90Ms, asap.P90Ms)
+	}
+}
+
+func TestExtZramStory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := ExtZram(quick())
+	flashA, flashF, zramA, zramF := rows[0], rows[1], rows[2], rows[3]
+	// Fleet wins on both devices.
+	if flashF.MedianMs >= flashA.MedianMs {
+		t.Errorf("Fleet flash median %v not below Android %v", flashF.MedianMs, flashA.MedianMs)
+	}
+	if zramF.MedianMs >= zramA.MedianMs {
+		t.Errorf("Fleet zram median %v not below Android %v", zramF.MedianMs, zramA.MedianMs)
+	}
+	// zram narrows Android's latency gap (faster swap-ins)…
+	if zramA.MedianMs >= flashA.MedianMs {
+		t.Errorf("zram should cut Android's median: %v vs %v", zramA.MedianMs, flashA.MedianMs)
+	}
+	// …at the cost of stolen DRAM: more kills than the flash device.
+	if zramA.Kills <= flashA.Kills {
+		t.Errorf("zram should raise kill pressure: %d vs %d", zramA.Kills, flashA.Kills)
+	}
+}
+
+func TestExtDepthSweepUShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := ExtDepthSweep(quick())
+	byDepth := map[string]ExtRow{}
+	for _, r := range rows {
+		byDepth[r.Label] = r
+	}
+	d0, d2 := byDepth["Fleet D=0"], byDepth["Fleet D=2"]
+	// Table 2's D=2 must beat D=0 (no near-root protection at all).
+	if d2.MedianMs >= d0.MedianMs {
+		t.Errorf("D=2 median %v should beat D=0 %v", d2.MedianMs, d0.MedianMs)
+	}
+}
+
+func TestExtAdviceAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := ExtAdviceAblation(quick())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MedianMs <= 0 {
+			t.Errorf("%s: empty result", r.Label)
+		}
+	}
+}

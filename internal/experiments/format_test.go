@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fleetsim/internal/metrics"
+)
+
+// The Format helpers are the CLI's output layer; these tests pin their
+// structure without re-running the heavy experiments.
+
+func TestFormatFig2(t *testing.T) {
+	out := FormatFig2([]Fig2Row{{App: "Twitter", HotMs: 100, HotSD: 5, ColdMs: 1000, ColdSD: 10}})
+	if !strings.Contains(out, "Twitter") || !strings.Contains(out, "10.0x") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFormatFig3(t *testing.T) {
+	out := FormatFig3([]Fig3Row{{App: "X", NoSwapMs: 100, SwapMs: 700, MarvinMs: 900}})
+	for _, want := range []string{"X", "100", "700", "900"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestFormatFig5(t *testing.T) {
+	r := Fig5Result{
+		Cycles: 15, AliveFGO: 0.7, AliveBGO: 0.01,
+		LifetimeBGO: []float64{0.5, 0.3, 0.1},
+		Footprints:  []Fig5Footprint{{App: "A", FGOMiB: 100, BGOMiB: 2}},
+	}
+	out := FormatFig5(r)
+	if !strings.Contains(out, "70%") || !strings.Contains(out, "A") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFormatFig6(t *testing.T) {
+	out := FormatFig6(
+		[]Fig6aRow{{App: "A", NROFrac: 0.5, FYOFrac: 0.4, BothFrac: 0.68, LaunchMemFrac: 0.155}},
+		[]Fig6bPoint{{Depth: 2, ReAccessFrac: 0.5, MemFrac: 0.1}},
+	)
+	if !strings.Contains(out, "AVG") || !strings.Contains(out, "D=2") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFormatFig7(t *testing.T) {
+	out := FormatFig7([]Fig7Row{{App: "A", CDF: make([]float64, len(Fig7Sizes))}})
+	if !strings.Contains(out, "4.00 KiB") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFormatFig11(t *testing.T) {
+	out := FormatFig11("T", []Fig11Series{{Label: "Fleet", Max: 18, Alive: []int{1, 2}}})
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "max 18") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFormatFig12a(t *testing.T) {
+	out := FormatFig12a([]Fig12aRow{
+		{Label: "Android", MeanObjects: 7000},
+		{Label: "Fleet w/ BGC", MeanObjects: 1000},
+	})
+	if !strings.Contains(out, "7.0x") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFormatFig13AndFig15(t *testing.T) {
+	mk := func(vals ...float64) *metrics.Sample {
+		s := &metrics.Sample{}
+		s.AddAll(vals...)
+		return s
+	}
+	r := Fig13Result{
+		Apps: []Fig13AppResult{{
+			App: "A", JavaHeapFrac: 0.25,
+			Android: mk(200, 300), Marvin: mk(400, 500), Fleet: mk(100, 150),
+			AndroidHot: mk(200), FleetHot: mk(100),
+		}},
+		AndroidKills: 3, MarvinKills: 2, FleetKills: 1,
+	}
+	out := FormatFig13(r)
+	if !strings.Contains(out, "kills: Android 3, Marvin 2, Fleet 1") {
+		t.Errorf("output = %q", out)
+	}
+	sa, sm := r.MedianSpeedups()
+	if sa != 2 || sm != 3.6 {
+		t.Errorf("speedups = %v, %v", sa, sm)
+	}
+	rows := Fig15(r)
+	if len(rows) != 4 {
+		t.Fatalf("fig15 rows = %d", len(rows))
+	}
+	out15 := FormatFig15(rows)
+	if !strings.Contains(out15, "median") {
+		t.Errorf("fig15 output = %q", out15)
+	}
+	pts := r.Fig13n()
+	if len(pts) != 1 || pts[0].Speedup != 2 {
+		t.Errorf("fig13n pts = %+v", pts)
+	}
+	if !strings.Contains(FormatFig13n(pts), "java   25%") {
+		t.Errorf("fig13n output = %q", FormatFig13n(pts))
+	}
+}
+
+func TestFormatFig14(t *testing.T) {
+	out := FormatFig14([]Fig14Row{{App: "A", AndroidJank: 0.1, MarvinJank: 0.2, FleetJank: 0.1, AndroidFPS: 60, MarvinFPS: 50, FleetFPS: 59}})
+	if !strings.Contains(out, "AVG") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestFormatSec73And74(t *testing.T) {
+	out := FormatSec73(Sec73Result{CardTableBytes: 4 << 20, AndroidPower: 1800, FleetPower: 1850})
+	if !strings.Contains(out, "4.00 MiB") {
+		t.Errorf("output = %q", out)
+	}
+	out74 := FormatSec74([]Sec74Row{{Policy: "Fleet", Growth: 1.1, MaxCached: 18, HotMedianMs: 400}})
+	if !strings.Contains(out74, "1.1x") {
+		t.Errorf("output = %q", out74)
+	}
+}
+
+func TestFormatExt(t *testing.T) {
+	out := FormatExt("T", []ExtRow{{Label: "Fleet", MedianMs: 300, P90Ms: 900, Kills: 5}})
+	if !strings.Contains(out, "kills 5") {
+		t.Errorf("output = %q", out)
+	}
+}

@@ -1,0 +1,294 @@
+package gc
+
+import (
+	"sort"
+	"time"
+
+	"fleetsim/internal/cardtable"
+	"fleetsim/internal/heap"
+	"fleetsim/internal/units"
+)
+
+// Kind identifies a collector for result reporting.
+type Kind string
+
+// Collector kinds.
+const (
+	KindMinor    Kind = "minor"
+	KindMajor    Kind = "major"
+	KindBGC      Kind = "bgc"
+	KindGrouping Kind = "grouping"
+	KindBookmark Kind = "bookmark"
+)
+
+// Result summarises one GC cycle.
+type Result struct {
+	Kind Kind
+
+	ObjectsTraced int64 // the GC working set (Fig. 12)
+	BytesTraced   int64
+	ObjectsFreed  int64
+	BytesFreed    int64
+	ObjectsCopied int64
+	BytesCopied   int64
+	RegionsFreed  int
+
+	// PauseSTW is mutator-visible stop-the-world time.
+	PauseSTW time.Duration
+	// GCThreadCPU is compute time on the GC thread (concurrent with
+	// mutators).
+	GCThreadCPU time.Duration
+	// GCFaultStall is swap-in IO the GC thread waited on; under memory
+	// pressure this is what offsets swapping (§3.2 issue 1).
+	GCFaultStall time.Duration
+}
+
+// TotalGCTime returns pause + concurrent CPU + fault stall.
+func (r *Result) TotalGCTime() time.Duration {
+	return r.PauseSTW + r.GCThreadCPU + r.GCFaultStall
+}
+
+// Add accumulates another result into r (for aggregate stats).
+func (r *Result) Add(o Result) {
+	r.ObjectsTraced += o.ObjectsTraced
+	r.BytesTraced += o.BytesTraced
+	r.ObjectsFreed += o.ObjectsFreed
+	r.BytesFreed += o.BytesFreed
+	r.ObjectsCopied += o.ObjectsCopied
+	r.BytesCopied += o.BytesCopied
+	r.RegionsFreed += o.RegionsFreed
+	r.PauseSTW += o.PauseSTW
+	r.GCThreadCPU += o.GCThreadCPU
+	r.GCFaultStall += o.GCFaultStall
+}
+
+// RememberedSet is the always-on card-table remembered set ART keeps for
+// old→young references; minor GC scans it instead of the whole old
+// generation.
+type RememberedSet struct {
+	h     *heap.Heap
+	table *cardtable.Table
+}
+
+// NewRememberedSet attaches a remembered set to h. The caller composes
+// Barrier into the heap's write-barrier chain.
+func NewRememberedSet(h *heap.Heap, shift uint) *RememberedSet {
+	return &RememberedSet{h: h, table: cardtable.New(shift, h.HeapBytes())}
+}
+
+// Table exposes the underlying card table (sizing stats).
+func (rs *RememberedSet) Table() *cardtable.Table { return rs.table }
+
+// Barrier is the write-barrier hook: writes to objects in old regions dirty
+// their card.
+func (rs *RememberedSet) Barrier(id heap.ObjectID) {
+	o := rs.h.Object(id)
+	if !rs.h.RegionByID(o.Region).NewlyAllocated {
+		rs.table.MarkDirty(o.Addr)
+	}
+}
+
+// collectCardSeeds scans dirty cards, touching the old objects that live on
+// them and collecting their young references as extra trace seeds. Costs
+// are charged into res.
+func (rs *RememberedSet) collectCardSeeds(res *Result, now time.Duration) []heap.ObjectID {
+	h := rs.h
+	var seeds []heap.ObjectID
+	rs.table.ScanDirty(true, func(start, size int64) {
+		res.GCThreadCPU += CardScanCPU
+		if start >= h.AddressSpanBytes() {
+			return
+		}
+		r := h.RegionAt(start)
+		if r.Free() {
+			return
+		}
+		for _, id := range objectsOverlapping(h, r, start, size) {
+			o := h.Object(id)
+			res.ObjectsTraced++
+			res.BytesTraced += int64(o.Size)
+			res.GCThreadCPU += visitCost(o.Size)
+			res.GCFaultStall += h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), false)
+			for _, ref := range o.Refs {
+				if ref == heap.NilObject {
+					continue
+				}
+				ro := h.Object(ref)
+				if ro.Live() && h.RegionByID(ro.Region).NewlyAllocated {
+					seeds = append(seeds, ref)
+				}
+			}
+		}
+	})
+	_ = now
+	return seeds
+}
+
+// objectsOverlapping returns region r's live objects overlapping
+// [start, start+size), using the bump-order invariant of r.Objects.
+func objectsOverlapping(h *heap.Heap, r *heap.Region, start, size int64) []heap.ObjectID {
+	objs := r.Objects
+	lo := sort.Search(len(objs), func(i int) bool {
+		o := h.Object(objs[i])
+		return o.Addr+int64(o.Size) > start
+	})
+	var out []heap.ObjectID
+	for i := lo; i < len(objs); i++ {
+		o := h.Object(objs[i])
+		if o.Addr >= start+size {
+			break
+		}
+		if o.Live() && o.Region == r.ID {
+			out = append(out, objs[i])
+		}
+	}
+	return out
+}
+
+// Minor runs ART's young-generation concurrent-copying collection: the
+// collection set is every newly-allocated region; liveness comes from the
+// roots plus the remembered set.
+func Minor(h *heap.Heap, rs *RememberedSet, now time.Duration) Result {
+	res := Result{Kind: KindMinor}
+
+	var young []*heap.Region
+	h.Regions(func(r *heap.Region) {
+		if r.NewlyAllocated {
+			young = append(young, r)
+		}
+	})
+	if len(young) == 0 {
+		h.NoteGCComplete()
+		return res
+	}
+
+	seeds := h.RootSlice()
+	res.PauseSTW += FlipPause + time.Duration(len(seeds))*RootScanCPU
+	if rs != nil {
+		seeds = append(seeds, rs.collectCardSeeds(&res, now)...)
+	}
+
+	h.BeginTrace()
+	st := Trace(h, seeds, TraceOpts{
+		ShouldTrace: func(id heap.ObjectID) bool {
+			return h.RegionByID(h.Object(id).Region).NewlyAllocated
+		},
+		Now: now,
+	})
+	res.ObjectsTraced += st.ObjectsTraced
+	res.BytesTraced += st.BytesTraced
+	res.GCThreadCPU += st.CPU
+	res.GCFaultStall += st.FaultStall
+
+	evacuate(h, &res, young, func(o *heap.Object) heap.RegionKind { return heap.KindNormal })
+	res.PauseSTW += FinalPause
+	h.NoteGCComplete()
+	return res
+}
+
+// EvacuateLiveRatio is the region live-ratio below which a major
+// collection evacuates a region; denser regions are collected in place,
+// as in ART's region-space policy. This matters for swap interaction: the
+// GC *traces* (and therefore faults in) every live object regardless, but
+// only sparse regions get rewritten to fresh pages.
+const EvacuateLiveRatio = 0.75
+
+// Major runs ART's full-heap concurrent-copying collection: it traces every
+// reachable object — touching all their pages, which is the GC↔swap
+// conflict of §3.2 — then evacuates sparse regions and collects dense ones
+// in place.
+func Major(h *heap.Heap, rs *RememberedSet, now time.Duration) Result {
+	res := Result{Kind: KindMajor}
+	seeds := h.RootSlice()
+	res.PauseSTW += FlipPause + time.Duration(len(seeds))*RootScanCPU
+
+	h.BeginTrace()
+	st := Trace(h, seeds, TraceOpts{Now: now})
+	res.ObjectsTraced += st.ObjectsTraced
+	res.BytesTraced += st.BytesTraced
+	res.GCThreadCPU += st.CPU
+	res.GCFaultStall += st.FaultStall
+
+	var sparse, dense []*heap.Region
+	h.Regions(func(r *heap.Region) {
+		if r.Used == 0 {
+			sparse = append(sparse, r)
+			return
+		}
+		var live int64
+		for _, id := range r.Objects {
+			o := h.Object(id)
+			if o.Live() && o.Region == r.ID && h.Marked(id) {
+				live += int64(o.Size)
+			}
+		}
+		if float64(live)/float64(r.Used) < EvacuateLiveRatio {
+			sparse = append(sparse, r)
+		} else {
+			dense = append(dense, r)
+		}
+	})
+	evacuate(h, &res, sparse, func(o *heap.Object) heap.RegionKind { return heap.KindNormal })
+	for _, r := range dense {
+		collectInPlace(h, &res, r)
+	}
+
+	if rs != nil {
+		rs.Table().Clear() // remembered refs were all re-derived by the full trace
+	}
+	res.PauseSTW += FinalPause
+	h.NoteGCComplete()
+	return res
+}
+
+// collectInPlace kills a dense region's unmarked objects without moving
+// the survivors, rebuilding the region's object list. The dead objects'
+// space is internal fragmentation until the region's live ratio drops
+// below the evacuation threshold at a later cycle.
+func collectInPlace(h *heap.Heap, res *Result, r *heap.Region) {
+	kept := r.Objects[:0]
+	for _, id := range r.Objects {
+		o := h.Object(id)
+		if !o.Live() || o.Region != r.ID {
+			continue
+		}
+		if h.Marked(id) {
+			kept = append(kept, id)
+			continue
+		}
+		res.ObjectsFreed++
+		res.BytesFreed += int64(o.Size)
+		h.KillObject(id)
+	}
+	r.Objects = kept
+}
+
+// evacuate copies marked objects out of the given from-regions (kind chosen
+// per object by kindOf), kills the rest, and frees the from-regions.
+func evacuate(h *heap.Heap, res *Result, from []*heap.Region, kindOf func(*heap.Object) heap.RegionKind) {
+	ev := h.NewEvacuator()
+	for _, r := range from {
+		for _, id := range r.Objects {
+			o := h.Object(id)
+			if !o.Live() || o.Region != r.ID {
+				continue // stale entry (already moved this cycle)
+			}
+			if h.Marked(id) {
+				ev.Copy(id, kindOf(o))
+				res.ObjectsCopied++
+				res.BytesCopied += int64(o.Size)
+				res.GCThreadCPU += copyCost(o.Size)
+			} else {
+				res.ObjectsFreed++
+				res.BytesFreed += int64(o.Size)
+				h.KillObject(id)
+			}
+		}
+	}
+	res.GCFaultStall += ev.Stall
+	for _, r := range from {
+		h.FreeRegion(r)
+		res.RegionsFreed++
+	}
+	_ = units.RegionSize
+}

@@ -1,0 +1,152 @@
+package gc
+
+import (
+	"time"
+
+	"fleetsim/internal/heap"
+)
+
+// TraceStats aggregates what one tracing pass did. ObjectsTraced is the
+// paper's "GC working set" metric (Fig. 12): the number of objects the GC
+// thread actually accessed.
+type TraceStats struct {
+	ObjectsTraced int64
+	BytesTraced   int64
+	// FaultStall is swap-in time the GC thread's accesses incurred — the
+	// direct measure of the GC↔swap conflict (§3.2).
+	FaultStall time.Duration
+	// CPU is the GC thread's compute time for this pass.
+	CPU time.Duration
+	// MaxDepth is the deepest level reached (BFS only).
+	MaxDepth int
+}
+
+// TraceOpts controls a tracing pass.
+type TraceOpts struct {
+	// BFS selects breadth-first traversal with depth tracking (RGS's
+	// grouping GC, §5.3.1); otherwise DFS (ART's default).
+	BFS bool
+	// ShouldTrace decides whether a newly discovered reference is visited
+	// and descended into. Returning false marks the object live-by-fiat
+	// without touching it — exactly how BGC treats foreground objects
+	// (§5.2: "it considers this object as a live object and does not
+	// access it"). Nil means trace everything.
+	ShouldTrace func(id heap.ObjectID) bool
+	// OnVisit is called for every visited object with its BFS depth
+	// (-1 under DFS).
+	OnVisit func(id heap.ObjectID, depth int)
+	// NoTouch suppresses page touching for visits (used by Marvin, whose
+	// bookmarking GC walks recorded reference stubs instead of the
+	// objects themselves).
+	NoTouch bool
+	// ShouldTouch, when set, decides per object whether the visit touches
+	// its pages; returning false models a bookmarked object whose
+	// reference stub is consulted instead (Marvin, §2.2/[32]). Ignored
+	// when NoTouch is set.
+	ShouldTouch func(id heap.ObjectID) bool
+	// Now is the virtual time of the pass (for page-access bookkeeping).
+	Now time.Duration
+}
+
+type workItem struct {
+	id    heap.ObjectID
+	depth int32
+}
+
+// Trace marks every object reachable from seeds, honouring opts. Seeds are
+// always visited (they are the root set, already known live). The heap's
+// current mark generation must have been started by the caller via
+// BeginTrace; marks survive until the next BeginTrace so collectors can
+// consult them during evacuation.
+func Trace(h *heap.Heap, seeds []heap.ObjectID, opts TraceOpts) TraceStats {
+	var st TraceStats
+	var queue []workItem
+	for _, id := range seeds {
+		if id == heap.NilObject || !h.Object(id).Live() {
+			continue
+		}
+		if h.Mark(id) {
+			queue = append(queue, workItem{id, 0})
+		}
+	}
+
+	visit := func(it workItem) {
+		o := h.Object(it.id)
+		st.ObjectsTraced++
+		st.BytesTraced += int64(o.Size)
+		st.CPU += visitCost(o.Size)
+		if !opts.NoTouch && (opts.ShouldTouch == nil || opts.ShouldTouch(it.id)) {
+			st.FaultStall += h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), false)
+		}
+		if int(it.depth) > st.MaxDepth {
+			st.MaxDepth = int(it.depth)
+		}
+		if opts.OnVisit != nil {
+			opts.OnVisit(it.id, int(it.depth))
+		}
+		for _, ref := range o.Refs {
+			if ref == heap.NilObject {
+				continue
+			}
+			ro := h.Object(ref)
+			if !ro.Live() {
+				continue
+			}
+			if opts.ShouldTrace != nil && !opts.ShouldTrace(ref) {
+				// Live by fiat; mark so evacuation sees it, but never
+				// touch or descend.
+				h.Mark(ref)
+				continue
+			}
+			if h.Mark(ref) {
+				queue = append(queue, workItem{ref, it.depth + 1})
+			}
+		}
+	}
+
+	if opts.BFS {
+		// FIFO with an index head; the slice IS the paper's mark queue
+		// with its depth delimiters collapsed into per-item depths.
+		for head := 0; head < len(queue); head++ {
+			visit(queue[head])
+		}
+	} else {
+		for len(queue) > 0 {
+			it := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			it.depth = -1
+			visit(it)
+		}
+	}
+	return st
+}
+
+// Depths computes the BFS shortest-path depth from the root set for every
+// reachable object, without touching pages (an analysis helper for the
+// observation figures, Fig. 6). The map holds depth 0 for roots.
+func Depths(h *heap.Heap) map[heap.ObjectID]int {
+	depths := make(map[heap.ObjectID]int)
+	var queue []heap.ObjectID
+	for id := range h.Roots() {
+		if id != heap.NilObject && h.Object(id).Live() {
+			if _, ok := depths[id]; !ok {
+				depths[id] = 0
+				queue = append(queue, id)
+			}
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		id := queue[head]
+		d := depths[id]
+		for _, ref := range h.Object(id).Refs {
+			if ref == heap.NilObject || !h.Object(ref).Live() {
+				continue
+			}
+			if _, ok := depths[ref]; !ok {
+				depths[ref] = d + 1
+				queue = append(queue, ref)
+			}
+		}
+	}
+	return depths
+}

@@ -1,0 +1,547 @@
+// Package heap models the ART Java heap the paper's GC designs operate on:
+// a region-based heap (256 KB regions, Table 2) with bump-pointer
+// allocation, an explicit object reference graph rooted in a root set, and
+// region metadata (newly-allocated flag, fore/background class, to-region
+// kind) that Fleet's BGC and RGS rely on.
+//
+// Every object occupies a real virtual-address range in the owning app's
+// address space, so touching an object touches its pages through
+// internal/vmem — that coupling is what makes the GC↔swap conflict (§3.2 of
+// the paper) emerge rather than being scripted.
+package heap
+
+import (
+	"fmt"
+	"time"
+
+	"fleetsim/internal/mem"
+	"fleetsim/internal/units"
+	"fleetsim/internal/vmem"
+)
+
+// ObjectID indexes the heap's object table. IDs are recycled after the
+// object dies; use Object.Seq for stable allocation-order identity.
+type ObjectID int32
+
+// NilObject is the zero ObjectID; the table reserves index 0 so that the
+// zero value is never a live object.
+const NilObject ObjectID = 0
+
+// Epoch says which app state an object was allocated in (§4.1).
+type Epoch uint8
+
+const (
+	// EpochForeground marks FGO: allocated while the app was foreground
+	// (or existing at the moment of the switch to background).
+	EpochForeground Epoch = iota
+	// EpochBackground marks BGO: allocated while backgrounded.
+	EpochBackground
+)
+
+// RegionKind classifies to-regions for RGS grouping (§5.3.1).
+type RegionKind uint8
+
+const (
+	// KindNormal is an ordinary allocation region.
+	KindNormal RegionKind = iota
+	// KindLaunch holds NRO+FYO — objects expected to be re-accessed at the
+	// next hot-launch.
+	KindLaunch
+	// KindWS holds working-set objects used while backgrounded.
+	KindWS
+	// KindCold holds everything else; RGS actively swaps these out.
+	KindCold
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case KindNormal:
+		return "normal"
+	case KindLaunch:
+		return "launch"
+	case KindWS:
+		return "ws"
+	case KindCold:
+		return "cold"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", uint8(k))
+	}
+}
+
+// Object is one Java object. The struct is kept lean: simulations hold
+// hundreds of thousands of these per app.
+type Object struct {
+	Seq  uint64 // monotonic allocation sequence number ("object ID" in Fig. 4)
+	Size int32  // bytes, including header
+	Addr int64  // current virtual address (changes on evacuation)
+
+	Refs []ObjectID // outgoing references
+
+	Region  int32 // owning region ID
+	Epoch   Epoch
+	AllocGC int32 // heap GC count at allocation (lifetime analysis, Fig. 5)
+
+	// LastAccess is the virtual time of the most recent mutator access,
+	// used by the analysis figures and by WS classification.
+	LastAccess time.Duration
+
+	// gcMark is the mark-bit generation; an object is marked in the
+	// current trace iff gcMark == heap.markGen.
+	gcMark uint32
+
+	// Pinned objects are never evacuated (Marvin stubs, class metadata).
+	Pinned bool
+
+	live bool
+}
+
+// Live reports whether the slot currently holds a live object.
+func (o *Object) Live() bool { return o.live }
+
+// Region is a 256 KB heap region with bump-pointer allocation.
+type Region struct {
+	ID   int32
+	Base int64 // virtual base address
+	Used int64 // bump offset
+
+	// NewlyAllocated is true until the first GC after the region was
+	// opened; RGS uses it to find FYO (§5.3.1) and minor GC uses it as its
+	// collection set.
+	NewlyAllocated bool
+
+	// FGO marks regions that hold foreground objects after Fleet's
+	// separation step (§5.2). BGC never traces inside FGO regions.
+	FGO bool
+
+	// Kind is the RGS to-region classification.
+	Kind RegionKind
+
+	// Objects lists the live objects placed in this region.
+	Objects []ObjectID
+
+	free bool
+}
+
+// Free reports whether the region is unallocated.
+func (r *Region) Free() bool { return r.free }
+
+// BytesFree returns remaining bump space.
+func (r *Region) BytesFree() int64 { return units.RegionSize - r.Used }
+
+// Stats aggregates per-heap counters.
+type Stats struct {
+	Allocated      uint64 // objects ever allocated
+	AllocatedBytes int64
+	LiveObjects    int64
+	LiveBytes      int64
+	GCCount        int32
+}
+
+// Heap is one app's Java heap.
+type Heap struct {
+	AS *mem.AddressSpace
+	VM *vmem.Manager
+
+	objects  []Object
+	freeObjs []ObjectID
+
+	regions     []*Region
+	freeRegions []int32
+
+	// alloc regions per kind: normal allocation uses allocRegion; GC
+	// evacuation uses per-kind to-regions.
+	allocRegion *Region
+
+	roots map[ObjectID]struct{}
+
+	seq     uint64
+	markGen uint32
+
+	stats Stats
+
+	// BytesSinceGC tracks allocation volume for the growth-threshold
+	// trigger (managed by the GC controller in internal/gc).
+	BytesSinceGC int64
+
+	// WriteBarrier, if set, runs on every reference store with the object
+	// being written. Fleet's BGC installs its card-table barrier here
+	// (§5.2).
+	WriteBarrier func(obj ObjectID)
+
+	// ReadBarrier, if set, runs on every mutator object access. RGS's
+	// grouping GC uses it to mark working-set objects (§5.3.1).
+	ReadBarrier func(obj ObjectID)
+
+	// AccessSampler, if set, is called every sampleEvery-th mutator object
+	// access with (object, write); the motivation figures (Fig. 4/12b) use
+	// it.
+	AccessSampler func(obj ObjectID, write bool)
+	SampleEvery   int
+	accessCount   uint64
+}
+
+// New creates an empty heap for the given address space.
+func New(as *mem.AddressSpace, vm *vmem.Manager) *Heap {
+	h := &Heap{
+		AS:    as,
+		VM:    vm,
+		roots: make(map[ObjectID]struct{}),
+	}
+	// Reserve slot 0 as NilObject.
+	h.objects = append(h.objects, Object{})
+	return h
+}
+
+// Stats returns a copy of the heap counters.
+func (h *Heap) Stats() Stats {
+	s := h.stats
+	return s
+}
+
+// GCCount returns the number of completed GC cycles.
+func (h *Heap) GCCount() int32 { return h.stats.GCCount }
+
+// NoteGCComplete bumps the GC counter and clears every region's
+// newly-allocated flag; collectors call it at the end of a cycle.
+func (h *Heap) NoteGCComplete() {
+	h.stats.GCCount++
+	h.BytesSinceGC = 0
+	for _, r := range h.regions {
+		if !r.free {
+			r.NewlyAllocated = false
+		}
+	}
+	// The current allocation region is retired so post-GC allocations
+	// start in a fresh NewlyAllocated region.
+	h.allocRegion = nil
+}
+
+// Object returns the object record for id. The pointer stays valid until
+// the object dies.
+func (h *Heap) Object(id ObjectID) *Object {
+	return &h.objects[id]
+}
+
+// LiveObjects returns the number of live objects.
+func (h *Heap) LiveObjects() int64 { return h.stats.LiveObjects }
+
+// ObjectTableSize returns the size of the object table (one past the
+// largest ObjectID ever issued); collectors use it to size side tables
+// indexed by ObjectID.
+func (h *Heap) ObjectTableSize() int { return len(h.objects) }
+
+// LiveBytes returns the total size of live objects.
+func (h *Heap) LiveBytes() int64 { return h.stats.LiveBytes }
+
+// newRegion opens a fresh region (reusing a freed slot when possible).
+func (h *Heap) newRegion(kind RegionKind) *Region {
+	var r *Region
+	if n := len(h.freeRegions); n > 0 {
+		id := h.freeRegions[n-1]
+		h.freeRegions = h.freeRegions[:n-1]
+		r = h.regions[id]
+		r.Used = 0
+		r.free = false
+		r.FGO = false
+		r.Objects = r.Objects[:0]
+	} else {
+		base := h.AS.Reserve(units.RegionSize)
+		r = &Region{ID: int32(len(h.regions)), Base: base}
+		h.regions = append(h.regions, r)
+	}
+	r.NewlyAllocated = true
+	r.Kind = kind
+	return r
+}
+
+// Regions visits every non-free region.
+func (h *Heap) Regions(fn func(*Region)) {
+	for _, r := range h.regions {
+		if !r.free {
+			fn(r)
+		}
+	}
+}
+
+// RegionByID returns a region record.
+func (h *Heap) RegionByID(id int32) *Region { return h.regions[id] }
+
+// RegionAt returns the region containing the heap address addr. The heap is
+// the sole reserver of its address space, so region i occupies
+// [i*RegionSize, (i+1)*RegionSize).
+func (h *Heap) RegionAt(addr int64) *Region {
+	return h.regions[addr/units.RegionSize]
+}
+
+// RegionOf returns the region currently holding object id.
+func (h *Heap) RegionOf(id ObjectID) *Region {
+	return h.regions[h.objects[id].Region]
+}
+
+// RegionCount returns the number of in-use regions.
+func (h *Heap) RegionCount() int {
+	n := 0
+	for _, r := range h.regions {
+		if !r.free {
+			n++
+		}
+	}
+	return n
+}
+
+// HeapBytes returns the address-space footprint of in-use regions.
+func (h *Heap) HeapBytes() int64 {
+	return int64(h.RegionCount()) * units.RegionSize
+}
+
+// AddressSpanBytes returns the full reserved heap address range — every
+// region slot ever created, free or not. Card tables and other
+// address-indexed side structures must be interpreted against this span,
+// not HeapBytes, because freed region slots still own their addresses.
+func (h *Heap) AddressSpanBytes() int64 {
+	return int64(len(h.regions)) * units.RegionSize
+}
+
+// Alloc allocates an object of size bytes and returns its ID plus the
+// synchronous stall (page faults) the allocating thread paid. Objects
+// larger than a region are rejected — ART uses a separate large-object
+// space; workloads here cap object sizes below the region size.
+func (h *Heap) Alloc(size int32, epoch Epoch, now time.Duration) (ObjectID, time.Duration) {
+	if int64(size) > units.RegionSize {
+		panic(fmt.Sprintf("heap: object of %d bytes exceeds region size", size))
+	}
+	if size <= 0 {
+		size = 8
+	}
+	if h.allocRegion == nil || h.allocRegion.BytesFree() < int64(size) {
+		h.allocRegion = h.newRegion(KindNormal)
+	}
+	r := h.allocRegion
+	addr := r.Base + r.Used
+	r.Used += int64(size)
+
+	var id ObjectID
+	if n := len(h.freeObjs); n > 0 {
+		id = h.freeObjs[n-1]
+		h.freeObjs = h.freeObjs[:n-1]
+	} else {
+		h.objects = append(h.objects, Object{})
+		id = ObjectID(len(h.objects) - 1)
+	}
+	h.seq++
+	o := &h.objects[id]
+	*o = Object{
+		Seq:        h.seq,
+		Size:       size,
+		Addr:       addr,
+		Region:     r.ID,
+		Epoch:      epoch,
+		AllocGC:    h.stats.GCCount,
+		LastAccess: now,
+		live:       true,
+		Refs:       o.Refs[:0], // reuse slice capacity from the dead tenant
+	}
+	r.Objects = append(r.Objects, id)
+
+	h.stats.Allocated++
+	h.stats.AllocatedBytes += int64(size)
+	h.stats.LiveObjects++
+	h.stats.LiveBytes += int64(size)
+	h.BytesSinceGC += int64(size)
+
+	// Allocation writes the object header/fields: touch its pages.
+	stall := h.VM.TouchRange(h.AS, addr, int64(size), true)
+	return id, stall
+}
+
+// AddRoot registers id as a GC root.
+func (h *Heap) AddRoot(id ObjectID) { h.roots[id] = struct{}{} }
+
+// RemoveRoot unregisters a root.
+func (h *Heap) RemoveRoot(id ObjectID) { delete(h.roots, id) }
+
+// Roots returns the current root set (shared map; do not mutate).
+func (h *Heap) Roots() map[ObjectID]struct{} { return h.roots }
+
+// RootSlice copies the root set into a slice.
+func (h *Heap) RootSlice() []ObjectID {
+	out := make([]ObjectID, 0, len(h.roots))
+	for id := range h.roots {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Access simulates a mutator read (or write) of the object: the page is
+// touched, barriers and samplers fire, and the synchronous stall is
+// returned.
+func (h *Heap) Access(id ObjectID, write bool, now time.Duration) time.Duration {
+	o := &h.objects[id]
+	if !o.live {
+		panic(fmt.Sprintf("heap: access to dead object %d", id))
+	}
+	o.LastAccess = now
+	h.accessCount++
+	if h.AccessSampler != nil && h.SampleEvery > 0 && h.accessCount%uint64(h.SampleEvery) == 0 {
+		h.AccessSampler(id, write)
+	}
+	if h.ReadBarrier != nil {
+		h.ReadBarrier(id)
+	}
+	stall := h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), write)
+	if write {
+		if h.WriteBarrier != nil {
+			h.WriteBarrier(id)
+		}
+	}
+	return stall
+}
+
+// SetRef points from's i-th reference slot at to (growing the slot list as
+// needed), running the write barrier. It returns the page-touch stall.
+func (h *Heap) SetRef(from ObjectID, i int, to ObjectID, now time.Duration) time.Duration {
+	o := &h.objects[from]
+	if !o.live {
+		panic(fmt.Sprintf("heap: SetRef on dead object %d", from))
+	}
+	for len(o.Refs) <= i {
+		o.Refs = append(o.Refs, NilObject)
+	}
+	o.Refs[i] = to
+	return h.Access(from, true, now)
+}
+
+// AddRef appends a reference from → to.
+func (h *Heap) AddRef(from, to ObjectID, now time.Duration) time.Duration {
+	o := &h.objects[from]
+	if !o.live {
+		panic(fmt.Sprintf("heap: AddRef on dead object %d", from))
+	}
+	o.Refs = append(o.Refs, to)
+	return h.Access(from, true, now)
+}
+
+// ClearRefs drops all outgoing references of from (the workload's way of
+// making a subgraph unreachable).
+func (h *Heap) ClearRefs(from ObjectID, now time.Duration) time.Duration {
+	o := &h.objects[from]
+	o.Refs = o.Refs[:0]
+	return h.Access(from, true, now)
+}
+
+// Marked reports whether id is marked in the current trace generation.
+func (h *Heap) Marked(id ObjectID) bool { return h.objects[id].gcMark == h.markGen }
+
+// Mark marks id in the current generation; returns true if it was newly
+// marked.
+func (h *Heap) Mark(id ObjectID) bool {
+	o := &h.objects[id]
+	if o.gcMark == h.markGen {
+		return false
+	}
+	o.gcMark = h.markGen
+	return true
+}
+
+// BeginTrace starts a new mark generation.
+func (h *Heap) BeginTrace() { h.markGen++ }
+
+// KillObject frees an object slot (collector-internal).
+func (h *Heap) KillObject(id ObjectID) {
+	o := &h.objects[id]
+	if !o.live {
+		return
+	}
+	o.live = false
+	h.stats.LiveObjects--
+	h.stats.LiveBytes -= int64(o.Size)
+	h.freeObjs = append(h.freeObjs, id)
+}
+
+// FreeRegion releases a region's memory back to the OS (its pages are
+// released from DRAM/swap) and recycles the region slot. Any still-live
+// bookkeeping must have been moved out by the collector first.
+func (h *Heap) FreeRegion(r *Region) {
+	if r.free {
+		return
+	}
+	h.VM.ReleaseRange(h.AS, r.Base, units.RegionSize)
+	r.free = true
+	r.Used = 0
+	r.NewlyAllocated = false
+	r.FGO = false
+	r.Kind = KindNormal
+	r.Objects = r.Objects[:0]
+	h.freeRegions = append(h.freeRegions, r.ID)
+	if h.allocRegion == r {
+		h.allocRegion = nil
+	}
+}
+
+// Evacuator bundles the state for copying live objects into typed
+// to-regions during a collection.
+type Evacuator struct {
+	h   *Heap
+	to  map[RegionKind]*Region
+	new []*Region // all to-regions opened this cycle
+
+	// PageAlign places every copied object on its own page boundary
+	// (padding the bump pointer), so each object's pages are private.
+	// Object-granularity swap baselines (Marvin) use this: the padding is
+	// their swap amplification made physical.
+	PageAlign bool
+
+	// PinDest pins destination pages as they are written, so a reclaim
+	// running concurrently with the evacuation cannot steal them before
+	// the collector finishes (Marvin's resident heap is unevictable).
+	PinDest bool
+
+	// CopiedBytes accumulates the volume moved (drives GC CPU cost).
+	CopiedBytes int64
+	// Stall accumulates page-fault time the GC thread paid writing into
+	// to-regions (destination pages are fresh, so normally minor faults).
+	Stall time.Duration
+}
+
+// NewEvacuator prepares an evacuation pass.
+func (h *Heap) NewEvacuator() *Evacuator {
+	return &Evacuator{h: h, to: make(map[RegionKind]*Region)}
+}
+
+// Copy moves object id into a to-region of the given kind, updating its
+// address. The object's reference slots are preserved (references are by
+// ObjectID, so no fix-up pass is needed — matching a concurrent-copying GC
+// whose read barrier forwards pointers).
+func (ev *Evacuator) Copy(id ObjectID, kind RegionKind) {
+	h := ev.h
+	o := &h.objects[id]
+	if o.Pinned {
+		return
+	}
+	need := int64(o.Size)
+	if ev.PageAlign {
+		need = units.PagesFor(int64(o.Size)) * units.PageSize
+	}
+	r := ev.to[kind]
+	if r == nil || r.BytesFree() < need {
+		r = h.newRegion(kind)
+		// To-regions opened during GC are not "newly allocated" in the
+		// FYO sense — they hold old objects.
+		r.NewlyAllocated = false
+		ev.to[kind] = r
+		ev.new = append(ev.new, r)
+	}
+	addr := r.Base + r.Used
+	r.Used += need
+	o.Addr = addr
+	o.Region = r.ID
+	r.Objects = append(r.Objects, id)
+	ev.CopiedBytes += int64(o.Size)
+	ev.Stall += h.VM.TouchRange(h.AS, addr, int64(o.Size), true)
+	if ev.PinDest {
+		h.VM.Pin(h.AS, addr, int64(o.Size))
+	}
+}
+
+// ToRegions returns every to-region opened by this evacuation.
+func (ev *Evacuator) ToRegions() []*Region { return ev.new }

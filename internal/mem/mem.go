@@ -1,0 +1,269 @@
+// Package mem models the machine's physical memory and per-process virtual
+// address spaces at page granularity. It deliberately knows nothing about
+// LRU policy, swap devices or reclaim — that lives in internal/vmem — so the
+// bookkeeping here stays small and easy to test: frames are a counted
+// resource, pages are typed records with a state machine.
+package mem
+
+import (
+	"fmt"
+	"time"
+
+	"fleetsim/internal/units"
+)
+
+// PageState is the residency state of one virtual page.
+type PageState uint8
+
+const (
+	// PageUnmapped means the page has never been touched; it consumes no
+	// frame and no swap slot (like an untouched anonymous mapping).
+	PageUnmapped PageState = iota
+	// PageResident means the page occupies a DRAM frame.
+	PageResident
+	// PageSwapped means the page's contents live in a swap slot.
+	PageSwapped
+)
+
+func (s PageState) String() string {
+	switch s {
+	case PageUnmapped:
+		return "unmapped"
+	case PageResident:
+		return "resident"
+	case PageSwapped:
+		return "swapped"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// Page is one 4 KB virtual page of some address space. LRU linkage fields
+// are owned by internal/vmem but live here so a page can be located in O(1)
+// from either layer without a side table.
+type Page struct {
+	Space *AddressSpace // owning address space
+	Index int64         // page number within the space
+	State PageState
+
+	// Referenced is the hardware "accessed" bit analogue: set on every
+	// touch, cleared and sampled by the reclaim scanner.
+	Referenced bool
+	// Dirty means the page must be written to swap before its frame can be
+	// reused (all anonymous pages are effectively dirty once written).
+	Dirty bool
+	// Hot marks pages that runtime-guided swap asked the kernel to keep in
+	// memory (madvise HOT_RUNTIME). Reclaim skips them unless nothing else
+	// is left.
+	Hot bool
+	// Pinned marks unevictable pages (mlock analogue); reclaim never takes
+	// them. Marvin pins sub-threshold object pages and reference stubs.
+	Pinned bool
+
+	// SwapOutAt is the virtual time the page was last written to swap;
+	// the reclaim monitor uses it to detect refaults (thrashing).
+	SwapOutAt time.Duration
+
+	// LRU linkage (intrusive doubly-linked list), managed by internal/vmem.
+	Prev, Next   *Page
+	OnActiveList bool // which LRU list the page is on
+	OnLRU        bool
+}
+
+// Addr returns the virtual byte address of the page start.
+func (p *Page) Addr() int64 { return p.Index * units.PageSize }
+
+// AddressSpace is one process's anonymous memory, lazily populated.
+type AddressSpace struct {
+	// Owner is an opaque tag (app name) used in diagnostics and by the
+	// kernel's per-process accounting.
+	Owner string
+
+	pages map[int64]*Page
+	// brk is the bump pointer for fresh region allocation (bytes).
+	brk int64
+
+	resident int64 // pages currently in DRAM
+	swapped  int64 // pages currently in swap
+}
+
+// NewAddressSpace returns an empty address space for the named owner.
+func NewAddressSpace(owner string) *AddressSpace {
+	return &AddressSpace{Owner: owner, pages: make(map[int64]*Page)}
+}
+
+// Reserve carves out size bytes of virtual address range (page aligned up)
+// and returns its base address. No pages are instantiated until touched.
+func (as *AddressSpace) Reserve(size int64) int64 {
+	base := as.brk
+	n := units.PagesFor(size)
+	as.brk += n * units.PageSize
+	return base
+}
+
+// Page returns the page containing addr, instantiating it (Unmapped) on
+// first use. addr must be inside a previously Reserved range.
+func (as *AddressSpace) Page(addr int64) *Page {
+	if addr < 0 || addr >= as.brk {
+		panic(fmt.Sprintf("mem: address %#x outside reserved range [0,%#x) of %s", addr, as.brk, as.Owner))
+	}
+	idx := units.PageIndex(addr)
+	p, ok := as.pages[idx]
+	if !ok {
+		p = &Page{Space: as, Index: idx}
+		as.pages[idx] = p
+	}
+	return p
+}
+
+// PageByIndex returns the page with the given index, or nil if it was never
+// touched.
+func (as *AddressSpace) PageByIndex(idx int64) *Page { return as.pages[idx] }
+
+// PageAt returns the page with the given index, instantiating it on first
+// use. This is the allocation-free fast path for per-access touching.
+func (as *AddressSpace) PageAt(idx int64) *Page {
+	p, ok := as.pages[idx]
+	if !ok {
+		if idx < 0 || idx*units.PageSize >= as.brk {
+			panic(fmt.Sprintf("mem: page %d outside reserved range of %s", idx, as.Owner))
+		}
+		p = &Page{Space: as, Index: idx}
+		as.pages[idx] = p
+	}
+	return p
+}
+
+// PagesInRange returns every instantiated page overlapping [addr,
+// addr+size).
+func (as *AddressSpace) PagesInRange(addr, size int64) []*Page {
+	if size <= 0 {
+		return nil
+	}
+	first := units.PageIndex(addr)
+	last := units.PageIndex(addr + size - 1)
+	out := make([]*Page, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		if p, ok := as.pages[i]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// EnsureRange instantiates (but does not make resident) every page in
+// [addr, addr+size) and returns them in order.
+func (as *AddressSpace) EnsureRange(addr, size int64) []*Page {
+	if size <= 0 {
+		return nil
+	}
+	first := units.PageIndex(addr)
+	last := units.PageIndex(addr + size - 1)
+	out := make([]*Page, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		p, ok := as.pages[i]
+		if !ok {
+			p = &Page{Space: as, Index: i}
+			as.pages[i] = p
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ResidentPages returns the number of pages in DRAM.
+func (as *AddressSpace) ResidentPages() int64 { return as.resident }
+
+// SwappedPages returns the number of pages in swap.
+func (as *AddressSpace) SwappedPages() int64 { return as.swapped }
+
+// ResidentBytes returns DRAM usage in bytes.
+func (as *AddressSpace) ResidentBytes() int64 { return as.resident * units.PageSize }
+
+// FootprintBytes returns resident+swapped in bytes.
+func (as *AddressSpace) FootprintBytes() int64 {
+	return (as.resident + as.swapped) * units.PageSize
+}
+
+// ForEachPage visits every instantiated page (in unspecified order).
+func (as *AddressSpace) ForEachPage(fn func(*Page)) {
+	for _, p := range as.pages {
+		fn(p)
+	}
+}
+
+// noteTransition updates resident/swapped counters for a state change.
+// Called by Physical (same package) when it moves pages.
+func (as *AddressSpace) noteTransition(from, to PageState) {
+	switch from {
+	case PageResident:
+		as.resident--
+	case PageSwapped:
+		as.swapped--
+	}
+	switch to {
+	case PageResident:
+		as.resident++
+	case PageSwapped:
+		as.swapped++
+	}
+}
+
+// Physical tracks the machine's DRAM frames as a counted resource.
+type Physical struct {
+	TotalFrames int64
+	usedFrames  int64
+}
+
+// NewPhysical returns DRAM with the given byte capacity.
+func NewPhysical(bytes int64) *Physical {
+	return &Physical{TotalFrames: units.PagesFor(bytes)}
+}
+
+// FreeFrames returns the number of unused frames.
+func (ph *Physical) FreeFrames() int64 { return ph.TotalFrames - ph.usedFrames }
+
+// UsedFrames returns the number of frames backing resident pages.
+func (ph *Physical) UsedFrames() int64 { return ph.usedFrames }
+
+// MakeResident transitions p into DRAM, consuming one frame. The caller
+// must have ensured a frame is available (vmem's reclaim guarantees this).
+func (ph *Physical) MakeResident(p *Page) {
+	if p.State == PageResident {
+		return
+	}
+	if ph.FreeFrames() <= 0 {
+		panic("mem: MakeResident with no free frames; reclaim must run first")
+	}
+	old := p.State
+	p.State = PageResident
+	ph.usedFrames++
+	p.Space.noteTransition(old, PageResident)
+}
+
+// MoveToSwap transitions a resident page out of DRAM into swap state,
+// releasing its frame. Swap-slot accounting is the caller's (vmem's) job.
+func (ph *Physical) MoveToSwap(p *Page) {
+	if p.State != PageResident {
+		panic(fmt.Sprintf("mem: MoveToSwap on %v page", p.State))
+	}
+	p.State = PageSwapped
+	ph.usedFrames--
+	p.Space.noteTransition(PageResident, PageSwapped)
+}
+
+// Release frees a page entirely (e.g. its heap region was reclaimed by GC).
+// Resident pages give back their frame; swapped pages give back their slot
+// via the caller.
+func (ph *Physical) Release(p *Page) {
+	old := p.State
+	if old == PageResident {
+		ph.usedFrames--
+	}
+	p.State = PageUnmapped
+	p.Dirty = false
+	p.Referenced = false
+	p.Hot = false
+	p.Pinned = false
+	p.Space.noteTransition(old, PageUnmapped)
+}

@@ -1,0 +1,154 @@
+package mem
+
+import (
+	"testing"
+
+	"fleetsim/internal/units"
+)
+
+func TestReserveAndPage(t *testing.T) {
+	as := NewAddressSpace("test")
+	base := as.Reserve(10 * units.PageSize)
+	if base != 0 {
+		t.Errorf("first reservation base = %d", base)
+	}
+	base2 := as.Reserve(units.PageSize / 2) // rounds up to one page
+	if base2 != 10*units.PageSize {
+		t.Errorf("second reservation base = %d", base2)
+	}
+	p := as.Page(base2)
+	if p.Index != 10 || p.State != PageUnmapped {
+		t.Errorf("page = %+v", p)
+	}
+	// Same page object on repeat lookup.
+	if as.Page(base2+100) != p {
+		t.Error("Page must be idempotent within a page")
+	}
+}
+
+func TestPageOutsideRangePanics(t *testing.T) {
+	as := NewAddressSpace("t")
+	as.Reserve(units.PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Page must panic")
+		}
+	}()
+	as.Page(units.PageSize * 5)
+}
+
+func TestPagesInRange(t *testing.T) {
+	as := NewAddressSpace("t")
+	base := as.Reserve(16 * units.PageSize)
+	// Instantiate pages 2, 3, 7.
+	for _, i := range []int64{2, 3, 7} {
+		as.Page(base + i*units.PageSize)
+	}
+	got := as.PagesInRange(base+2*units.PageSize, 3*units.PageSize) // pages 2,3,4
+	if len(got) != 2 {
+		t.Errorf("PagesInRange found %d pages, want 2 (only instantiated)", len(got))
+	}
+	all := as.EnsureRange(base, 5*units.PageSize)
+	if len(all) != 5 {
+		t.Errorf("EnsureRange = %d pages, want 5", len(all))
+	}
+	if as.PagesInRange(base, 0) != nil {
+		t.Error("zero-size range must return nil")
+	}
+}
+
+func TestPhysicalAccounting(t *testing.T) {
+	ph := NewPhysical(4 * units.PageSize)
+	as := NewAddressSpace("t")
+	base := as.Reserve(10 * units.PageSize)
+
+	if ph.TotalFrames != 4 || ph.FreeFrames() != 4 {
+		t.Fatalf("frames: total=%d free=%d", ph.TotalFrames, ph.FreeFrames())
+	}
+
+	p0 := as.Page(base)
+	ph.MakeResident(p0)
+	if ph.UsedFrames() != 1 || as.ResidentPages() != 1 {
+		t.Errorf("after resident: used=%d res=%d", ph.UsedFrames(), as.ResidentPages())
+	}
+	// Idempotent.
+	ph.MakeResident(p0)
+	if ph.UsedFrames() != 1 {
+		t.Error("MakeResident must be idempotent")
+	}
+
+	ph.MoveToSwap(p0)
+	if p0.State != PageSwapped || ph.UsedFrames() != 0 || as.SwappedPages() != 1 {
+		t.Errorf("after swap: %v used=%d swapped=%d", p0.State, ph.UsedFrames(), as.SwappedPages())
+	}
+
+	ph.Release(p0)
+	if p0.State != PageUnmapped || as.SwappedPages() != 0 || as.ResidentPages() != 0 {
+		t.Errorf("after release: %v", p0.State)
+	}
+}
+
+func TestReleaseClearsFlags(t *testing.T) {
+	ph := NewPhysical(units.PageSize)
+	as := NewAddressSpace("t")
+	p := as.Page(as.Reserve(units.PageSize))
+	ph.MakeResident(p)
+	p.Dirty, p.Referenced, p.Hot, p.Pinned = true, true, true, true
+	ph.Release(p)
+	if p.Dirty || p.Referenced || p.Hot || p.Pinned {
+		t.Error("Release must clear page flags")
+	}
+	if ph.FreeFrames() != 1 {
+		t.Error("Release must return the frame")
+	}
+}
+
+func TestMoveToSwapRequiresResident(t *testing.T) {
+	ph := NewPhysical(units.PageSize)
+	as := NewAddressSpace("t")
+	p := as.Page(as.Reserve(units.PageSize))
+	defer func() {
+		if recover() == nil {
+			t.Error("MoveToSwap on unmapped page must panic")
+		}
+	}()
+	ph.MoveToSwap(p)
+}
+
+func TestMakeResidentWithoutFramesPanics(t *testing.T) {
+	ph := NewPhysical(units.PageSize) // one frame
+	as := NewAddressSpace("t")
+	base := as.Reserve(2 * units.PageSize)
+	ph.MakeResident(as.Page(base))
+	defer func() {
+		if recover() == nil {
+			t.Error("MakeResident with no free frames must panic")
+		}
+	}()
+	ph.MakeResident(as.Page(base + units.PageSize))
+}
+
+func TestFootprint(t *testing.T) {
+	ph := NewPhysical(8 * units.PageSize)
+	as := NewAddressSpace("t")
+	base := as.Reserve(8 * units.PageSize)
+	for i := int64(0); i < 3; i++ {
+		ph.MakeResident(as.Page(base + i*units.PageSize))
+	}
+	ph.MoveToSwap(as.Page(base))
+	if as.FootprintBytes() != 3*units.PageSize {
+		t.Errorf("footprint = %d", as.FootprintBytes())
+	}
+	if as.ResidentBytes() != 2*units.PageSize {
+		t.Errorf("resident = %d", as.ResidentBytes())
+	}
+}
+
+func TestPageStateString(t *testing.T) {
+	if PageUnmapped.String() != "unmapped" || PageResident.String() != "resident" || PageSwapped.String() != "swapped" {
+		t.Error("PageState strings wrong")
+	}
+	if PageState(9).String() == "" {
+		t.Error("unknown state should still format")
+	}
+}

@@ -1,0 +1,141 @@
+// Package simclock provides the virtual time base of the simulator: a
+// monotonically advancing clock plus a priority event queue. Nothing in the
+// simulation reads wall-clock time; everything is ordered by this clock, so
+// runs are fully deterministic and can be replayed.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is the simulated time source. The zero value is ready to use and
+// starts at t=0. Clock is not safe for concurrent use; the simulation is
+// single-threaded by design (see DESIGN.md §5).
+type Clock struct {
+	now    time.Duration
+	events eventQueue
+	seq    uint64 // tie-break so equal-time events pop in schedule order
+}
+
+// New returns a clock starting at time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time as an offset from simulation start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves the clock forward by d without dispatching events. It is
+// used by cost models ("this page fault took 200µs") where the elapsed time
+// is a consequence of work, not a scheduled event. Negative d panics:
+// virtual time never rewinds.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: Advance(%v) would rewind time", d))
+	}
+	c.now += d
+}
+
+// Event is a scheduled callback. Fire receives the clock so handlers can
+// schedule follow-ups.
+type Event struct {
+	At   time.Duration
+	Name string
+	Fire func(c *Clock)
+
+	index int
+	seq   uint64
+}
+
+// Schedule enqueues fn to run when virtual time reaches at. Scheduling in
+// the past panics — it would mean causality is broken somewhere.
+func (c *Clock) Schedule(at time.Duration, name string, fn func(c *Clock)) *Event {
+	if at < c.now {
+		panic(fmt.Sprintf("simclock: event %q scheduled at %v, before now %v", name, at, c.now))
+	}
+	c.seq++
+	ev := &Event{At: at, Name: name, Fire: fn, seq: c.seq}
+	heap.Push(&c.events, ev)
+	return ev
+}
+
+// ScheduleAfter enqueues fn to run d from now.
+func (c *Clock) ScheduleAfter(d time.Duration, name string, fn func(c *Clock)) *Event {
+	return c.Schedule(c.now+d, name, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or already-
+// cancelled event is a no-op.
+func (c *Clock) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(c.events) || c.events[ev.index] != ev {
+		return
+	}
+	heap.Remove(&c.events, ev.index)
+}
+
+// Pending reports how many events are queued.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// Step pops and fires the earliest event, advancing the clock to its time.
+// It returns false when the queue is empty.
+func (c *Clock) Step() bool {
+	if len(c.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&c.events).(*Event)
+	// An event handler may have Advanced the clock past later-queued
+	// events (e.g. a long GC); time never rewinds, those events just fire
+	// late.
+	if ev.At > c.now {
+		c.now = ev.At
+	}
+	ev.Fire(c)
+	return true
+}
+
+// RunUntil fires events in order until the queue is empty or the next event
+// is after deadline; the clock is then advanced to deadline.
+func (c *Clock) RunUntil(deadline time.Duration) {
+	for len(c.events) > 0 && c.events[0].At <= deadline {
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// Run fires all remaining events.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

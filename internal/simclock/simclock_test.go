@@ -1,0 +1,156 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatal("clock must start at zero")
+	}
+	c.Advance(5 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if c.Now() != 7*time.Millisecond {
+		t.Errorf("Now = %v, want 7ms", c.Now())
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance must panic")
+		}
+	}()
+	New().Advance(-time.Second)
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	c := New()
+	var order []string
+	c.Schedule(30*time.Millisecond, "c", func(*Clock) { order = append(order, "c") })
+	c.Schedule(10*time.Millisecond, "a", func(*Clock) { order = append(order, "a") })
+	c.Schedule(20*time.Millisecond, "b", func(*Clock) { order = append(order, "b") })
+	c.Run()
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Errorf("fire order %q, want abc", got)
+	}
+	if c.Now() != 30*time.Millisecond {
+		t.Errorf("clock at %v after run", c.Now())
+	}
+}
+
+func TestEqualTimeEventsFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(time.Second, "e", func(*Clock) { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastPanics(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past must panic")
+		}
+	}()
+	c.Schedule(time.Millisecond, "late", func(*Clock) {})
+}
+
+func TestScheduleAfter(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	fired := time.Duration(0)
+	c.ScheduleAfter(500*time.Millisecond, "x", func(cl *Clock) { fired = cl.Now() })
+	c.Run()
+	if fired != 1500*time.Millisecond {
+		t.Errorf("fired at %v, want 1.5s", fired)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	ev := c.Schedule(time.Second, "x", func(*Clock) { fired = true })
+	c.Cancel(ev)
+	c.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	c.Cancel(ev)
+	c.Cancel(nil)
+}
+
+func TestCancelMiddleOfQueue(t *testing.T) {
+	c := New()
+	var got []string
+	c.Schedule(1*time.Second, "a", func(*Clock) { got = append(got, "a") })
+	ev := c.Schedule(2*time.Second, "b", func(*Clock) { got = append(got, "b") })
+	c.Schedule(3*time.Second, "c", func(*Clock) { got = append(got, "c") })
+	c.Cancel(ev)
+	c.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("got %v, want [a c]", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		c.Schedule(time.Duration(i)*time.Second, "t", func(*Clock) { count++ })
+	}
+	c.RunUntil(3 * time.Second)
+	if count != 3 {
+		t.Errorf("fired %d events by 3s, want 3", count)
+	}
+	if c.Now() != 3*time.Second {
+		t.Errorf("clock at %v, want 3s", c.Now())
+	}
+	if c.Pending() != 2 {
+		t.Errorf("%d pending, want 2", c.Pending())
+	}
+	// RunUntil past everything drains the queue and lands on the deadline.
+	c.RunUntil(10 * time.Second)
+	if count != 5 || c.Now() != 10*time.Second {
+		t.Errorf("count=%d now=%v", count, c.Now())
+	}
+}
+
+func TestEventsCanScheduleFollowUps(t *testing.T) {
+	c := New()
+	ticks := 0
+	var tick func(cl *Clock)
+	tick = func(cl *Clock) {
+		ticks++
+		if ticks < 5 {
+			cl.ScheduleAfter(time.Second, "tick", tick)
+		}
+	}
+	c.ScheduleAfter(time.Second, "tick", tick)
+	c.Run()
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+	if c.Now() != 5*time.Second {
+		t.Errorf("now = %v, want 5s", c.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Error("Step on empty queue must return false")
+	}
+}

@@ -1,0 +1,132 @@
+package vmem
+
+import (
+	"testing"
+	"time"
+
+	"fleetsim/internal/mem"
+	"fleetsim/internal/units"
+	"fleetsim/internal/xrand"
+)
+
+// vmInvariants checks the VM layer's conservation laws:
+//  1. frames used by Physical equals the number of resident pages;
+//  2. swap slots used equals the number of swapped pages;
+//  3. every resident, non-released page is on exactly one LRU list
+//     (accounted by the list counters);
+//  4. per-space resident/swapped counters match a page walk.
+func vmInvariants(t *testing.T, m *Manager, spaces []*mem.AddressSpace) {
+	t.Helper()
+	var resident, swapped, onLRU int64
+	for _, as := range spaces {
+		var spResident, spSwapped int64
+		as.ForEachPage(func(p *mem.Page) {
+			switch p.State {
+			case mem.PageResident:
+				resident++
+				spResident++
+				if p.OnLRU {
+					onLRU++
+				}
+			case mem.PageSwapped:
+				swapped++
+				spSwapped++
+				if p.OnLRU {
+					t.Fatalf("swapped page %d still on LRU", p.Index)
+				}
+			default:
+				if p.OnLRU {
+					t.Fatalf("unmapped page %d on LRU", p.Index)
+				}
+			}
+		})
+		if spResident != as.ResidentPages() || spSwapped != as.SwappedPages() {
+			t.Fatalf("%s: counters (%d,%d) vs walk (%d,%d)",
+				as.Owner, as.ResidentPages(), as.SwappedPages(), spResident, spSwapped)
+		}
+	}
+	if resident != m.Phys.UsedFrames() {
+		t.Fatalf("frames used %d but %d resident pages", m.Phys.UsedFrames(), resident)
+	}
+	if swapped != m.Swap.UsedSlots() {
+		t.Fatalf("slots used %d but %d swapped pages", m.Swap.UsedSlots(), swapped)
+	}
+	a, i := m.LRUSizes()
+	if a+i != onLRU {
+		t.Fatalf("LRU lists hold %d but %d pages are flagged OnLRU", a+i, onLRU)
+	}
+}
+
+// TestVMRandomOps hammers the manager with random touches, advice, pins,
+// prefetches and releases across several address spaces under real
+// pressure (small DRAM), checking conservation laws as it goes.
+func TestVMRandomOps(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := xrand.New(seed)
+		phys := mem.NewPhysical(64 * units.PageSize)
+		swapCfg := DefaultSwapConfig()
+		swapCfg.SizeBytes = 128 * units.PageSize
+		m := NewManager(phys, NewSwapDevice(swapCfg))
+		now := time.Duration(0)
+		m.Now = func() time.Duration { return now }
+
+		var spaces []*mem.AddressSpace
+		const perSpace = 64
+		for i := 0; i < 3; i++ {
+			as := mem.NewAddressSpace(string(rune('A' + i)))
+			as.Reserve(perSpace * units.PageSize)
+			spaces = append(spaces, as)
+		}
+		m.OnPressure = func(need int64) bool {
+			// Free a random span, like lmkd reclaiming an app.
+			as := spaces[r.Intn(len(spaces))]
+			m.Unpin(as, 0, perSpace*units.PageSize)
+			m.ReleaseRange(as, 0, perSpace*units.PageSize)
+			return true
+		}
+
+		randRange := func() (as *mem.AddressSpace, addr, size int64) {
+			as = spaces[r.Intn(len(spaces))]
+			addr = r.Int63n(perSpace-1) * units.PageSize
+			size = (1 + r.Int63n(8)) * units.PageSize
+			if addr+size > perSpace*units.PageSize {
+				size = perSpace*units.PageSize - addr
+			}
+			return
+		}
+
+		for step := 0; step < 5000; step++ {
+			now += time.Millisecond
+			as, addr, size := randRange()
+			switch r.Intn(12) {
+			case 0, 1, 2, 3, 4, 5:
+				m.TouchRange(as, addr, size, r.Bool(0.5))
+			case 6:
+				m.AdviseCold(as, addr, size)
+			case 7:
+				m.AdviseHot(as, addr, size)
+			case 8:
+				m.AdviseNormal(as, addr, size)
+			case 9:
+				if r.Bool(0.3) {
+					m.Pin(as, addr, size)
+				} else {
+					m.Unpin(as, addr, size)
+				}
+			case 10:
+				m.Prefetch(as, addr, size)
+			case 11:
+				m.ReleaseRange(as, addr, size)
+			}
+			if step%500 == 499 {
+				vmInvariants(t, m, spaces)
+			}
+		}
+		vmInvariants(t, m, spaces)
+		st := m.Stats()
+		if st.SwapIns == 0 || st.SwapOuts == 0 {
+			t.Errorf("seed %d: no swap traffic (ins=%d outs=%d) — pressure too low to exercise paths",
+				seed, st.SwapIns, st.SwapOuts)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package vmem is the Linux-side half of the simulated two-layer memory
+// system: the page LRU, the kswapd-style reclaimer, the swap device, page
+// faults with their stall costs, and the madvise interface Fleet's
+// runtime-guided swap uses to steer the kernel (COLD_RUNTIME/HOT_RUNTIME).
+package vmem
+
+import (
+	"fmt"
+	"time"
+
+	"fleetsim/internal/mem"
+	"fleetsim/internal/units"
+)
+
+// dramByteTime is the cost to move one byte from DRAM (9182.7 MB/s, §3.2).
+const dramBandwidth = 9182.7e6
+
+// MinorFaultCost approximates servicing a fault that only needs a zero
+// page (no IO).
+const MinorFaultCost = 3 * time.Microsecond
+
+// Stats aggregates the manager's lifetime counters.
+type Stats struct {
+	MinorFaults int64
+	MajorFaults int64
+	SwapIns     int64
+	SwapOuts    int64
+	// FaultStall is the total synchronous time faulting threads spent
+	// waiting on swap-in IO.
+	FaultStall time.Duration
+	// Refaults counts swap-ins of pages that had been swapped out less
+	// than RefaultWindow earlier — Linux's working-set refault signal,
+	// the definition of thrashing.
+	Refaults int64
+	// RefaultStall is the portion of FaultStall spent on refaults.
+	RefaultStall time.Duration
+	// ReclaimIO is write-out time spent by the background reclaimer
+	// (not charged to any faulting thread).
+	ReclaimIO time.Duration
+	// DirectReclaimStall is write-out time charged synchronously to an
+	// allocating/faulting thread because kswapd fell behind.
+	DirectReclaimStall time.Duration
+	// PressureKills counts how many times the OnPressure callback had to
+	// free memory (i.e. lmkd activity).
+	PressureKills int64
+}
+
+// Manager owns physical memory, the LRU and the swap device.
+type Manager struct {
+	Phys *mem.Physical
+	Swap *SwapDevice
+	lru  twoListLRU
+
+	// LowWatermark / HighWatermark are free-frame thresholds in frames:
+	// reclaim kicks in below low and stops above high.
+	LowWatermark  int64
+	HighWatermark int64
+
+	// OnPressure is invoked when reclaim cannot free a frame (swap full or
+	// nothing evictable). It must free memory (e.g. kill an app, releasing
+	// its pages) and return true, or return false to signal true OOM.
+	OnPressure func(needFrames int64) bool
+
+	// Now supplies virtual time for refault detection; nil means time
+	// stands still (refaults are then never detected).
+	Now func() time.Duration
+	// RefaultWindow is how recently a page must have been swapped out for
+	// its swap-in to count as a refault.
+	RefaultWindow time.Duration
+	// RefaultByOwner, when non-nil, tallies refaults per address-space
+	// owner (debugging/analysis aid).
+	RefaultByOwner map[string]int64
+
+	stats Stats
+}
+
+// NewManager wires DRAM and swap together. Watermarks default to 2% / 4% of
+// DRAM, mirroring typical zone watermark scale on Android devices.
+func NewManager(phys *mem.Physical, swap *SwapDevice) *Manager {
+	m := &Manager{Phys: phys, Swap: swap}
+	m.LowWatermark = phys.TotalFrames / 50
+	if m.LowWatermark < 8 {
+		m.LowWatermark = 8
+	}
+	m.HighWatermark = m.LowWatermark * 2
+	m.RefaultWindow = 120 * time.Second
+	return m
+}
+
+// Stats returns a copy of the lifetime counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetIOStats zeroes the stall/IO counters (used between experiment
+// phases); residency state is untouched.
+func (m *Manager) ResetIOStats() { m.stats = Stats{} }
+
+// Touch simulates one memory access to addr's page: fault it in if needed,
+// update LRU state, and return the synchronous stall the accessing thread
+// experienced (zero for a plain resident hit — DRAM cost is charged by the
+// CPU model at a higher level).
+func (m *Manager) Touch(p *mem.Page, write bool) time.Duration {
+	var stall time.Duration
+	switch p.State {
+	case mem.PageResident:
+		m.lru.touched(p)
+	case mem.PageUnmapped:
+		stall += m.ensureFrame(1)
+		m.Phys.MakeResident(p)
+		m.lru.insert(p)
+		m.stats.MinorFaults++
+		stall += MinorFaultCost
+	case mem.PageSwapped:
+		stall += m.ensureFrame(1)
+		// ensureFrame may have escalated to the pressure callback, which
+		// can release this very page (its owner was killed); re-check.
+		if p.State != mem.PageSwapped {
+			if p.State == mem.PageUnmapped {
+				m.Phys.MakeResident(p)
+				m.lru.insert(p)
+				m.stats.MinorFaults++
+				stall += MinorFaultCost
+			}
+			break
+		}
+		io := m.Swap.ReadPage()
+		m.Phys.MakeResident(p)
+		p.Referenced = true
+		m.lru.insert(p)
+		m.stats.MajorFaults++
+		m.stats.SwapIns++
+		m.stats.FaultStall += io
+		if m.Now != nil && m.Now()-p.SwapOutAt < m.RefaultWindow {
+			m.stats.Refaults++
+			m.stats.RefaultStall += io
+			if m.RefaultByOwner != nil {
+				m.RefaultByOwner[p.Space.Owner]++
+			}
+		}
+		stall += io
+	}
+	if write {
+		p.Dirty = true
+	}
+	m.balance()
+	return stall
+}
+
+// TouchRange touches every page overlapping [addr, addr+size) in as,
+// returning the total stall. It is the per-object-access hot path and
+// avoids allocation.
+func (m *Manager) TouchRange(as *mem.AddressSpace, addr, size int64, write bool) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	first := units.PageIndex(addr)
+	last := units.PageIndex(addr + size - 1)
+	var stall time.Duration
+	for i := first; i <= last; i++ {
+		stall += m.Touch(as.PageAt(i), write)
+	}
+	return stall
+}
+
+// Resident reports whether addr's page is currently in DRAM (untouched
+// pages count as instantly available — they need no IO).
+func (m *Manager) Resident(as *mem.AddressSpace, addr int64) bool {
+	p := as.PageByIndex(units.PageIndex(addr))
+	return p == nil || p.State != mem.PageSwapped
+}
+
+// Release frees one page entirely (its memory was unmapped, e.g. a GC
+// from-region being reclaimed).
+func (m *Manager) Release(p *mem.Page) {
+	switch p.State {
+	case mem.PageResident:
+		m.lru.remove(p)
+		m.Phys.Release(p)
+	case mem.PageSwapped:
+		m.Swap.Discard()
+		m.Phys.Release(p)
+	default:
+		m.Phys.Release(p)
+	}
+}
+
+// ReleaseRange frees every instantiated page in [addr, addr+size).
+func (m *Manager) ReleaseRange(as *mem.AddressSpace, addr, size int64) {
+	for _, p := range as.PagesInRange(addr, size) {
+		m.Release(p)
+	}
+}
+
+// ReleaseSpace frees every page of an address space (process death).
+func (m *Manager) ReleaseSpace(as *mem.AddressSpace) {
+	as.ForEachPage(func(p *mem.Page) { m.Release(p) })
+}
+
+// AdviseCold implements madvise(COLD_RUNTIME): the pages in [addr,
+// addr+size) are actively written to swap right now, ahead of memory
+// pressure (§5.3.2). Pages the device has no room for are instead demoted to
+// the inactive tail so ordinary reclaim takes them first. The returned
+// duration is the total write IO, which the caller decides how to account
+// (Fleet issues it from a background thread).
+func (m *Manager) AdviseCold(as *mem.AddressSpace, addr, size int64) time.Duration {
+	var io time.Duration
+	for _, p := range as.PagesInRange(addr, size) {
+		if p.State != mem.PageResident || p.Pinned {
+			continue
+		}
+		p.Hot = false
+		if m.Swap.FreeSlots() > 0 {
+			io += m.Swap.WritePage()
+			m.lru.remove(p)
+			m.Phys.MoveToSwap(p)
+			m.noteSwapOut(p)
+		} else {
+			m.lru.moveToInactiveTail(p)
+		}
+	}
+	return io
+}
+
+// AdviseHot implements madvise(HOT_RUNTIME): mark the pages as
+// launch-critical and rotate them to the hottest LRU position so reclaim
+// avoids them while anything else is evictable (§5.3.2).
+func (m *Manager) AdviseHot(as *mem.AddressSpace, addr, size int64) {
+	for _, p := range as.PagesInRange(addr, size) {
+		p.Hot = true
+		if p.State == mem.PageResident {
+			m.lru.moveToActiveHead(p)
+		}
+	}
+}
+
+// AdviseNormal clears HOT_RUNTIME advice (Fleet stops once the app returns
+// to a stable foreground state).
+func (m *Manager) AdviseNormal(as *mem.AddressSpace, addr, size int64) {
+	for _, p := range as.PagesInRange(addr, size) {
+		p.Hot = false
+	}
+}
+
+// Pin marks pages unevictable (Marvin keeps sub-threshold objects and its
+// reference stubs resident). Pinned pages are never reclaimed. Pin does not
+// fault pages in: already-resident pages stay put, and swapped pages become
+// pinned as they fault back through Touch.
+func (m *Manager) Pin(as *mem.AddressSpace, addr, size int64) {
+	for _, p := range as.EnsureRange(addr, size) {
+		p.Pinned = true
+	}
+}
+
+// Unpin clears the unevictable mark.
+func (m *Manager) Unpin(as *mem.AddressSpace, addr, size int64) {
+	for _, p := range as.PagesInRange(addr, size) {
+		p.Pinned = false
+	}
+}
+
+// Prefetch swap-ins every swapped page of [addr, addr+size) at sequential
+// readahead speed and returns (pages, io). Prefetchers (ASAP-style
+// baselines) call this ahead of a launch so the launch itself runs without
+// random faults.
+func (m *Manager) Prefetch(as *mem.AddressSpace, addr, size int64) (int64, time.Duration) {
+	var pages int64
+	var io time.Duration
+	for _, p := range as.PagesInRange(addr, size) {
+		if p.State != mem.PageSwapped {
+			continue
+		}
+		io += m.ensureFrame(1)
+		if p.State != mem.PageSwapped {
+			continue // released by the pressure callback mid-prefetch
+		}
+		io += m.Swap.ReadPageSequential()
+		m.Phys.MakeResident(p)
+		p.Referenced = true
+		m.lru.insert(p)
+		m.stats.SwapIns++
+		pages++
+	}
+	m.balance()
+	return pages, io
+}
+
+// balance is the kswapd analogue: when free frames dip below the low
+// watermark it evicts from the LRU tail until the high watermark is met.
+// Its IO is asynchronous from the mutators' perspective (tracked in
+// Stats.ReclaimIO, not returned as stall).
+func (m *Manager) balance() {
+	if m.Phys.FreeFrames() >= m.LowWatermark {
+		return
+	}
+	need := m.HighWatermark - m.Phys.FreeFrames()
+	io, _ := m.reclaim(need, false)
+	m.stats.ReclaimIO += io
+}
+
+// ensureFrame guarantees at least need free frames, running direct reclaim
+// (and ultimately the pressure callback) if necessary. Returns the stall
+// charged to the calling thread.
+func (m *Manager) ensureFrame(need int64) time.Duration {
+	var stall time.Duration
+	const maxAttempts = 1 << 12
+	for attempt := 0; m.Phys.FreeFrames() < need; attempt++ {
+		if attempt >= maxAttempts {
+			panic("vmem: reclaim made no forward progress (OnPressure freed nothing)")
+		}
+		io, freed := m.reclaim(need-m.Phys.FreeFrames(), false)
+		stall += io
+		m.stats.DirectReclaimStall += io
+		if freed > 0 {
+			continue
+		}
+		// Ordinary reclaim found nothing: try again ignoring HOT advice
+		// ("launch objects are cached until there are no other pages to be
+		// swapped out", §5.1).
+		io, freed = m.reclaim(need-m.Phys.FreeFrames(), true)
+		stall += io
+		m.stats.DirectReclaimStall += io
+		if freed > 0 {
+			continue
+		}
+		// Still nothing: swap is full or everything left is pinned. This is
+		// the lmkd moment.
+		m.stats.PressureKills++
+		if m.OnPressure == nil || !m.OnPressure(need-m.Phys.FreeFrames()) {
+			panic(fmt.Sprintf("vmem: out of memory: need %d frames, free %d, swap free %d slots",
+				need, m.Phys.FreeFrames(), m.Swap.FreeSlots()))
+		}
+	}
+	return stall
+}
+
+// reclaim scans the LRU and swaps out up to want pages, returning the IO
+// time and the number of frames actually freed.
+func (m *Manager) reclaim(want int64, emergency bool) (time.Duration, int64) {
+	var io time.Duration
+	var freed int64
+	for freed < want {
+		if m.Swap.FreeSlots() <= 0 {
+			break
+		}
+		m.lru.rebalance()
+		batch := want - freed
+		if batch > 32 {
+			batch = 32
+		}
+		victims := m.lru.scanTail(batch*4, emergency)
+		if len(victims) == 0 {
+			break
+		}
+		for _, p := range victims {
+			if m.Swap.FreeSlots() <= 0 {
+				// Put it back; the caller will escalate.
+				m.lru.insert(p)
+				continue
+			}
+			io += m.Swap.WritePage()
+			m.Phys.MoveToSwap(p)
+			m.noteSwapOut(p)
+			freed++
+		}
+	}
+	return io, freed
+}
+
+// noteSwapOut stamps the page for refault detection and counts the op.
+func (m *Manager) noteSwapOut(p *mem.Page) {
+	m.stats.SwapOuts++
+	if m.Now != nil {
+		p.SwapOutAt = m.Now()
+	}
+}
+
+// LRUSizes reports (active, inactive) list lengths, for tests and the
+// debugging CLI.
+func (m *Manager) LRUSizes() (active, inactive int64) {
+	return m.lru.active.len(), m.lru.inactive.len()
+}
+
+// DRAMCost returns the CPU-side cost of streaming n bytes from DRAM; the
+// heap layer charges this for object copies during GC evacuation.
+func DRAMCost(n int64) time.Duration {
+	return units.TransferTime(n, dramBandwidth)
+}
