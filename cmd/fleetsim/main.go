@@ -6,12 +6,19 @@
 //
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig11a fig11b fig11c fig12a
 // fig12b fig13 fig14 fig15 fig16 tab1 tab2 tab3 sec73 sec74.
+//
+// Experiments run concurrently on a worker pool (-parallel; default
+// GOMAXPROCS), and each experiment's internal policy legs fan out on the
+// same pool. Output is printed in table order and is bitwise-identical at
+// every parallelism level, including -parallel 1 (fully serial).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -19,10 +26,13 @@ import (
 )
 
 var (
-	scale  = flag.Int64("scale", 32, "device scale divisor (1 = full Pixel 3; larger = faster runs)")
-	rounds = flag.Int("rounds", 10, "launch rounds per hot-launch experiment (paper: 20)")
-	seed   = flag.Uint64("seed", 1, "simulation seed")
-	quick  = flag.Bool("quick", false, "reduced rounds for a fast pass")
+	scale      = flag.Int64("scale", 32, "device scale divisor (1 = full Pixel 3; larger = faster runs)")
+	rounds     = flag.Int("rounds", 10, "launch rounds per hot-launch experiment (paper: 20)")
+	seed       = flag.Uint64("seed", 1, "simulation seed")
+	quick      = flag.Bool("quick", false, "reduced rounds for a fast pass")
+	parallel   = flag.Int("parallel", 0, "worker count for experiment legs (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 func params() fleet.Params {
@@ -36,86 +46,91 @@ func params() fleet.Params {
 	return p
 }
 
+// experiment runners return their rendered output instead of printing so
+// that `all` can execute them concurrently and still emit table order.
 type experiment struct {
 	name string
 	desc string
-	run  func(p fleet.Params)
+	run  func(p fleet.Params) string
 }
 
 var table = []experiment{
-	{"fig2", "hot vs cold launch times", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig2(fleet.Fig2(p)))
+	{"fig2", "hot vs cold launch times", func(p fleet.Params) string {
+		return fleet.FormatFig2(fleet.Fig2(p))
 	}},
-	{"fig3", "tail hot-launch: w/o swap, w/ swap, Marvin", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig3(fleet.Fig3(p)))
+	{"fig3", "tail hot-launch: w/o swap, w/ swap, Marvin", func(p fleet.Params) string {
+		return fleet.FormatFig3(fleet.Fig3(p))
 	}},
-	{"fig4", "object accesses over time (CSV)", func(p fleet.Params) {
+	{"fig4", "object accesses over time (CSV)", func(p fleet.Params) string {
 		res := fleet.Fig4(p)
-		fmt.Printf("# fore->back %.0fs, GC %.0fs, back->fore %.0fs\n", res.ToBackSec, res.GCSec, res.ToFrontSec)
-		fmt.Println("time_sec,object_seq,gc")
+		var b strings.Builder
+		fmt.Fprintf(&b, "# fore->back %.0fs, GC %.0fs, back->fore %.0fs\n", res.ToBackSec, res.GCSec, res.ToFrontSec)
+		b.WriteString("time_sec,object_seq,gc\n")
 		for _, pt := range res.Points {
 			g := 0
 			if pt.GC {
 				g = 1
 			}
-			fmt.Printf("%.2f,%d,%d\n", pt.TimeSec, pt.Seq, g)
+			fmt.Fprintf(&b, "%.2f,%d,%d\n", pt.TimeSec, pt.Seq, g)
 		}
+		return b.String()
 	}},
-	{"fig5", "FGO/BGO lifetime and footprint", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig5(fleet.Fig5(p)))
+	{"fig5", "FGO/BGO lifetime and footprint", func(p fleet.Params) string {
+		return fleet.FormatFig5(fleet.Fig5(p))
 	}},
-	{"fig6", "NRO/FYO re-access coverage + depth sweep", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig6(fleet.Fig6a(p), fleet.Fig6b(p)))
+	{"fig6", "NRO/FYO re-access coverage + depth sweep", func(p fleet.Params) string {
+		return fleet.FormatFig6(fleet.Fig6a(p), fleet.Fig6b(p))
 	}},
-	{"fig7", "object size CDFs", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig7(fleet.Fig7(p)))
+	{"fig7", "object size CDFs", func(p fleet.Params) string {
+		return fleet.FormatFig7(fleet.Fig7(p))
 	}},
-	{"fig11a", "caching capacity, 2048B-object apps", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig11("Fig 11a — caching capacity (large objects)", fleet.Fig11a(p)))
+	{"fig11a", "caching capacity, 2048B-object apps", func(p fleet.Params) string {
+		return fleet.FormatFig11("Fig 11a — caching capacity (large objects)", fleet.Fig11a(p))
 	}},
-	{"fig11b", "caching capacity, 512B-object apps", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig11("Fig 11b — caching capacity (small objects)", fleet.Fig11b(p)))
+	{"fig11b", "caching capacity, 512B-object apps", func(p fleet.Params) string {
+		return fleet.FormatFig11("Fig 11b — caching capacity (small objects)", fleet.Fig11b(p))
 	}},
-	{"fig11c", "caching capacity, commercial apps", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig11("Fig 11c — caching capacity (commercial apps)", fleet.Fig11c(p)))
+	{"fig11c", "caching capacity, commercial apps", func(p fleet.Params) string {
+		return fleet.FormatFig11("Fig 11c — caching capacity (commercial apps)", fleet.Fig11c(p))
 	}},
-	{"fig12a", "background GC working set", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig12a(fleet.Fig12a(p)))
+	{"fig12a", "background GC working set", func(p fleet.Params) string {
+		return fleet.FormatFig12a(fleet.Fig12a(p))
 	}},
-	{"fig12b", "Twitch access timeline (CSV)", func(p fleet.Params) {
+	{"fig12b", "Twitch access timeline (CSV)", func(p fleet.Params) string {
 		res := fleet.Fig12b(p)
-		fmt.Println("time_sec,android_gc,fleet_gc,android_mutator")
+		var b strings.Builder
+		b.WriteString("time_sec,android_gc,fleet_gc,android_mutator\n")
 		n := len(res.Android)
 		if len(res.Fleet) < n {
 			n = len(res.Fleet)
 		}
 		for i := 0; i < n; i++ {
-			fmt.Printf("%.0f,%d,%d,%d\n", res.Android[i].TimeSec, res.Android[i].GC, res.Fleet[i].GC, res.Android[i].Mutator)
+			fmt.Fprintf(&b, "%.0f,%d,%d,%d\n", res.Android[i].TimeSec, res.Android[i].GC, res.Fleet[i].GC, res.Android[i].Mutator)
 		}
+		return b.String()
 	}},
-	{"fig13", "hot-launch study under pressure (+13m,13n)", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig13(fleet.Fig13(p)))
-		fmt.Print(fleet.FormatFig13n(fleet.Fig13n(p)))
+	{"fig13", "hot-launch study under pressure (+13m,13n)", func(p fleet.Params) string {
+		return fleet.FormatFig13(fleet.Fig13(p)) + fleet.FormatFig13n(fleet.Fig13n(p))
 	}},
-	{"fig14", "jank ratio and FPS", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig14(fleet.Fig14(p)))
+	{"fig14", "jank ratio and FPS", func(p fleet.Params) string {
+		return fleet.FormatFig14(fleet.Fig14(p))
 	}},
-	{"fig15", "percentile speedups", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig15(fleet.Fig15(fleet.Fig13(p))))
+	{"fig15", "percentile speedups", func(p fleet.Params) string {
+		return fleet.FormatFig15(fleet.Fig15(fleet.Fig13(p)))
 	}},
-	{"fig16", "hot-launch distributions, remaining 6 apps", func(p fleet.Params) {
-		fmt.Print(fleet.FormatFig13(fleet.Fig16(p)))
+	{"fig16", "hot-launch distributions, remaining 6 apps", func(p fleet.Params) string {
+		return fleet.FormatFig13(fleet.Fig16(p))
 	}},
-	{"tab1", "comparison methods", func(fleet.Params) {
-		fmt.Print(`Table 1 — comparison methods
+	{"tab1", "comparison methods", func(fleet.Params) string {
+		return `Table 1 — comparison methods
   Android: native GC;            page-granularity swap; LRU scheme
   Marvin:  bookmarking GC;       object-granularity swap; object-LRU scheme
   Fleet:   background-object GC; grouped-page swap;       runtime-guided scheme
-`)
+`
 	}},
-	{"tab2", "Fleet default parameters", func(fleet.Params) {
+	{"tab2", "Fleet default parameters", func(fleet.Params) string {
 		cfg := fleet.DefaultFleetConfig()
-		fmt.Printf(`Table 2 — Fleet defaults
+		return fmt.Sprintf(`Table 2 — Fleet defaults
   NRO depth D:          %d
   Background wait Ts:   %v
   Foreground wait Tf:   %v
@@ -123,31 +138,33 @@ var table = []experiment{
   Region size:          256 KiB
 `, cfg.NRODepth, cfg.BackgroundWait, cfg.ForegroundWait, cfg.CardShift)
 	}},
-	{"tab3", "commercial app set", func(p fleet.Params) {
-		fmt.Println("Table 3 — commercial apps")
+	{"tab3", "commercial app set", func(p fleet.Params) string {
+		var b strings.Builder
+		b.WriteString("Table 3 — commercial apps\n")
 		for _, pr := range fleet.CommercialApps(p.Scale) {
-			fmt.Printf("  %-12s %-14s java %3.0f%% of footprint\n", pr.Name, pr.Category, 100*pr.JavaHeapFrac)
+			fmt.Fprintf(&b, "  %-12s %-14s java %3.0f%% of footprint\n", pr.Name, pr.Category, 100*pr.JavaHeapFrac)
 		}
+		return b.String()
 	}},
-	{"sec73", "CPU / memory / power overheads", func(p fleet.Params) {
-		fmt.Print(fleet.FormatSec73(fleet.Sec73(p)))
+	{"sec73", "CPU / memory / power overheads", func(p fleet.Params) string {
+		return fleet.FormatSec73(fleet.Sec73(p))
 	}},
-	{"sec74", "background heap-size sensitivity", func(p fleet.Params) {
-		fmt.Print(fleet.FormatSec74(fleet.Sec74(p)))
+	{"sec74", "background heap-size sensitivity", func(p fleet.Params) string {
+		return fleet.FormatSec74(fleet.Sec74(p))
 	}},
-	{"extprefetch", "extension: ASAP-style launch prefetch baseline", func(p fleet.Params) {
-		fmt.Print(fleet.FormatExt("Extension — prefetch baseline vs Fleet", fleet.ExtPrefetch(p)))
+	{"extprefetch", "extension: ASAP-style launch prefetch baseline", func(p fleet.Params) string {
+		return fleet.FormatExt("Extension — prefetch baseline vs Fleet", fleet.ExtPrefetch(p))
 	}},
-	{"extzram", "extension: compressed-RAM (zram) swap device", func(p fleet.Params) {
-		fmt.Print(fleet.FormatExt("Extension — flash vs zram swap", fleet.ExtZram(p)))
+	{"extzram", "extension: compressed-RAM (zram) swap device", func(p fleet.Params) string {
+		return fleet.FormatExt("Extension — flash vs zram swap", fleet.ExtZram(p))
 	}},
-	{"extdepth", "ablation: NRO depth sweep, end to end", func(p fleet.Params) {
-		fmt.Print(fleet.FormatExt("Ablation — NRO depth (end-to-end)", fleet.ExtDepthSweep(p)))
+	{"extdepth", "ablation: NRO depth sweep, end to end", func(p fleet.Params) string {
+		return fleet.FormatExt("Ablation — NRO depth (end-to-end)", fleet.ExtDepthSweep(p))
 	}},
-	{"extadvice", "ablation: madvise halves (COLD/HOT_RUNTIME)", func(p fleet.Params) {
-		fmt.Print(fleet.FormatExt("Ablation — runtime-guided swap advice", fleet.ExtAdviceAblation(p)))
+	{"extadvice", "ablation: madvise halves (COLD/HOT_RUNTIME)", func(p fleet.Params) string {
+		return fleet.FormatExt("Ablation — runtime-guided swap advice", fleet.ExtAdviceAblation(p))
 	}},
-	{"trace", "dump a systrace-style event log of a Fleet scenario (CSV)", func(p fleet.Params) {
+	{"trace", "dump a systrace-style event log of a Fleet scenario (CSV)", func(p fleet.Params) string {
 		sys := fleet.NewSystem(fleet.DefaultSystemConfig(fleet.PolicyFleet, p.Scale))
 		log := sys.EnableTrace(0)
 		apps := fleet.CommercialApps(p.Scale)[:6]
@@ -162,8 +179,8 @@ var table = []experiment{
 				sys.Use(12 * time.Second)
 			}
 		}
-		fmt.Print(log.CSV())
 		fmt.Fprintf(os.Stderr, "%d events\n", log.Len())
+		return log.CSV()
 	}},
 }
 
@@ -181,12 +198,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	fleet.SetParallelism(*parallel)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	p := params()
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
 		want[strings.ToLower(a)] = true
 	}
-	ran := 0
+	var selected []experiment
 	for _, e := range table {
 		if want["all"] && (e.name == "fig4" || e.name == "fig12b" || e.name == "trace") {
 			continue // CSV dumps are opt-in
@@ -194,13 +226,66 @@ func main() {
 		if !want["all"] && !want[e.name] {
 			continue
 		}
-		start := time.Now()
-		e.run(p)
-		fmt.Printf("  [%s took %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
-		ran++
+		selected = append(selected, e)
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "fleetsim: no such experiment %v\n", flag.Args())
 		os.Exit(2)
+	}
+
+	// Whole experiments are pool tasks too: with the worker pool shared by
+	// their internal legs, output stays in table order while the heavy
+	// studies overlap. Timing lines report each experiment's own span.
+	type outcome struct {
+		text string
+		took time.Duration
+	}
+	run := func(e experiment) outcome {
+		start := time.Now()
+		text := e.run(p)
+		return outcome{text, time.Since(start).Round(time.Millisecond)}
+	}
+	if fleet.Parallelism() == 1 || len(selected) == 1 {
+		for _, e := range selected {
+			o := run(e)
+			fmt.Print(o.text)
+			fmt.Printf("  [%s took %v]\n\n", e.name, o.took)
+		}
+	} else {
+		results := make([]chan outcome, len(selected))
+		for i := range results {
+			results[i] = make(chan outcome, 1)
+		}
+		// At most Parallelism() experiments in flight at once; their
+		// internal legs fan out on the same process-wide budget, so this
+		// only bounds oversubscription, it cannot deadlock.
+		sem := make(chan struct{}, fleet.Parallelism())
+		for i, e := range selected {
+			i, e := i, e
+			go func() {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i] <- run(e)
+			}()
+		}
+		for i, e := range selected {
+			o := <-results[i]
+			fmt.Print(o.text)
+			fmt.Printf("  [%s took %v]\n\n", e.name, o.took)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"fleetsim/internal/apps"
 	"fleetsim/internal/core"
 	"fleetsim/internal/experiments"
+	"fleetsim/internal/runner"
 )
 
 // Policy selects the memory-management design under test (Table 1 of the
@@ -202,3 +203,12 @@ var (
 // Use is a readability alias: sys.Use(d) advances simulated time by d with
 // the current foreground app in use.
 func Use(sys *System, d time.Duration) { sys.Use(d) }
+
+// SetParallelism sets the process-wide worker count the experiment runners
+// fan out on. n <= 0 means GOMAXPROCS; 1 forces fully serial execution.
+// Results are bitwise-identical at every setting — every experiment leg is
+// a pure function of its Params-derived seed.
+func SetParallelism(n int) { runner.SetParallelism(n) }
+
+// Parallelism reports the effective worker count.
+func Parallelism() int { return runner.Parallelism() }

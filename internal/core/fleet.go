@@ -180,7 +180,7 @@ func (f *Fleet) RunGrouping(now time.Duration) gc.Result {
 	res := gc.Result{Kind: gc.KindGrouping}
 	gs := GroupingStats{}
 
-	seeds := h.RootSlice()
+	seeds := h.Roots()
 	res.PauseSTW += gc.FlipPause + time.Duration(len(seeds))*gc.RootScanCPU
 
 	// BFS trace recording per-object class.
@@ -340,8 +340,9 @@ func (f *Fleet) RunBGC(now time.Duration) gc.Result {
 		return !h.RegionByID(h.Object(id).Region).FGO
 	}
 
-	// Seeds: roots + dirty-card FGO.
-	seeds := h.RootSlice()
+	// Seeds: roots + dirty-card FGO, staged through the heap's reusable
+	// seed buffer so the per-cycle append allocates nothing steady-state.
+	seeds := append(h.Scratch().Seeds[:0], h.Roots()...)
 	res.PauseSTW += gc.FlipPause + time.Duration(len(seeds))*gc.RootScanCPU
 	f.card.ScanDirty(true, func(start, size int64) {
 		res.GCThreadCPU += gc.CardScanCPU
@@ -366,6 +367,7 @@ func (f *Fleet) RunBGC(now time.Duration) gc.Result {
 
 	h.BeginTrace()
 	st := gc.Trace(h, seeds, gc.TraceOpts{ShouldTrace: isBGO, Now: now})
+	h.Scratch().Seeds = seeds[:0]
 	res.ObjectsTraced = st.ObjectsTraced
 	res.BytesTraced = st.BytesTraced
 	res.GCThreadCPU += st.CPU

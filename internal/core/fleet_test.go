@@ -429,7 +429,7 @@ func TestBGCCorrectnessProperty(t *testing.T) {
 		// graph (FGO edges included — they're all conservatively live).
 		reach := map[heap.ObjectID]bool{}
 		var stack []heap.ObjectID
-		for id := range h.Roots() {
+		for _, id := range h.Roots() {
 			reach[id] = true
 			stack = append(stack, id)
 		}
@@ -490,7 +490,7 @@ func TestNROClassificationProperty(t *testing.T) {
 		fl.OnBackground()
 		fl.RunGrouping(100 * time.Second)
 		for _, id := range ids {
-			depth, ok := want[id]
+			depth, ok := want.Of(id)
 			if !ok {
 				continue
 			}

@@ -5,6 +5,8 @@ import (
 
 	"fleetsim/internal/android"
 	"fleetsim/internal/core"
+	"fleetsim/internal/metrics"
+	"fleetsim/internal/runner"
 )
 
 // ExtRow is one configuration of an extension study: hot-launch statistics
@@ -17,18 +19,12 @@ type ExtRow struct {
 }
 
 func extRow(label string, r *hotRun) ExtRow {
-	var med, p90 float64
-	n := 0
-	for _, s := range r.All {
-		med += s.Median()
-		p90 += s.Percentile(90)
-		n++
+	return ExtRow{
+		Label:    label,
+		MedianMs: meanOverApps(r.All, func(s *metrics.Sample) float64 { return s.Median() }),
+		P90Ms:    meanOverApps(r.All, func(s *metrics.Sample) float64 { return s.Percentile(90) }),
+		Kills:    r.Sys.M.Kills,
 	}
-	if n > 0 {
-		med /= float64(n)
-		p90 /= float64(n)
-	}
-	return ExtRow{Label: label, MedianMs: med, P90Ms: p90, Kills: r.Sys.M.Kills}
 }
 
 // runWithConfig is runHotLaunches with an arbitrary config mutator.
@@ -49,16 +45,27 @@ func runWithConfig(p Params, policy android.PolicyKind, mutate func(*android.Sys
 // launch floor and the capacity advantage — the paper's related-work
 // argument (§8) made quantitative.
 func ExtPrefetch(p Params) []ExtRow {
-	stock := runWithConfig(p, android.PolicyAndroid, nil)
-	asap := runWithConfig(p, android.PolicyAndroid, func(c *android.SystemConfig) {
-		c.LaunchPrefetch = true
+	return extLegs(p,
+		extLeg{"Android", android.PolicyAndroid, nil},
+		extLeg{"Android+prefetch", android.PolicyAndroid, func(c *android.SystemConfig) {
+			c.LaunchPrefetch = true
+		}},
+		extLeg{"Fleet", android.PolicyFleet, nil},
+	)
+}
+
+// extLeg is one labelled configuration of an extension study.
+type extLeg struct {
+	label  string
+	policy android.PolicyKind
+	mutate func(*android.SystemConfig)
+}
+
+// extLegs fans the configurations out on the pool, preserving order.
+func extLegs(p Params, legs ...extLeg) []ExtRow {
+	return runner.Map(legs, func(_ int, l extLeg) ExtRow {
+		return extRow(l.label, runWithConfig(p, l.policy, l.mutate))
 	})
-	fleet := runWithConfig(p, android.PolicyFleet, nil)
-	return []ExtRow{
-		extRow("Android", stock),
-		extRow("Android+prefetch", asap),
-		extRow("Fleet", fleet),
-	}
 }
 
 // ExtZram compares the flash-swap device against a vendor-style
@@ -66,57 +73,48 @@ func ExtPrefetch(p Params) []ExtRow {
 // shrinks the launch-latency gap, but Fleet's GC-range restriction still
 // pays off because zram steals DRAM and the GC-swap conflict persists.
 func ExtZram(p Params) []ExtRow {
-	flashA := runWithConfig(p, android.PolicyAndroid, nil)
-	flashF := runWithConfig(p, android.PolicyFleet, nil)
-	zramA := runWithConfig(p, android.PolicyAndroid, func(c *android.SystemConfig) {
-		c.Device = android.Pixel3Zram(p.Scale)
-	})
-	zramF := runWithConfig(p, android.PolicyFleet, func(c *android.SystemConfig) {
-		c.Device = android.Pixel3Zram(p.Scale)
-	})
-	return []ExtRow{
-		extRow("Android flash", flashA),
-		extRow("Fleet flash", flashF),
-		extRow("Android zram", zramA),
-		extRow("Fleet zram", zramF),
-	}
+	zram := func(c *android.SystemConfig) { c.Device = android.Pixel3Zram(p.Scale) }
+	return extLegs(p,
+		extLeg{"Android flash", android.PolicyAndroid, nil},
+		extLeg{"Fleet flash", android.PolicyFleet, nil},
+		extLeg{"Android zram", android.PolicyAndroid, zram},
+		extLeg{"Fleet zram", android.PolicyFleet, zram},
+	)
 }
 
 // ExtDepthSweep measures end-to-end hot-launch latency under Fleet for a
 // range of NRO depths — the system-level counterpart of the Fig. 6b
 // analysis (DESIGN.md ablation).
 func ExtDepthSweep(p Params) []ExtRow {
-	var rows []ExtRow
+	var legs []extLeg
 	for _, d := range []int{0, 2, 4, 8} {
-		run := runWithConfig(p, android.PolicyFleet, func(c *android.SystemConfig) {
-			fc := core.DefaultConfig()
-			fc.NRODepth = d
-			c.Fleet = fc
-		})
-		rows = append(rows, extRow(fmt.Sprintf("Fleet D=%d", d), run))
+		d := d
+		legs = append(legs, extLeg{fmt.Sprintf("Fleet D=%d", d), android.PolicyFleet,
+			func(c *android.SystemConfig) {
+				fc := core.DefaultConfig()
+				fc.NRODepth = d
+				c.Fleet = fc
+			}})
 	}
-	return rows
+	return extLegs(p, legs...)
 }
 
 // ExtAdviceAblation isolates RGS's two madvise halves: no COLD_RUNTIME
 // (grouping only), no HOT_RUNTIME (active swap-out only), and full Fleet.
 func ExtAdviceAblation(p Params) []ExtRow {
-	full := runWithConfig(p, android.PolicyFleet, nil)
-	noCold := runWithConfig(p, android.PolicyFleet, func(c *android.SystemConfig) {
-		fc := core.DefaultConfig()
-		fc.DisableColdAdvise = true
-		c.Fleet = fc
-	})
-	noHot := runWithConfig(p, android.PolicyFleet, func(c *android.SystemConfig) {
-		fc := core.DefaultConfig()
-		fc.DisableHotAdvice = true
-		c.Fleet = fc
-	})
-	return []ExtRow{
-		extRow("Fleet full", full),
-		extRow("Fleet no-cold-advise", noCold),
-		extRow("Fleet no-hot-advice", noHot),
-	}
+	return extLegs(p,
+		extLeg{"Fleet full", android.PolicyFleet, nil},
+		extLeg{"Fleet no-cold-advise", android.PolicyFleet, func(c *android.SystemConfig) {
+			fc := core.DefaultConfig()
+			fc.DisableColdAdvise = true
+			c.Fleet = fc
+		}},
+		extLeg{"Fleet no-hot-advice", android.PolicyFleet, func(c *android.SystemConfig) {
+			fc := core.DefaultConfig()
+			fc.DisableHotAdvice = true
+			c.Fleet = fc
+		}},
+	)
 }
 
 // FormatExt renders extension rows.

@@ -7,6 +7,7 @@ import (
 	"fleetsim/internal/android"
 	"fleetsim/internal/apps"
 	"fleetsim/internal/metrics"
+	"fleetsim/internal/runner"
 )
 
 // Fig2Row is one bar pair of Figure 2: average hot and cold launch time
@@ -24,9 +25,10 @@ type Fig2Row struct {
 // (§2.1): each app runs alone with a single small filler app to switch
 // away to, and is re-launched Rounds times each way.
 func Fig2(p Params) []Fig2Row {
-	var rows []Fig2Row
 	profiles := apps.CommercialProfiles(p.Scale)
-	for _, name := range Fig13Apps {
+	// Each app gets its own System seeded only from Params, so the rows are
+	// independent tasks; runner.Map keeps them in Fig13Apps order.
+	return runner.Map(Fig13Apps, func(_ int, name string) Fig2Row {
 		var target apps.Profile
 		for _, pr := range profiles {
 			if pr.Name == name {
@@ -64,15 +66,14 @@ func Fig2(p Params) []Fig2Row {
 			_, fp = sys.SwitchTo(fp)
 			sys.Use(p.UseTime)
 		}
-		rows = append(rows, Fig2Row{
+		return Fig2Row{
 			App:    name,
 			HotMs:  hot.Mean(),
 			HotSD:  hot.StdDev(),
 			ColdMs: cold.Mean(),
 			ColdSD: cold.StdDev(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // Fig3Row is one app of Figure 3: the 90th-percentile tail hot-launch time
@@ -101,9 +102,17 @@ func Fig3(p Params) []Fig3Row {
 		pns.PressureApps = 12
 	}
 	popNS, measuredNS := pressurePopulation(pns, Fig13Apps)
-	noswap := runHotLaunches(pns, android.PolicyAndroid, popNS, measuredNS, true, 0)
-	swap := runHotLaunches(p, android.PolicyAndroid, pop, measured, false, 0)
-	marvin := runHotLaunches(p, android.PolicyMarvin, pop, measured, false, 0)
+	legs := runner.MapN(3, func(i int) *hotRun {
+		switch i {
+		case 0:
+			return runHotLaunches(pns, android.PolicyAndroid, popNS, measuredNS, true, 0)
+		case 1:
+			return runHotLaunches(p, android.PolicyAndroid, pop, measured, false, 0)
+		default:
+			return runHotLaunches(p, android.PolicyMarvin, pop, measured, false, 0)
+		}
+	})
+	noswap, swap, marvin := legs[0], legs[1], legs[2]
 
 	p90 := func(r *hotRun, app string) float64 {
 		if s := r.HotOnly[app]; s != nil && s.N() > 0 {

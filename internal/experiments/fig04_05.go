@@ -8,6 +8,7 @@ import (
 	"fleetsim/internal/gc"
 	"fleetsim/internal/heap"
 	"fleetsim/internal/mem"
+	"fleetsim/internal/runner"
 	"fleetsim/internal/units"
 	"fleetsim/internal/vmem"
 	"fleetsim/internal/xrand"
@@ -286,8 +287,10 @@ func Fig5(p Params) Fig5Result {
 		}
 	}
 
-	// Footprints across several apps (Fig. 5c).
-	for _, name := range []string{"Twitter", "Facebook", "Youtube", "Spotify", "AmazonShop", "Chrome", "GoogleMaps", "Telegram"} {
+	// Footprints across several apps (Fig. 5c). Each app is an independent
+	// solo rig, so the bars run as pool tasks in fixed order.
+	names := []string{"Twitter", "Facebook", "Youtube", "Spotify", "AmazonShop", "Chrome", "GoogleMaps", "Telegram"}
+	res.Footprints = runner.Map(names, func(_ int, name string) Fig5Footprint {
 		profile := *apps.ProfileByName(name, p.Scale)
 		rig := newSoloRig(p, profile)
 		rig.App.BuildInitial(0)
@@ -307,12 +310,12 @@ func Fig5(p Params) Fig5Result {
 				bgo += int64(o.Size)
 			}
 		}
-		res.Footprints = append(res.Footprints, Fig5Footprint{
+		return Fig5Footprint{
 			App:    name,
 			FGOMiB: float64(fgo*p.Scale) / float64(units.MiB),
 			BGOMiB: float64(bgo*p.Scale) / float64(units.MiB),
-		})
-	}
+		}
+	})
 	return res
 }
 

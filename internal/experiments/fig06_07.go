@@ -8,6 +8,7 @@ import (
 	"fleetsim/internal/core"
 	"fleetsim/internal/heap"
 	"fleetsim/internal/metrics"
+	"fleetsim/internal/runner"
 	"fleetsim/internal/units"
 	"fleetsim/internal/xrand"
 )
@@ -87,40 +88,38 @@ func launchCoverage(rig *soloRig, fl *core.Fleet, fyoGen int32) (nro, fyo, both 
 // Fig6a measures NRO/FYO re-access coverage during hot launches for five
 // apps at D = 2 (§4.2: NRO ≈ 50%, FYO ≈ 40%, union ≈ 68%).
 func Fig6a(p Params) []Fig6aRow {
-	var rows []Fig6aRow
-	for _, name := range []string{"Twitter", "Facebook", "Youtube", "AmazonShop", "Spotify"} {
+	names := []string{"Twitter", "Facebook", "Youtube", "AmazonShop", "Spotify"}
+	return runner.Map(names, func(_ int, name string) Fig6aRow {
 		profile := *apps.ProfileByName(name, p.Scale)
 		rig, fl, fyoGen := fig6Rig(p, profile, 2)
 		nro, fyo, both, _ := launchCoverage(rig, fl, fyoGen)
 		gs := fl.LastGrouping()
 		heapBytes := float64(rig.App.H.LiveBytes())
-		rows = append(rows, Fig6aRow{
+		return Fig6aRow{
 			App:           name,
 			NROFrac:       nro,
 			FYOFrac:       fyo,
 			BothFrac:      both,
 			LaunchMemFrac: float64(gs.LaunchBytes) / heapBytes,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // Fig6b sweeps the depth parameter for Twitter (§4.2's key insight: the
 // re-access ratio rises faster than the memory footprint at small D).
 func Fig6b(p Params) []Fig6bPoint {
-	var pts []Fig6bPoint
-	for d := 0; d <= 14; d += 2 {
+	return runner.MapN(8, func(i int) Fig6bPoint {
+		d := 2 * i
 		profile := *apps.ProfileByName("Twitter", p.Scale)
 		rig, fl, fyoGen := fig6Rig(p, profile, d)
 		nro, _, _, _ := launchCoverage(rig, fl, fyoGen)
 		gs := fl.LastGrouping()
-		pts = append(pts, Fig6bPoint{
+		return Fig6bPoint{
 			Depth:        d,
 			ReAccessFrac: nro,
 			MemFrac:      float64(gs.NROBytes) / float64(rig.App.H.LiveBytes()),
-		})
-	}
-	return pts
+		}
+	})
 }
 
 // Fig7Row is one app's object-size CDF sampled at the paper's x-axis
@@ -140,8 +139,9 @@ var Fig7Sizes = []int32{16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384
 func Fig7(p Params) []Fig7Row {
 	names := []string{"Twitter", "Facebook", "Youtube", "Tiktok", "AmazonShop", "GoogleMaps", "Firefox", "CandyCrush"}
 	const samples = 200000
-	var rows []Fig7Row
-	for i, name := range names {
+	// Each app already samples from its own seed-derived stream, so the
+	// rows parallelize without any cross-task randomness.
+	return runner.Map(names, func(i int, name string) Fig7Row {
 		profile := apps.ProfileByName(name, p.Scale)
 		r := xrand.New(p.Seed + uint64(i))
 		var s metrics.Sample
@@ -152,9 +152,8 @@ func Fig7(p Params) []Fig7Row {
 		for _, b := range Fig7Sizes {
 			row.CDF = append(row.CDF, s.CDFAt(float64(b)))
 		}
-		rows = append(rows, row)
-	}
-	return rows
+		return row
+	})
 }
 
 // FormatFig6 renders the Fig. 6 summary.

@@ -6,6 +6,7 @@ import (
 
 	"fleetsim/internal/android"
 	"fleetsim/internal/apps"
+	"fleetsim/internal/runner"
 )
 
 // Fig11Series is one line of Fig. 11: the number of alive apps after each
@@ -47,25 +48,25 @@ func syntheticFleet(p Params, objSize int32, n int) []apps.Profile {
 	return out
 }
 
+// capacityLegs runs the three standard policy legs over one profile fleet
+// as independent pool tasks (each leg owns its System).
+func capacityLegs(p Params, profiles []apps.Profile) []Fig11Series {
+	policies := []android.PolicyKind{android.PolicyAndroid, android.PolicyMarvin, android.PolicyFleet}
+	labels := []string{"Android", "Marvin", "Fleet"}
+	return runner.MapN(len(policies), func(i int) Fig11Series {
+		return runCapacity(p, policies[i], false, profiles, labels[i])
+	})
+}
+
 // Fig11a: caching capacity with large-object (2048 B) synthetic apps.
 func Fig11a(p Params) []Fig11Series {
-	profiles := syntheticFleet(p, 2048, 28)
-	return []Fig11Series{
-		runCapacity(p, android.PolicyAndroid, false, profiles, "Android"),
-		runCapacity(p, android.PolicyMarvin, false, profiles, "Marvin"),
-		runCapacity(p, android.PolicyFleet, false, profiles, "Fleet"),
-	}
+	return capacityLegs(p, syntheticFleet(p, 2048, 28))
 }
 
 // Fig11b: caching capacity with small-object (512 B) synthetic apps —
 // where Marvin's large-object threshold bites.
 func Fig11b(p Params) []Fig11Series {
-	profiles := syntheticFleet(p, 512, 28)
-	return []Fig11Series{
-		runCapacity(p, android.PolicyAndroid, false, profiles, "Android"),
-		runCapacity(p, android.PolicyMarvin, false, profiles, "Marvin"),
-		runCapacity(p, android.PolicyFleet, false, profiles, "Fleet"),
-	}
+	return capacityLegs(p, syntheticFleet(p, 512, 28))
 }
 
 // Fig11c: caching capacity with the 18 commercial apps launched
@@ -102,11 +103,16 @@ func Fig11c(p Params) []Fig11Series {
 		}
 		return s
 	}
-	return []Fig11Series{
-		run(android.PolicyAndroid, true, "Android w/o swap"),
-		run(android.PolicyAndroid, false, "Android w/ swap"),
-		run(android.PolicyFleet, false, "Fleet"),
-	}
+	return runner.MapN(3, func(i int) Fig11Series {
+		switch i {
+		case 0:
+			return run(android.PolicyAndroid, true, "Android w/o swap")
+		case 1:
+			return run(android.PolicyAndroid, false, "Android w/ swap")
+		default:
+			return run(android.PolicyFleet, false, "Fleet")
+		}
+	})
 }
 
 // Fig12aRow is one configuration of Fig. 12a: the background GC working
@@ -145,11 +151,16 @@ func Fig12a(p Params) []Fig12aRow {
 		ws := sys.M.BackgroundGCWorkingSet("")
 		return Fig12aRow{Label: label, MeanObjects: ws.Mean(), MedianObjects: ws.Median()}
 	}
-	return []Fig12aRow{
-		run(android.PolicyAndroid, false, "Android"),
-		run(android.PolicyFleet, true, "Fleet w/o BGC"),
-		run(android.PolicyFleet, false, "Fleet w/ BGC"),
-	}
+	return runner.MapN(3, func(i int) Fig12aRow {
+		switch i {
+		case 0:
+			return run(android.PolicyAndroid, false, "Android")
+		case 1:
+			return run(android.PolicyFleet, true, "Fleet w/o BGC")
+		default:
+			return run(android.PolicyFleet, false, "Fleet w/ BGC")
+		}
+	})
 }
 
 // Fig12bPoint is one time bucket of Fig. 12b: objects accessed by mutator
@@ -216,8 +227,13 @@ func Fig12b(p Params) Fig12bResult {
 		}
 		return points
 	}
-	res.Android = run(android.PolicyAndroid)
-	res.Fleet = run(android.PolicyFleet)
+	legs := runner.MapN(2, func(i int) []Fig12bPoint {
+		if i == 0 {
+			return run(android.PolicyAndroid)
+		}
+		return run(android.PolicyFleet)
+	})
+	res.Android, res.Fleet = legs[0], legs[1]
 	return res
 }
 

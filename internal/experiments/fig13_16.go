@@ -10,6 +10,7 @@ import (
 	"fleetsim/internal/core"
 	"fleetsim/internal/heap"
 	"fleetsim/internal/metrics"
+	"fleetsim/internal/runner"
 	"fleetsim/internal/units"
 )
 
@@ -110,9 +111,13 @@ func (r Fig13Result) Fig13n() []Fig13nPoint {
 func runFig13Protocol(p Params, measuredNames []string) Fig13Result {
 	pop, measured := pressurePopulation(p, measuredNames)
 
-	androidRun := runHotLaunches(p, android.PolicyAndroid, pop, measured, false, 0)
-	marvinRun := runHotLaunches(p, android.PolicyMarvin, pop, measured, false, 0)
-	fleetRun := runHotLaunches(p, android.PolicyFleet, pop, measured, false, 0)
+	// The three policy legs are the dominant cost of the §7.2 study and
+	// share nothing but read-only inputs, so they run as pool tasks.
+	policies := []android.PolicyKind{android.PolicyAndroid, android.PolicyMarvin, android.PolicyFleet}
+	legs := runner.Map(policies, func(_ int, pol android.PolicyKind) *hotRun {
+		return runHotLaunches(p, pol, pop, measured, false, 0)
+	})
+	androidRun, marvinRun, fleetRun := legs[0], legs[1], legs[2]
 
 	res := Fig13Result{
 		AndroidKills: androidRun.Sys.M.Kills,
@@ -255,14 +260,20 @@ func Fig13nControlled(p Params) []Fig13nPoint {
 		return (profile.HotLaunchCPU + stall).Seconds() * 1000
 	}
 	names := append(append([]string{}, Fig13Apps...), Fig16Apps...)
-	for _, name := range names {
+	// Each app runs two deterministic replicas (Android-like and Fleet);
+	// apps are independent, so fan the pairs out on the pool.
+	for _, pt := range runner.Map(names, func(_ int, name string) Fig13nPoint {
 		profile := apps.ProfileByName(name, p.Scale)
 		tA := launch(name, false)
 		tF := launch(name, true)
 		if tF <= 0 {
-			continue
+			return Fig13nPoint{}
 		}
-		pts = append(pts, Fig13nPoint{App: name, JavaHeapFrac: profile.JavaHeapFrac, Speedup: tA / tF})
+		return Fig13nPoint{App: name, JavaHeapFrac: profile.JavaHeapFrac, Speedup: tA / tF}
+	}) {
+		if pt.App != "" {
+			pts = append(pts, pt)
+		}
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i].JavaHeapFrac < pts[j].JavaHeapFrac })
 	return pts

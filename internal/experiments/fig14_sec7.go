@@ -7,6 +7,8 @@ import (
 	"fleetsim/internal/android"
 	"fleetsim/internal/apps"
 	"fleetsim/internal/cardtable"
+	"fleetsim/internal/metrics"
+	"fleetsim/internal/runner"
 	"fleetsim/internal/units"
 )
 
@@ -44,9 +46,10 @@ func Fig14(p Params) []Fig14Row {
 		}
 		return f
 	}
-	a := run(android.PolicyAndroid)
-	m := run(android.PolicyMarvin)
-	fl := run(android.PolicyFleet)
+	legs := runner.MapN(3, func(i int) frames {
+		return run([]android.PolicyKind{android.PolicyAndroid, android.PolicyMarvin, android.PolicyFleet}[i])
+	})
+	a, m, fl := legs[0], legs[1], legs[2]
 
 	var rows []Fig14Row
 	for _, name := range Fig13Apps {
@@ -125,9 +128,14 @@ func Sec73(p Params) Sec73Result {
 		return gcShare, power
 	}
 	res := Sec73Result{CardTableBytes: cardtable.DefaultTableBytes()}
-	res.AndroidGCShare, res.AndroidPower = run(android.PolicyAndroid)
-	res.MarvinGCShare, res.MarvinPower = run(android.PolicyMarvin)
-	res.FleetGCShare, res.FleetPower = run(android.PolicyFleet)
+	type leg struct{ gcShare, power float64 }
+	legs := runner.MapN(3, func(i int) leg {
+		gs, pw := run([]android.PolicyKind{android.PolicyAndroid, android.PolicyMarvin, android.PolicyFleet}[i])
+		return leg{gs, pw}
+	})
+	res.AndroidGCShare, res.AndroidPower = legs[0].gcShare, legs[0].power
+	res.MarvinGCShare, res.MarvinPower = legs[1].gcShare, legs[1].power
+	res.FleetGCShare, res.FleetPower = legs[2].gcShare, legs[2].power
 	return res
 }
 
@@ -142,45 +150,45 @@ type Sec74Row struct {
 // Sec74 evaluates caching capacity and hot-launch latency with the
 // background heap-growth factor at 1.1× and 2×.
 func Sec74(p Params) []Sec74Row {
-	var rows []Sec74Row
+	type cfgLeg struct {
+		pol    android.PolicyKind
+		growth float64
+	}
+	var legs []cfgLeg
 	for _, pol := range []android.PolicyKind{android.PolicyAndroid, android.PolicyFleet} {
 		for _, growth := range []float64{1.1, 2.0} {
-			// Capacity with synthetic apps.
-			cfg := android.DefaultSystemConfig(pol, p.Scale)
-			cfg.Seed = p.Seed
-			cfg.BgHeapGrowth = growth
-			sys := android.NewSystem(cfg)
-			maxCached := 0
-			for i := 0; i < 24; i++ {
-				sys.Launch(apps.SyntheticProfile(fmt.Sprintf("s%d", i), 2048, p.SyntheticFootprint()))
-				sys.Use(p.UseTime + 5*time.Second)
-				if n := sys.AliveCount(); n > maxCached {
-					maxCached = n
-				}
-			}
-
-			// Hot launch medians with the pressure protocol.
-			pq := p.Quick()
-			pop, measured := pressurePopulation(pq, Fig13Apps[:6])
-			run := runHotLaunches(pq, pol, pop, measured, false, growth)
-			med := 0.0
-			n := 0
-			for _, s := range run.All {
-				med += s.Median()
-				n++
-			}
-			if n > 0 {
-				med /= float64(n)
-			}
-			rows = append(rows, Sec74Row{
-				Policy:      pol.String(),
-				Growth:      growth,
-				MaxCached:   maxCached,
-				HotMedianMs: med,
-			})
+			legs = append(legs, cfgLeg{pol, growth})
 		}
 	}
-	return rows
+	// Each policy × growth configuration is a self-contained pair of runs
+	// (capacity sweep + pressure protocol); fan the four legs out.
+	return runner.Map(legs, func(_ int, l cfgLeg) Sec74Row {
+		// Capacity with synthetic apps.
+		cfg := android.DefaultSystemConfig(l.pol, p.Scale)
+		cfg.Seed = p.Seed
+		cfg.BgHeapGrowth = l.growth
+		sys := android.NewSystem(cfg)
+		maxCached := 0
+		for i := 0; i < 24; i++ {
+			sys.Launch(apps.SyntheticProfile(fmt.Sprintf("s%d", i), 2048, p.SyntheticFootprint()))
+			sys.Use(p.UseTime + 5*time.Second)
+			if n := sys.AliveCount(); n > maxCached {
+				maxCached = n
+			}
+		}
+
+		// Hot launch medians with the pressure protocol.
+		pq := p.Quick()
+		pop, measured := pressurePopulation(pq, Fig13Apps[:6])
+		run := runHotLaunches(pq, l.pol, pop, measured, false, l.growth)
+		med := meanOverApps(run.All, func(s *metrics.Sample) float64 { return s.Median() })
+		return Sec74Row{
+			Policy:      l.pol.String(),
+			Growth:      l.growth,
+			MaxCached:   maxCached,
+			HotMedianMs: med,
+		}
+	})
 }
 
 // FormatFig14 renders the frame metrics.

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"fleetsim/internal/android"
@@ -143,6 +144,25 @@ func sampleFor(m map[string]*metrics.Sample, k string) *metrics.Sample {
 		m[k] = s
 	}
 	return s
+}
+
+// meanOverApps averages stat over a per-app sample map in sorted key
+// order. Float addition is order-sensitive, so ranging over the map
+// directly would make results differ bit-for-bit between runs.
+func meanOverApps(m map[string]*metrics.Sample, stat func(*metrics.Sample) float64) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	sum := 0.0
+	for _, k := range keys {
+		sum += stat(m[k])
+	}
+	return sum / float64(len(keys))
 }
 
 // pressurePopulation builds the standard pressure population: the named

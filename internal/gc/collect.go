@@ -88,12 +88,11 @@ func (rs *RememberedSet) Barrier(id heap.ObjectID) {
 	}
 }
 
-// collectCardSeeds scans dirty cards, touching the old objects that live on
-// them and collecting their young references as extra trace seeds. Costs
-// are charged into res.
-func (rs *RememberedSet) collectCardSeeds(res *Result, now time.Duration) []heap.ObjectID {
+// appendCardSeeds scans dirty cards, touching the old objects that live on
+// them and appending their young references to seeds as extra trace
+// seeds. Costs are charged into res.
+func (rs *RememberedSet) appendCardSeeds(seeds []heap.ObjectID, res *Result, now time.Duration) []heap.ObjectID {
 	h := rs.h
-	var seeds []heap.ObjectID
 	rs.table.ScanDirty(true, func(start, size int64) {
 		res.GCThreadCPU += CardScanCPU
 		if start >= h.AddressSpanBytes() {
@@ -103,7 +102,7 @@ func (rs *RememberedSet) collectCardSeeds(res *Result, now time.Duration) []heap
 		if r.Free() {
 			return
 		}
-		for _, id := range objectsOverlapping(h, r, start, size) {
+		forObjectsOverlapping(h, r, start, size, func(id heap.ObjectID) {
 			o := h.Object(id)
 			res.ObjectsTraced++
 			res.BytesTraced += int64(o.Size)
@@ -118,31 +117,30 @@ func (rs *RememberedSet) collectCardSeeds(res *Result, now time.Duration) []heap
 					seeds = append(seeds, ref)
 				}
 			}
-		}
+		})
 	})
 	_ = now
 	return seeds
 }
 
-// objectsOverlapping returns region r's live objects overlapping
-// [start, start+size), using the bump-order invariant of r.Objects.
-func objectsOverlapping(h *heap.Heap, r *heap.Region, start, size int64) []heap.ObjectID {
+// forObjectsOverlapping visits region r's live objects overlapping
+// [start, start+size) in bump order, using the bump-order invariant of
+// r.Objects; it allocates nothing.
+func forObjectsOverlapping(h *heap.Heap, r *heap.Region, start, size int64, fn func(heap.ObjectID)) {
 	objs := r.Objects
 	lo := sort.Search(len(objs), func(i int) bool {
 		o := h.Object(objs[i])
 		return o.Addr+int64(o.Size) > start
 	})
-	var out []heap.ObjectID
 	for i := lo; i < len(objs); i++ {
 		o := h.Object(objs[i])
 		if o.Addr >= start+size {
 			break
 		}
 		if o.Live() && o.Region == r.ID {
-			out = append(out, objs[i])
+			fn(objs[i])
 		}
 	}
-	return out
 }
 
 // Minor runs ART's young-generation concurrent-copying collection: the
@@ -162,10 +160,10 @@ func Minor(h *heap.Heap, rs *RememberedSet, now time.Duration) Result {
 		return res
 	}
 
-	seeds := h.RootSlice()
+	seeds := seedBuf(h)
 	res.PauseSTW += FlipPause + time.Duration(len(seeds))*RootScanCPU
 	if rs != nil {
-		seeds = append(seeds, rs.collectCardSeeds(&res, now)...)
+		seeds = rs.appendCardSeeds(seeds, &res, now)
 	}
 
 	h.BeginTrace()
@@ -175,6 +173,7 @@ func Minor(h *heap.Heap, rs *RememberedSet, now time.Duration) Result {
 		},
 		Now: now,
 	})
+	saveSeeds(h, seeds)
 	res.ObjectsTraced += st.ObjectsTraced
 	res.BytesTraced += st.BytesTraced
 	res.GCThreadCPU += st.CPU
@@ -199,7 +198,7 @@ const EvacuateLiveRatio = 0.75
 // in place.
 func Major(h *heap.Heap, rs *RememberedSet, now time.Duration) Result {
 	res := Result{Kind: KindMajor}
-	seeds := h.RootSlice()
+	seeds := h.Roots()
 	res.PauseSTW += FlipPause + time.Duration(len(seeds))*RootScanCPU
 
 	h.BeginTrace()

@@ -318,7 +318,7 @@ func TestMajorLivenessMatchesReachability(t *testing.T) {
 		// Compute expected reachability independently.
 		expected := make(map[heap.ObjectID]bool)
 		var stack []heap.ObjectID
-		for id := range h.Roots() {
+		for _, id := range h.Roots() {
 			if !expected[id] {
 				expected[id] = true
 				stack = append(stack, id)

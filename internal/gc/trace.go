@@ -48,41 +48,42 @@ type TraceOpts struct {
 	Now time.Duration
 }
 
-type workItem struct {
-	id    heap.ObjectID
-	depth int32
-}
-
 // Trace marks every object reachable from seeds, honouring opts. Seeds are
 // always visited (they are the root set, already known live). The heap's
 // current mark generation must have been started by the caller via
 // BeginTrace; marks survive until the next BeginTrace so collectors can
 // consult them during evacuation.
+//
+// The work queue lives in the heap's TraceScratch and is reused across
+// cycles, so a steady-state trace allocates nothing. Trace is not
+// reentrant for a given heap (one GC thread per runtime, as on the
+// device).
 func Trace(h *heap.Heap, seeds []heap.ObjectID, opts TraceOpts) TraceStats {
 	var st TraceStats
-	var queue []workItem
+	scratch := h.Scratch()
+	queue := scratch.Queue[:0]
 	for _, id := range seeds {
 		if id == heap.NilObject || !h.Object(id).Live() {
 			continue
 		}
 		if h.Mark(id) {
-			queue = append(queue, workItem{id, 0})
+			queue = append(queue, heap.TraceItem{ID: id, Depth: 0})
 		}
 	}
 
-	visit := func(it workItem) {
-		o := h.Object(it.id)
+	visit := func(it heap.TraceItem) {
+		o := h.Object(it.ID)
 		st.ObjectsTraced++
 		st.BytesTraced += int64(o.Size)
 		st.CPU += visitCost(o.Size)
-		if !opts.NoTouch && (opts.ShouldTouch == nil || opts.ShouldTouch(it.id)) {
+		if !opts.NoTouch && (opts.ShouldTouch == nil || opts.ShouldTouch(it.ID)) {
 			st.FaultStall += h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), false)
 		}
-		if int(it.depth) > st.MaxDepth {
-			st.MaxDepth = int(it.depth)
+		if int(it.Depth) > st.MaxDepth {
+			st.MaxDepth = int(it.Depth)
 		}
 		if opts.OnVisit != nil {
-			opts.OnVisit(it.id, int(it.depth))
+			opts.OnVisit(it.ID, int(it.Depth))
 		}
 		for _, ref := range o.Refs {
 			if ref == heap.NilObject {
@@ -99,7 +100,7 @@ func Trace(h *heap.Heap, seeds []heap.ObjectID, opts TraceOpts) TraceStats {
 				continue
 			}
 			if h.Mark(ref) {
-				queue = append(queue, workItem{ref, it.depth + 1})
+				queue = append(queue, heap.TraceItem{ID: ref, Depth: it.Depth + 1})
 			}
 		}
 	}
@@ -114,39 +115,88 @@ func Trace(h *heap.Heap, seeds []heap.ObjectID, opts TraceOpts) TraceStats {
 		for len(queue) > 0 {
 			it := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			it.depth = -1
+			it.Depth = -1
 			visit(it)
 		}
 	}
+	scratch.Queue = queue[:0] // return the (possibly grown) buffer
 	return st
+}
+
+// seedBuf stages the heap's roots into the reusable seed buffer so a
+// collector can append extra seeds (card-derived, stub-derived) without
+// copying the root set through a fresh allocation each cycle.
+func seedBuf(h *heap.Heap) []heap.ObjectID {
+	return append(h.Scratch().Seeds[:0], h.Roots()...)
+}
+
+// saveSeeds returns the (possibly grown) seed buffer to the scratch.
+func saveSeeds(h *heap.Heap, seeds []heap.ObjectID) {
+	h.Scratch().Seeds = seeds[:0]
+}
+
+// DepthTable is a dense ObjectID-indexed table of BFS shortest-path depths
+// from the root set; Unreachable marks objects the trace never saw. Index
+// it directly with an ObjectID (st[id]) or through Of for bounds safety.
+type DepthTable []int32
+
+// Unreachable is the DepthTable entry for objects not reached from roots.
+const Unreachable int32 = -1
+
+// Of returns the depth of id and whether it is reachable.
+func (d DepthTable) Of(id heap.ObjectID) (int, bool) {
+	if int(id) >= len(d) || d[id] == Unreachable {
+		return 0, false
+	}
+	return int(d[id]), true
+}
+
+// Reachable returns the number of reachable objects in the table.
+func (d DepthTable) Reachable() int {
+	n := 0
+	for _, v := range d {
+		if v != Unreachable {
+			n++
+		}
+	}
+	return n
 }
 
 // Depths computes the BFS shortest-path depth from the root set for every
 // reachable object, without touching pages (an analysis helper for the
-// observation figures, Fig. 6). The map holds depth 0 for roots.
-func Depths(h *heap.Heap) map[heap.ObjectID]int {
-	depths := make(map[heap.ObjectID]int)
-	var queue []heap.ObjectID
-	for id := range h.Roots() {
-		if id != heap.NilObject && h.Object(id).Live() {
-			if _, ok := depths[id]; !ok {
-				depths[id] = 0
-				queue = append(queue, id)
-			}
+// observation figures, Fig. 6). Roots have depth 0. The returned table is
+// backed by the heap's scratch and is valid until the next Depths call.
+func Depths(h *heap.Heap) DepthTable {
+	scratch := h.Scratch()
+	n := h.ObjectTableSize()
+	if cap(scratch.Depths) < n {
+		scratch.Depths = make([]int32, n)
+	}
+	depths := scratch.Depths[:n]
+	for i := range depths {
+		depths[i] = Unreachable
+	}
+	queue := scratch.Queue[:0]
+	for _, id := range h.Roots() {
+		if id != heap.NilObject && h.Object(id).Live() && depths[id] == Unreachable {
+			depths[id] = 0
+			queue = append(queue, heap.TraceItem{ID: id})
 		}
 	}
 	for head := 0; head < len(queue); head++ {
-		id := queue[head]
+		id := queue[head].ID
 		d := depths[id]
 		for _, ref := range h.Object(id).Refs {
 			if ref == heap.NilObject || !h.Object(ref).Live() {
 				continue
 			}
-			if _, ok := depths[ref]; !ok {
+			if depths[ref] == Unreachable {
 				depths[ref] = d + 1
-				queue = append(queue, ref)
+				queue = append(queue, heap.TraceItem{ID: ref})
 			}
 		}
 	}
-	return depths
+	scratch.Queue = queue[:0]
+	scratch.Depths = depths
+	return DepthTable(depths)
 }

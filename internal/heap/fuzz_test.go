@@ -135,7 +135,7 @@ func TestHeapRandomOps(t *testing.T) {
 func collectForFuzz(h *Heap, now time.Duration) {
 	h.BeginTrace()
 	var stack []ObjectID
-	for id := range h.Roots() {
+	for _, id := range h.Roots() {
 		if h.Object(id).Live() && h.Mark(id) {
 			stack = append(stack, id)
 		}

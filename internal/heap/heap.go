@@ -152,7 +152,17 @@ type Heap struct {
 	// evacuation uses per-kind to-regions.
 	allocRegion *Region
 
-	roots map[ObjectID]struct{}
+	// The root set is kept as an insertion-ordered dense slice plus a
+	// position index (rootPos[id] = position+1, 0 = not a root), so root
+	// iteration is allocation-free and deterministic and membership is
+	// O(1) without a map.
+	roots   []ObjectID
+	rootPos []int32
+
+	// scratch holds the reusable tracing buffers (work queue, seed list)
+	// shared by every collector running on this heap. A heap is owned by
+	// one simulated runtime, so a single scratch suffices.
+	scratch TraceScratch
 
 	seq     uint64
 	markGen uint32
@@ -183,14 +193,36 @@ type Heap struct {
 // New creates an empty heap for the given address space.
 func New(as *mem.AddressSpace, vm *vmem.Manager) *Heap {
 	h := &Heap{
-		AS:    as,
-		VM:    vm,
-		roots: make(map[ObjectID]struct{}),
+		AS: as,
+		VM: vm,
 	}
 	// Reserve slot 0 as NilObject.
 	h.objects = append(h.objects, Object{})
+	h.rootPos = append(h.rootPos, 0)
 	return h
 }
+
+// TraceItem is one work-queue entry of a tracing pass: an object plus its
+// BFS depth (unused under DFS).
+type TraceItem struct {
+	ID    ObjectID
+	Depth int32
+}
+
+// TraceScratch bundles the reusable buffers collectors need per cycle, so
+// a steady-state trace performs no allocations. Buffers are owned by the
+// heap and handed out via Scratch; tracing is not reentrant per heap.
+type TraceScratch struct {
+	// Queue is the mark work queue (the paper's mark stack / mark queue).
+	Queue []TraceItem
+	// Seeds is the seed staging buffer (roots + card-derived seeds).
+	Seeds []ObjectID
+	// Depths is a dense ObjectID-indexed depth table for analysis passes.
+	Depths []int32
+}
+
+// Scratch returns the heap's reusable trace buffers.
+func (h *Heap) Scratch() *TraceScratch { return &h.scratch }
 
 // Stats returns a copy of the heap counters.
 func (h *Heap) Stats() Stats {
@@ -354,22 +386,45 @@ func (h *Heap) Alloc(size int32, epoch Epoch, now time.Duration) (ObjectID, time
 	return id, stall
 }
 
-// AddRoot registers id as a GC root.
-func (h *Heap) AddRoot(id ObjectID) { h.roots[id] = struct{}{} }
-
-// RemoveRoot unregisters a root.
-func (h *Heap) RemoveRoot(id ObjectID) { delete(h.roots, id) }
-
-// Roots returns the current root set (shared map; do not mutate).
-func (h *Heap) Roots() map[ObjectID]struct{} { return h.roots }
-
-// RootSlice copies the root set into a slice.
-func (h *Heap) RootSlice() []ObjectID {
-	out := make([]ObjectID, 0, len(h.roots))
-	for id := range h.roots {
-		out = append(out, id)
+// AddRoot registers id as a GC root (idempotent).
+func (h *Heap) AddRoot(id ObjectID) {
+	for int(id) >= len(h.rootPos) {
+		h.rootPos = append(h.rootPos, 0)
 	}
-	return out
+	if h.rootPos[id] != 0 {
+		return
+	}
+	h.roots = append(h.roots, id)
+	h.rootPos[id] = int32(len(h.roots))
+}
+
+// RemoveRoot unregisters a root (swap-remove; order of the remaining roots
+// is deterministic given the same Add/Remove history).
+func (h *Heap) RemoveRoot(id ObjectID) {
+	if int(id) >= len(h.rootPos) || h.rootPos[id] == 0 {
+		return
+	}
+	pos := h.rootPos[id] - 1
+	last := h.roots[len(h.roots)-1]
+	h.roots[pos] = last
+	h.rootPos[last] = pos + 1
+	h.roots = h.roots[:len(h.roots)-1]
+	h.rootPos[id] = 0
+}
+
+// IsRoot reports whether id is currently a GC root.
+func (h *Heap) IsRoot(id ObjectID) bool {
+	return int(id) < len(h.rootPos) && h.rootPos[id] != 0
+}
+
+// Roots returns the live root set in insertion order. The slice is shared
+// with the heap: do not mutate or append to it — copy via RootSlice (or
+// stage through Scratch().Seeds) when a collector needs to extend it.
+func (h *Heap) Roots() []ObjectID { return h.roots }
+
+// RootSlice copies the root set into a fresh slice.
+func (h *Heap) RootSlice() []ObjectID {
+	return append([]ObjectID(nil), h.roots...)
 }
 
 // Access simulates a mutator read (or write) of the object: the page is

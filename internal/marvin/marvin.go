@@ -142,7 +142,6 @@ func (m *Marvin) SwapOutCold(now time.Duration, budgetBytes int64) (objects int,
 		last time.Duration
 	}
 	var cands []cand
-	roots := h.Roots()
 	h.Regions(func(r *heap.Region) {
 		if r.Kind == heap.KindCold {
 			return // already a swap region
@@ -152,7 +151,7 @@ func (m *Marvin) SwapOutCold(now time.Duration, budgetBytes int64) (objects int,
 			if !o.Live() || o.Region != r.ID || o.Size < m.Threshold {
 				continue
 			}
-			if _, isRoot := roots[id]; isRoot {
+			if h.IsRoot(id) {
 				continue
 			}
 			if _, done := m.bookmarked[id]; done {
@@ -213,7 +212,7 @@ func (m *Marvin) RunGC(now time.Duration) gc.Result {
 	h := m.h
 	res := gc.Result{Kind: gc.KindBookmark}
 
-	seeds := h.RootSlice()
+	seeds := h.Roots()
 	res.PauseSTW += gc.FlipPause + time.Duration(len(seeds))*gc.RootScanCPU
 	// Consistency STW: reconcile every stub with its object state.
 	res.PauseSTW += time.Duration(len(m.bookmarked)) * StubSTWPerObject

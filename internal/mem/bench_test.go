@@ -1,0 +1,50 @@
+package mem
+
+import (
+	"testing"
+
+	"fleetsim/internal/units"
+)
+
+// BenchmarkPageLookup measures the per-access page lookup that backs
+// vmem.Manager.TouchRange — the hottest function in the simulator (every
+// object access resolves at least one page).
+func BenchmarkPageLookup(b *testing.B) {
+	as := NewAddressSpace("bench")
+	const pages = 16384 // 64 MiB of address space
+	base := as.Reserve(pages * units.PageSize)
+	for i := int64(0); i < pages; i++ {
+		as.PageAt(units.PageIndex(base) + i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var p *Page
+	idx := units.PageIndex(base)
+	for i := 0; i < b.N; i++ {
+		p = as.PageAt(idx + int64(i*37)%pages)
+	}
+	_ = p
+}
+
+// BenchmarkPageRangeWalk measures the range iteration used by madvise,
+// release and prefetch paths (PagesInRange on the seed implementation).
+func BenchmarkPageRangeWalk(b *testing.B) {
+	as := NewAddressSpace("bench")
+	const pages = 16384
+	base := as.Reserve(pages * units.PageSize)
+	for i := int64(0); i < pages; i += 2 { // half instantiated
+		as.PageAt(units.PageIndex(base) + i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = 0
+		for _, p := range as.PagesInRange(base, units.RegionSize) {
+			if p != nil {
+				n++
+			}
+		}
+	}
+	_ = n
+}

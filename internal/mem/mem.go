@@ -73,13 +73,25 @@ type Page struct {
 // Addr returns the virtual byte address of the page start.
 func (p *Page) Addr() int64 { return p.Index * units.PageSize }
 
+// pageChunk is how many Page records are carved from one backing
+// allocation when pages are lazily instantiated.
+const pageChunk = 512
+
 // AddressSpace is one process's anonymous memory, lazily populated.
+//
+// The page table is a contiguous array indexed by page number: the heap
+// and native segments Reserve ranges from a bump pointer starting at 0,
+// so page indexes are dense and a slice beats a hash map on every lookup
+// (the per-object-access hot path). Entries stay nil until first touch;
+// Page records are carved from chunked backing arrays so instantiation
+// costs one allocation per pageChunk pages, not one per page.
 type AddressSpace struct {
 	// Owner is an opaque tag (app name) used in diagnostics and by the
 	// kernel's per-process accounting.
 	Owner string
 
-	pages map[int64]*Page
+	pages []*Page // indexed by page number; nil = never instantiated
+	spare []Page  // chunk allocator for new Page records
 	// brk is the bump pointer for fresh region allocation (bytes).
 	brk int64
 
@@ -89,7 +101,7 @@ type AddressSpace struct {
 
 // NewAddressSpace returns an empty address space for the named owner.
 func NewAddressSpace(owner string) *AddressSpace {
-	return &AddressSpace{Owner: owner, pages: make(map[int64]*Page)}
+	return &AddressSpace{Owner: owner}
 }
 
 // Reserve carves out size bytes of virtual address range (page aligned up)
@@ -98,7 +110,29 @@ func (as *AddressSpace) Reserve(size int64) int64 {
 	base := as.brk
 	n := units.PagesFor(size)
 	as.brk += n * units.PageSize
+	if need := int(as.brk / units.PageSize); need > len(as.pages) {
+		if need <= cap(as.pages) {
+			as.pages = as.pages[:need]
+		} else {
+			grown := make([]*Page, need, need+need/2)
+			copy(grown, as.pages)
+			as.pages = grown
+		}
+	}
 	return base
+}
+
+// newPage instantiates the record for page idx from the chunk allocator.
+func (as *AddressSpace) newPage(idx int64) *Page {
+	if len(as.spare) == 0 {
+		as.spare = make([]Page, pageChunk)
+	}
+	p := &as.spare[0]
+	as.spare = as.spare[1:]
+	p.Space = as
+	p.Index = idx
+	as.pages[idx] = p
+	return p
 }
 
 // Page returns the page containing addr, instantiating it (Unmapped) on
@@ -107,67 +141,86 @@ func (as *AddressSpace) Page(addr int64) *Page {
 	if addr < 0 || addr >= as.brk {
 		panic(fmt.Sprintf("mem: address %#x outside reserved range [0,%#x) of %s", addr, as.brk, as.Owner))
 	}
-	idx := units.PageIndex(addr)
-	p, ok := as.pages[idx]
-	if !ok {
-		p = &Page{Space: as, Index: idx}
-		as.pages[idx] = p
-	}
-	return p
+	return as.PageAt(units.PageIndex(addr))
 }
 
 // PageByIndex returns the page with the given index, or nil if it was never
 // touched.
-func (as *AddressSpace) PageByIndex(idx int64) *Page { return as.pages[idx] }
+func (as *AddressSpace) PageByIndex(idx int64) *Page {
+	if idx < 0 || idx >= int64(len(as.pages)) {
+		return nil
+	}
+	return as.pages[idx]
+}
 
 // PageAt returns the page with the given index, instantiating it on first
-// use. This is the allocation-free fast path for per-access touching.
+// use. This is the allocation-free fast path for per-access touching: a
+// bounds check and one slice load.
 func (as *AddressSpace) PageAt(idx int64) *Page {
-	p, ok := as.pages[idx]
-	if !ok {
-		if idx < 0 || idx*units.PageSize >= as.brk {
-			panic(fmt.Sprintf("mem: page %d outside reserved range of %s", idx, as.Owner))
-		}
-		p = &Page{Space: as, Index: idx}
-		as.pages[idx] = p
+	if idx < 0 || idx >= int64(len(as.pages)) {
+		panic(fmt.Sprintf("mem: page %d outside reserved range of %s", idx, as.Owner))
 	}
-	return p
+	if p := as.pages[idx]; p != nil {
+		return p
+	}
+	return as.newPage(idx)
+}
+
+// ForRange visits every instantiated page overlapping [addr, addr+size)
+// in address order without allocating.
+func (as *AddressSpace) ForRange(addr, size int64, fn func(*Page)) {
+	if size <= 0 {
+		return
+	}
+	first := units.PageIndex(addr)
+	last := units.PageIndex(addr + size - 1)
+	if first < 0 {
+		first = 0
+	}
+	if max := int64(len(as.pages)) - 1; last > max {
+		last = max
+	}
+	for i := first; i <= last; i++ {
+		if p := as.pages[i]; p != nil {
+			fn(p)
+		}
+	}
+}
+
+// EnsureForRange instantiates (but does not make resident) and visits
+// every page of [addr, addr+size) in address order, without allocating
+// beyond the page records themselves.
+func (as *AddressSpace) EnsureForRange(addr, size int64, fn func(*Page)) {
+	if size <= 0 {
+		return
+	}
+	first := units.PageIndex(addr)
+	last := units.PageIndex(addr + size - 1)
+	for i := first; i <= last; i++ {
+		fn(as.PageAt(i))
+	}
 }
 
 // PagesInRange returns every instantiated page overlapping [addr,
-// addr+size).
+// addr+size). Prefer ForRange on hot paths; this allocates the result.
 func (as *AddressSpace) PagesInRange(addr, size int64) []*Page {
 	if size <= 0 {
 		return nil
 	}
-	first := units.PageIndex(addr)
-	last := units.PageIndex(addr + size - 1)
-	out := make([]*Page, 0, last-first+1)
-	for i := first; i <= last; i++ {
-		if p, ok := as.pages[i]; ok {
-			out = append(out, p)
-		}
-	}
+	out := make([]*Page, 0, units.PageIndex(addr+size-1)-units.PageIndex(addr)+1)
+	as.ForRange(addr, size, func(p *Page) { out = append(out, p) })
 	return out
 }
 
 // EnsureRange instantiates (but does not make resident) every page in
-// [addr, addr+size) and returns them in order.
+// [addr, addr+size) and returns them in order. Prefer EnsureForRange on
+// hot paths; this allocates the result.
 func (as *AddressSpace) EnsureRange(addr, size int64) []*Page {
 	if size <= 0 {
 		return nil
 	}
-	first := units.PageIndex(addr)
-	last := units.PageIndex(addr + size - 1)
-	out := make([]*Page, 0, last-first+1)
-	for i := first; i <= last; i++ {
-		p, ok := as.pages[i]
-		if !ok {
-			p = &Page{Space: as, Index: i}
-			as.pages[i] = p
-		}
-		out = append(out, p)
-	}
+	out := make([]*Page, 0, units.PageIndex(addr+size-1)-units.PageIndex(addr)+1)
+	as.EnsureForRange(addr, size, func(p *Page) { out = append(out, p) })
 	return out
 }
 
@@ -185,10 +238,12 @@ func (as *AddressSpace) FootprintBytes() int64 {
 	return (as.resident + as.swapped) * units.PageSize
 }
 
-// ForEachPage visits every instantiated page (in unspecified order).
+// ForEachPage visits every instantiated page in address order.
 func (as *AddressSpace) ForEachPage(fn func(*Page)) {
 	for _, p := range as.pages {
-		fn(p)
+		if p != nil {
+			fn(p)
+		}
 	}
 }
 

@@ -185,9 +185,7 @@ func (m *Manager) Release(p *mem.Page) {
 
 // ReleaseRange frees every instantiated page in [addr, addr+size).
 func (m *Manager) ReleaseRange(as *mem.AddressSpace, addr, size int64) {
-	for _, p := range as.PagesInRange(addr, size) {
-		m.Release(p)
-	}
+	as.ForRange(addr, size, func(p *mem.Page) { m.Release(p) })
 }
 
 // ReleaseSpace frees every page of an address space (process death).
@@ -203,9 +201,9 @@ func (m *Manager) ReleaseSpace(as *mem.AddressSpace) {
 // (Fleet issues it from a background thread).
 func (m *Manager) AdviseCold(as *mem.AddressSpace, addr, size int64) time.Duration {
 	var io time.Duration
-	for _, p := range as.PagesInRange(addr, size) {
+	as.ForRange(addr, size, func(p *mem.Page) {
 		if p.State != mem.PageResident || p.Pinned {
-			continue
+			return
 		}
 		p.Hot = false
 		if m.Swap.FreeSlots() > 0 {
@@ -216,7 +214,7 @@ func (m *Manager) AdviseCold(as *mem.AddressSpace, addr, size int64) time.Durati
 		} else {
 			m.lru.moveToInactiveTail(p)
 		}
-	}
+	})
 	return io
 }
 
@@ -224,20 +222,18 @@ func (m *Manager) AdviseCold(as *mem.AddressSpace, addr, size int64) time.Durati
 // launch-critical and rotate them to the hottest LRU position so reclaim
 // avoids them while anything else is evictable (§5.3.2).
 func (m *Manager) AdviseHot(as *mem.AddressSpace, addr, size int64) {
-	for _, p := range as.PagesInRange(addr, size) {
+	as.ForRange(addr, size, func(p *mem.Page) {
 		p.Hot = true
 		if p.State == mem.PageResident {
 			m.lru.moveToActiveHead(p)
 		}
-	}
+	})
 }
 
 // AdviseNormal clears HOT_RUNTIME advice (Fleet stops once the app returns
 // to a stable foreground state).
 func (m *Manager) AdviseNormal(as *mem.AddressSpace, addr, size int64) {
-	for _, p := range as.PagesInRange(addr, size) {
-		p.Hot = false
-	}
+	as.ForRange(addr, size, func(p *mem.Page) { p.Hot = false })
 }
 
 // Pin marks pages unevictable (Marvin keeps sub-threshold objects and its
@@ -245,16 +241,12 @@ func (m *Manager) AdviseNormal(as *mem.AddressSpace, addr, size int64) {
 // fault pages in: already-resident pages stay put, and swapped pages become
 // pinned as they fault back through Touch.
 func (m *Manager) Pin(as *mem.AddressSpace, addr, size int64) {
-	for _, p := range as.EnsureRange(addr, size) {
-		p.Pinned = true
-	}
+	as.EnsureForRange(addr, size, func(p *mem.Page) { p.Pinned = true })
 }
 
 // Unpin clears the unevictable mark.
 func (m *Manager) Unpin(as *mem.AddressSpace, addr, size int64) {
-	for _, p := range as.PagesInRange(addr, size) {
-		p.Pinned = false
-	}
+	as.ForRange(addr, size, func(p *mem.Page) { p.Pinned = false })
 }
 
 // Prefetch swap-ins every swapped page of [addr, addr+size) at sequential
@@ -264,13 +256,13 @@ func (m *Manager) Unpin(as *mem.AddressSpace, addr, size int64) {
 func (m *Manager) Prefetch(as *mem.AddressSpace, addr, size int64) (int64, time.Duration) {
 	var pages int64
 	var io time.Duration
-	for _, p := range as.PagesInRange(addr, size) {
+	as.ForRange(addr, size, func(p *mem.Page) {
 		if p.State != mem.PageSwapped {
-			continue
+			return
 		}
 		io += m.ensureFrame(1)
 		if p.State != mem.PageSwapped {
-			continue // released by the pressure callback mid-prefetch
+			return // released by the pressure callback mid-prefetch
 		}
 		io += m.Swap.ReadPageSequential()
 		m.Phys.MakeResident(p)
@@ -278,7 +270,7 @@ func (m *Manager) Prefetch(as *mem.AddressSpace, addr, size int64) (int64, time.
 		m.lru.insert(p)
 		m.stats.SwapIns++
 		pages++
-	}
+	})
 	m.balance()
 	return pages, io
 }
