@@ -5,7 +5,8 @@
 //	fleetsim all
 //
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig11a fig11b fig11c fig12a
-// fig12b fig13 fig14 fig15 fig16 tab1 tab2 tab3 sec73 sec74.
+// fig12b fig13 fig14 fig15 fig16 tab1 tab2 tab3 sec73 sec74, plus the
+// fault-injection chaos harness (`fleetsim chaos -seeds N`).
 //
 // Experiments run concurrently on a worker pool (-parallel; default
 // GOMAXPROCS), and each experiment's internal policy legs fan out on the
@@ -19,11 +20,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fleetsim/fleet"
 )
+
+// chaosFailed latches a chaos-harness failure (experiments may run on
+// worker goroutines) so main can exit non-zero.
+var chaosFailed atomic.Bool
 
 var (
 	scale      = flag.Int64("scale", 32, "device scale divisor (1 = full Pixel 3; larger = faster runs)")
@@ -31,6 +38,7 @@ var (
 	seed       = flag.Uint64("seed", 1, "simulation seed")
 	quick      = flag.Bool("quick", false, "reduced rounds for a fast pass")
 	parallel   = flag.Int("parallel", 0, "worker count for experiment legs (0 = GOMAXPROCS, 1 = serial)")
+	seeds      = flag.Int("seeds", 3, "seeds per fault profile for the chaos harness")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -164,6 +172,13 @@ var table = []experiment{
 	{"extadvice", "ablation: madvise halves (COLD/HOT_RUNTIME)", func(p fleet.Params) string {
 		return fleet.FormatExt("Ablation — runtime-guided swap advice", fleet.ExtAdviceAblation(p))
 	}},
+	{"chaos", "fault-injection chaos harness (3 profiles x -seeds seeds, determinism + invariants)", func(p fleet.Params) string {
+		rows := fleet.Chaos(p, *seeds)
+		if !fleet.ChaosPassed(rows) {
+			chaosFailed.Store(true)
+		}
+		return fleet.FormatChaos(rows)
+	}},
 	{"trace", "dump a systrace-style event log of a Fleet scenario (CSV)", func(p fleet.Params) string {
 		sys := fleet.NewSystem(fleet.DefaultSystemConfig(fleet.PolicyFleet, p.Scale))
 		log := sys.EnableTrace(0)
@@ -190,7 +205,7 @@ func main() {
 		for _, e := range table {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
 		}
-		fmt.Fprintf(os.Stderr, "  %-8s %s\n\nflags:\n", "all", "run everything except the CSV dumps")
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n\nflags:\n", "all", "run everything except the CSV dumps and chaos")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -215,13 +230,35 @@ func main() {
 
 	p := params()
 	want := map[string]bool{}
-	for _, a := range flag.Args() {
-		want[strings.ToLower(a)] = true
+	args := flag.Args()
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		// Accept `fleetsim chaos -seeds 5`: the flag package stops at the
+		// first experiment name, so pick up a trailing -seeds by hand.
+		switch {
+		case a == "-seeds" || a == "--seeds":
+			i++
+			if i >= len(args) {
+				fmt.Fprintln(os.Stderr, "fleetsim: -seeds needs a value")
+				os.Exit(2)
+			}
+			a = "-seeds=" + args[i]
+			fallthrough
+		case strings.HasPrefix(a, "-seeds=") || strings.HasPrefix(a, "--seeds="):
+			n, err := strconv.Atoi(a[strings.Index(a, "=")+1:])
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "fleetsim: bad -seeds value %q\n", a)
+				os.Exit(2)
+			}
+			*seeds = n
+		default:
+			want[strings.ToLower(a)] = true
+		}
 	}
 	var selected []experiment
 	for _, e := range table {
-		if want["all"] && (e.name == "fig4" || e.name == "fig12b" || e.name == "trace") {
-			continue // CSV dumps are opt-in
+		if want["all"] && (e.name == "fig4" || e.name == "fig12b" || e.name == "trace" || e.name == "chaos") {
+			continue // CSV dumps and the chaos harness are opt-in
 		}
 		if !want["all"] && !want[e.name] {
 			continue
@@ -287,5 +324,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if chaosFailed.Load() {
+		fmt.Fprintln(os.Stderr, "fleetsim: chaos harness detected invariant violations or nondeterminism")
+		os.Exit(1)
 	}
 }

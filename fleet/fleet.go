@@ -44,6 +44,7 @@ import (
 	"fleetsim/internal/apps"
 	"fleetsim/internal/core"
 	"fleetsim/internal/experiments"
+	"fleetsim/internal/faults"
 	"fleetsim/internal/runner"
 )
 
@@ -199,6 +200,31 @@ var (
 	FormatExt    = experiments.FormatExt
 	FormatSec74  = experiments.FormatSec74
 )
+
+// FaultProfile declares a deterministic fault schedule (swap stalls,
+// device-offline windows, slot squeezes, pressure storms, app crashes).
+// Attach one via SystemConfig.Faults; see internal/faults for semantics.
+type FaultProfile = faults.Profile
+
+// FaultProfiles returns the standard chaos suite (swap-stress,
+// slot-squeeze, crash-monkey) at a device scale.
+func FaultProfiles(scale int64) []FaultProfile { return faults.Profiles(scale) }
+
+// ChaosRow summarises one (profile, seed) chaos run.
+type ChaosRow = experiments.ChaosRow
+
+// Chaos runs the fault-injection chaos harness: the standard profile suite
+// over the given seed count, every cell executed twice to verify
+// bit-for-bit determinism, with the cross-layer invariant checker on
+// throughout.
+func Chaos(p Params, seeds int) []ChaosRow { return experiments.Chaos(p, seeds) }
+
+// ChaosPassed reports whether every chaos cell was deterministic and
+// violation free.
+func ChaosPassed(rows []ChaosRow) bool { return experiments.ChaosPassed(rows) }
+
+// FormatChaos renders the chaos table plus a PASS/FAIL verdict line.
+func FormatChaos(rows []ChaosRow) string { return experiments.FormatChaos(rows) }
 
 // Use is a readability alias: sys.Use(d) advances simulated time by d with
 // the current foreground app in use.

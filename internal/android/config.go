@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fleetsim/internal/core"
+	"fleetsim/internal/faults"
 	"fleetsim/internal/units"
 	"fleetsim/internal/vmem"
 )
@@ -159,6 +160,19 @@ type SystemConfig struct {
 
 	// Seed feeds every per-app RNG.
 	Seed uint64
+
+	// Faults, when non-nil, attaches a deterministic fault injector
+	// (swap stalls, offline windows, slot squeezes, pressure storms, app
+	// crashes) seeded from Seed. See internal/faults.
+	Faults *faults.Profile
+
+	// CheckInvariants runs the cross-layer consistency checker
+	// (internal/faults.Check) after every GC and every InvariantEvery-th
+	// reclaim pass, recording violations in Metrics.
+	CheckInvariants bool
+	// InvariantEvery samples reclaim-time checks (default 64; reclaim is
+	// hot and the sweep is O(pages+objects)).
+	InvariantEvery int
 }
 
 // DefaultSystemConfig returns the evaluation defaults at the given scale.

@@ -69,11 +69,24 @@ type Metrics struct {
 
 	// Kills is the lmkd kill count; AliveHighWater the most apps ever
 	// cached+running simultaneously. HardKills are out-of-memory kills
-	// (reclaim failed); PSIKills are thrash-detector kills.
+	// (reclaim failed); PSIKills are thrash-detector kills. OOMKills count
+	// processes whose own allocation hit ErrOOM after lmkd escalation ran
+	// dry (the Android OOM-killer analogue); CrashKills count processes
+	// that died on an injected crash or a non-OOM fault.
 	Kills          int
 	HardKills      int
 	PSIKills       int
+	OOMKills       int
+	CrashKills     int
 	AliveHighWater int
+
+	// InvariantChecks counts cross-layer consistency sweeps run (when
+	// SystemConfig.CheckInvariants is on); InvariantFails counts sweeps
+	// that found at least one violation, with the first violations kept in
+	// InvariantViolations (capped).
+	InvariantChecks     int64
+	InvariantFails      int64
+	InvariantViolations []string
 
 	// AliveTrace records the alive-app count after each launch
 	// (Fig. 11's y-axis).

@@ -152,6 +152,9 @@ func (p *Proc) finishGC(now time.Duration, res gc.Result, background bool) {
 	// feeds the lmkd thrash detector.
 	p.sys.gcFaultCum += res.GCFaultStall
 	p.sys.Clock.Advance(res.GCFaultStall)
+	if p.sys.Cfg.CheckInvariants {
+		p.sys.CheckInvariants()
+	}
 }
 
 // maybeThresholdGC runs a collection if the heap-growth controller says so,

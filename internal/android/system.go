@@ -1,11 +1,14 @@
 package android
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"fleetsim/internal/apps"
+	"fleetsim/internal/faults"
 	"fleetsim/internal/gc"
+	"fleetsim/internal/heap"
 	"fleetsim/internal/mem"
 	"fleetsim/internal/simclock"
 	"fleetsim/internal/trace"
@@ -25,9 +28,13 @@ type System struct {
 	// events (the systrace analogue).
 	Trace *trace.Log
 
-	rng   *xrand.Rand
-	procs []*Proc
-	fg    *Proc
+	// Injector is the fault injector (nil unless Cfg.Faults is set).
+	Injector *faults.Injector
+
+	rng      *xrand.Rand
+	procs    []*Proc
+	fg       *Proc
+	reclaims int64
 
 	// PSI lmkd state: samples of (time, cumulative GC-induced swap-in
 	// stall) — see psiTick.
@@ -61,7 +68,90 @@ func NewSystem(cfg SystemConfig) *System {
 	if cfg.PSIWindow > 0 {
 		s.Clock.ScheduleAfter(time.Second, "psi", s.psiTick)
 	}
+	if cfg.Faults != nil {
+		s.Injector = faults.NewInjector(*cfg.Faults, cfg.Seed^0x9e3779b97f4a7c15, s.Clock, s.VM)
+		s.Injector.OnAppCrash = s.crashKill
+		s.Injector.Start()
+	}
+	if cfg.CheckInvariants {
+		every := int64(cfg.InvariantEvery)
+		if every <= 0 {
+			every = 64
+		}
+		s.VM.AfterReclaim = func() {
+			s.reclaims++
+			if s.reclaims%every == 0 {
+				s.CheckInvariants()
+			}
+		}
+	}
 	return s
+}
+
+// CheckInvariants cross-validates heap-region accounting against the page
+// table, the LRU lists and the swap device across every process (plus the
+// injector's own storm space). Violations are recorded in Metrics and
+// returned; an empty slice means the layers agree.
+func (s *System) CheckInvariants() []string {
+	s.M.InvariantChecks++
+	spaces := make([]*mem.AddressSpace, 0, 2*len(s.procs)+1)
+	heaps := make([]*heap.Heap, 0, len(s.procs))
+	for _, p := range s.procs {
+		spaces = append(spaces, p.App.H.AS, p.App.NativeAS)
+		heaps = append(heaps, p.App.H)
+	}
+	if s.Injector != nil {
+		spaces = append(spaces, s.Injector.Spaces()...)
+	}
+	v := faults.Check(s.VM, spaces, heaps)
+	if len(v) > 0 {
+		s.M.InvariantFails++
+		if room := 32 - len(s.M.InvariantViolations); room > 0 {
+			if len(v) < room {
+				room = len(v)
+			}
+			s.M.InvariantViolations = append(s.M.InvariantViolations, v[:room]...)
+		}
+	}
+	return v
+}
+
+// oomKill is the last-resort OOM path. By the time an ErrOOM reaches here,
+// ensureFrame has already escalated through reclaim and lmkd's background
+// victims and found nothing, so the faulting process itself dies — the
+// Android OOM-killer analogue — and the simulation continues instead of
+// aborting. Non-OOM faults (latched corruption) kill the process too, but
+// are counted as crashes.
+func (s *System) oomKill(p *Proc, err error) {
+	if !p.alive {
+		return
+	}
+	if errors.Is(err, vmem.ErrOOM) {
+		s.M.OOMKills++
+		s.Trace.Emit(trace.Event{At: s.Clock.Now(), Kind: trace.KindKill, App: p.Name(), Detail: "oom"})
+	} else {
+		s.M.CrashKills++
+		s.Trace.Emit(trace.Event{At: s.Clock.Now(), Kind: trace.KindKill, App: p.Name(), Detail: "fault"})
+	}
+	s.Kill(p)
+}
+
+// crashKill is the injected app-crash fault: a deterministically chosen
+// cached app dies (the SIGSEGV analogue), exercising cold-relaunch paths.
+func (s *System) crashKill(r *xrand.Rand) {
+	var cands []*Proc
+	for _, p := range s.procs {
+		if p.alive && p.state == StateBackground {
+			cands = append(cands, p)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	victim := cands[r.Intn(len(cands))]
+	s.M.CrashKills++
+	s.Trace.Emit(trace.Event{At: s.Clock.Now(), Kind: trace.KindKill, App: victim.Name(), Detail: "crash"})
+	s.Kill(victim)
 }
 
 // psiTick is the pressure-stall monitor of lmkd: a sustained rate of
@@ -184,15 +274,22 @@ func (s *System) Launch(profile apps.Profile) *Proc {
 	p.wirePolicy()
 	s.procs = append(s.procs, p)
 
-	stall := app.BuildInitial(now)
+	stall, lerr := app.BuildInitial(now)
 	// Settle the fresh heap with one collection, as a real cold start's
 	// early GCs would.
 	res := p.foregroundGC(s.Clock.Now())
+	if lerr == nil {
+		lerr = res.Err
+	}
 	t := profile.ColdLaunchCPU + stall + res.PauseSTW
 	s.Clock.Advance(profile.ColdLaunchCPU + stall)
 	s.M.Launches = append(s.M.Launches, LaunchRecord{App: profile.Name, Hot: false, Time: t, At: now})
 	s.Trace.Emit(trace.Event{At: now, Kind: trace.KindLaunch, App: profile.Name, Detail: "cold", Dur: t})
-	s.makeForeground(p)
+	if lerr != nil {
+		s.oomKill(p, lerr)
+	} else {
+		s.makeForeground(p)
+	}
 	s.noteAlive()
 	return p
 }
@@ -217,30 +314,50 @@ func (s *System) SwitchTo(p *Proc) (time.Duration, *Proc) {
 	// launch objects scatter) plus the launch-critical head of the native
 	// segment. The sequential IO is part of the perceived launch time.
 	var prefetchIO time.Duration
+	var lerr error
 	if s.Cfg.LaunchPrefetch {
-		_, io := s.VM.Prefetch(p.App.H.AS, 0, p.App.H.AddressSpanBytes())
+		_, io, perr := s.VM.Prefetch(p.App.H.AS, 0, p.App.H.AddressSpanBytes())
 		head := int64(float64(p.App.Profile.NativeBytes()) * p.App.Profile.LaunchNativeFrac)
-		_, io2 := s.VM.Prefetch(p.App.NativeAS, 0, head)
+		_, io2, perr2 := s.VM.Prefetch(p.App.NativeAS, 0, head)
 		prefetchIO = io + io2
+		lerr = firstErr(perr, perr2)
 	}
 
 	// Hot launch: re-access the launch working set (faulting whatever the
 	// swap policy let slip out), run the launch allocation burst, and pay
 	// for any GC the burst triggers — it runs concurrently but competes
 	// for the swap device and stops the world (§4.2).
-	stall := prefetchIO + p.App.HotLaunchAccess(now)
-	stall += p.App.LaunchAllocBurst(now)
+	hstall, herr := p.App.HotLaunchAccess(now)
+	stall := prefetchIO + hstall
+	bstall, berr := p.App.LaunchAllocBurst(now)
+	stall += bstall
+	lerr = firstErr(lerr, herr, berr)
 	var gcTime time.Duration
 	if res, ran := p.maybeThresholdGC(now, true); ran {
 		gcTime = res.PauseSTW + res.GCFaultStall
+		lerr = firstErr(lerr, res.Err)
 	}
 	t := p.App.HotLaunchCPU + stall + gcTime
 	s.Clock.Advance(p.App.HotLaunchCPU + stall)
 	s.M.Launches = append(s.M.Launches, LaunchRecord{App: p.App.Name, Hot: true, Time: t, At: now})
 	s.Trace.Emit(trace.Event{At: now, Kind: trace.KindLaunch, App: p.App.Name, Detail: "hot", Dur: t})
-	s.makeForeground(p)
+	if lerr != nil {
+		s.oomKill(p, lerr)
+	} else {
+		s.makeForeground(p)
+	}
 	s.noteAlive()
 	return t, p
+}
+
+// firstErr returns the first non-nil error of errs.
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 func (s *System) noteAlive() {
@@ -303,6 +420,10 @@ func (s *System) toBackground(p *Proc) {
 			}
 			res := p.Fleet.RunGrouping(c.Now())
 			p.finishGC(c.Now(), res, true)
+			if res.Err != nil {
+				s.oomKill(p, res.Err)
+				return
+			}
 			// Periodic HOT_RUNTIME refresh while cached.
 			var refresh func(c *simclock.Clock)
 			refresh = func(c *simclock.Clock) {
@@ -320,8 +441,11 @@ func (s *System) toBackground(p *Proc) {
 			if !p.alive || p.state != StateBackground || p.bgSeq != seq {
 				return
 			}
-			p.backgroundGC(c.Now())
+			res := p.backgroundGC(c.Now())
 			p.lastFullGC = c.Now()
+			if res.Err != nil {
+				s.oomKill(p, res.Err)
+			}
 		})
 	}
 }
@@ -333,12 +457,17 @@ func (p *Proc) fgTickEvent(c *simclock.Clock) {
 		return
 	}
 	now := c.Now()
-	stall := p.App.ForegroundTick(now, s.Cfg.FgTick)
+	stall, err := p.App.ForegroundTick(now, s.Cfg.FgTick)
 	var pause time.Duration
 	if res, ran := p.maybeThresholdGC(now, false); ran {
 		pause = res.PauseSTW
+		err = firstErr(err, res.Err)
 	}
 	p.accountFrames(s.Cfg.FgTick, stall+pause)
+	if err != nil {
+		s.oomKill(p, err)
+		return
+	}
 	s.Clock.ScheduleAfter(s.Cfg.FgTick, p.Name()+"-fg", p.fgTickEvent)
 }
 
@@ -374,14 +503,20 @@ func (p *Proc) bgTickEvent(c *simclock.Clock, seq int) {
 		return
 	}
 	now := c.Now()
-	p.App.BackgroundTick(now, s.Cfg.BgTick)
+	_, err := p.App.BackgroundTick(now, s.Cfg.BgTick)
 	s.M.cpu(p.App.Name).Mutator += s.Cfg.BgTick / 100
 
-	if _, ran := p.maybeThresholdGC(now, true); ran {
+	if res, ran := p.maybeThresholdGC(now, true); ran {
 		p.lastFullGC = now
+		err = firstErr(err, res.Err)
 	} else if now-p.lastFullGC >= s.Cfg.BgGCPeriod {
-		p.backgroundGC(now)
+		res := p.backgroundGC(now)
 		p.lastFullGC = now
+		err = firstErr(err, res.Err)
+	}
+	if err != nil {
+		s.oomKill(p, err)
+		return
 	}
 	s.Clock.ScheduleAfter(s.Cfg.BgTick, p.Name()+"-bg", func(c *simclock.Clock) {
 		p.bgTickEvent(c, seq)

@@ -59,6 +59,12 @@ type App struct {
 	// chains). heap.LiveBytes() also counts not-yet-collected garbage, so
 	// steady-state sizing must use this instead.
 	dataBytes int64
+
+	// err latches the first memory fault (ErrOOM, …) hit inside the
+	// current public call; loops bail once it is set so a doomed app does
+	// not spin through its whole tick budget. Each public method returns
+	// and clears it.
+	err error
 }
 
 const recentPoolCap = 4096
@@ -81,10 +87,28 @@ func NewApp(p Profile, r *xrand.Rand, vm *vmem.Manager) *App {
 	return a
 }
 
+// note accumulates a (stall, err) pair: the first error is latched, the
+// stall always counts (the thread paid it before the fault surfaced).
+func (a *App) note(stall time.Duration, err error) time.Duration {
+	if err != nil && a.err == nil {
+		a.err = err
+	}
+	return stall
+}
+
+// takeErr returns and clears the latched fault for a public method's
+// return value.
+func (a *App) takeErr() error {
+	err := a.err
+	a.err = nil
+	return err
+}
+
 // alloc allocates one object, runs the policy hook and returns (id, stall).
 func (a *App) alloc(size int32, epoch heap.Epoch, now time.Duration) (heap.ObjectID, time.Duration) {
-	id, stall := a.H.Alloc(size, epoch, now)
-	if a.OnAlloc != nil {
+	id, stall, err := a.H.Alloc(size, epoch, now)
+	stall = a.note(stall, err)
+	if id != heap.NilObject && a.OnAlloc != nil {
 		a.OnAlloc(id)
 	}
 	return id, stall
@@ -93,47 +117,51 @@ func (a *App) alloc(size int32, epoch heap.Epoch, now time.Duration) (heap.Objec
 // BuildInitial constructs the app's steady-state object graph and touches
 // its native memory — the "start and use it in the foreground" phase of the
 // paper's experiments. Returns the total fault stall (part of cold-launch
-// time).
-func (a *App) BuildInitial(now time.Duration) time.Duration {
+// time) and the first memory fault hit, if any (the caller decides whether
+// the process survives).
+func (a *App) BuildInitial(now time.Duration) (time.Duration, error) {
 	var stall time.Duration
 	r, s := a.alloc(64, heap.EpochForeground, now)
 	a.root = r
 	stall += s
+	if a.err != nil {
+		return stall, a.takeErr()
+	}
 	a.H.AddRoot(a.root)
 
 	sc, s2 := a.alloc(64, heap.EpochForeground, now)
 	a.scratch = sc
 	stall += s2
-	a.H.AddRef(a.root, a.scratch, now)
+	stall += a.note(a.H.AddRef(a.root, a.scratch, now))
 
 	bc, s3 := a.alloc(64, heap.EpochForeground, now)
 	a.bgContainer = bc
 	stall += s3
-	a.H.AddRef(a.root, a.bgContainer, now)
+	stall += a.note(a.H.AddRef(a.root, a.bgContainer, now))
 
 	// Near-root structure: activities (depth 1) and views (depth 2) sized
 	// so that NRO(D=2) lands near the paper's ~10% of heap bytes.
 	const nActivities = 8
 	nroBudget := a.JavaHeapBytes / 10
-	for i := 0; i < nActivities; i++ {
+	for i := 0; i < nActivities && a.err == nil; i++ {
 		act, s := a.alloc(128, heap.EpochForeground, now)
 		stall += s
-		a.H.AddRef(a.root, act, now)
+		stall += a.note(a.H.AddRef(a.root, act, now))
 		a.activities = append(a.activities, act)
 	}
 	var nroBytes int64
-	for nroBytes < nroBudget {
+	for nroBytes < nroBudget && a.err == nil {
 		v, s := a.alloc(a.Sizes.Sample(a.R), heap.EpochForeground, now)
 		stall += s
 		act := a.activities[a.R.Intn(len(a.activities))]
-		a.H.AddRef(act, v, now)
+		stall += a.note(a.H.AddRef(act, v, now))
 		a.views = append(a.views, v)
 		nroBytes += int64(a.H.Object(v).Size)
 	}
 	a.dataBytes += nroBytes
 
 	// Deep bulk data until the heap reaches its steady-state size.
-	for a.dataBytes < a.JavaHeapBytes {
+	for a.dataBytes < a.JavaHeapBytes && a.err == nil {
 		s, bytes := a.growChain(now, heap.EpochForeground)
 		stall += s
 		a.dataBytes += bytes
@@ -141,10 +169,10 @@ func (a *App) BuildInitial(now time.Duration) time.Duration {
 
 	// Touch the native segment once (initialisation), making it resident
 	// until memory pressure says otherwise.
-	if a.nativeSize > 0 {
-		stall += a.VM.TouchRange(a.NativeAS, a.nativeBase, a.nativeSize, true)
+	if a.nativeSize > 0 && a.err == nil {
+		stall += a.note(a.VM.TouchRange(a.NativeAS, a.nativeBase, a.nativeSize, true))
 	}
-	return stall
+	return stall, a.takeErr()
 }
 
 // growChain adds one new chain of deep objects under a random view,
@@ -162,9 +190,9 @@ func (a *App) growChain(now time.Duration, epoch heap.Epoch) (time.Duration, int
 		stall += s
 		bytes += int64(size)
 		if i == 0 {
-			stall += a.H.SetRef(view, c.slot, id, now)
+			stall += a.note(a.H.SetRef(view, c.slot, id, now))
 		} else {
-			stall += a.H.AddRef(parent, id, now)
+			stall += a.note(a.H.AddRef(parent, id, now))
 		}
 		c.ids = append(c.ids, id)
 		parent = id
@@ -189,7 +217,7 @@ func (a *App) dropChain(now time.Duration) time.Duration {
 	for _, id := range c.ids {
 		a.dataBytes -= int64(a.H.Object(id).Size)
 	}
-	stall := a.H.SetRef(c.view, c.slot, heap.NilObject, now)
+	stall := a.note(a.H.SetRef(c.view, c.slot, heap.NilObject, now))
 	a.chains[i] = a.chains[len(a.chains)-1]
 	a.chains = a.chains[:len(a.chains)-1]
 	// The recency pools may still name the dropped objects; readers guard
@@ -214,20 +242,21 @@ func pushRecent(pool []heap.ObjectID, id heap.ObjectID) []heap.ObjectID {
 
 // ForegroundTick advances dt of foreground usage: allocation churn (young
 // garbage + surviving structure/data), object accesses, native working-set
-// touches. Returns the mutator's synchronous fault stall for the tick.
-func (a *App) ForegroundTick(now, dt time.Duration) time.Duration {
+// touches. Returns the mutator's synchronous fault stall for the tick and
+// the first memory fault, if any.
+func (a *App) ForegroundTick(now, dt time.Duration) (time.Duration, error) {
 	var stall time.Duration
 	// Young garbage from the previous tick dies now.
-	stall += a.H.ClearRefs(a.scratch, now)
+	stall += a.note(a.H.ClearRefs(a.scratch, now))
 
 	budget := int64(float64(a.FgAllocRate) * dt.Seconds())
-	for spent := int64(0); spent < budget; {
+	for spent := int64(0); spent < budget && a.err == nil; {
 		size := a.Sizes.Sample(a.R)
 		spent += int64(size)
 		if a.R.Bool(a.GarbageFrac) {
 			id, s := a.alloc(size, heap.EpochForeground, now)
 			stall += s
-			stall += a.H.AddRef(a.scratch, id, now)
+			stall += a.note(a.H.AddRef(a.scratch, id, now))
 			continue
 		}
 		// Survivor: occasionally new near-root structure, else deep data.
@@ -235,7 +264,7 @@ func (a *App) ForegroundTick(now, dt time.Duration) time.Duration {
 			id, s := a.alloc(size, heap.EpochForeground, now)
 			stall += s
 			act := a.activities[a.R.Intn(len(a.activities))]
-			stall += a.H.AddRef(act, id, now)
+			stall += a.note(a.H.AddRef(act, id, now))
 			a.views = append(a.views, id)
 			a.recentNear = pushRecent(a.recentNear, id)
 			a.dataBytes += int64(size)
@@ -257,17 +286,17 @@ func (a *App) ForegroundTick(now, dt time.Duration) time.Duration {
 	}
 
 	// Accesses: recency-skewed over structure, recent and bulk pools.
-	for i := 0; i < a.FgAccessesPerTick; i++ {
+	for i := 0; i < a.FgAccessesPerTick && a.err == nil; i++ {
 		id := a.sampleAccess()
 		if id != heap.NilObject {
-			stall += a.H.Access(id, a.R.Bool(0.3), now)
+			stall += a.note(a.H.Access(id, a.R.Bool(0.3), now))
 		}
 	}
 
 	// Native working set: the launch-critical head of the segment stays
 	// warm, and a rotating random window models content churn (new
 	// bitmaps, decoded media) across the rest.
-	if a.nativeSize > 0 {
+	if a.nativeSize > 0 && a.err == nil {
 		head := int64(float64(a.nativeSize) * a.LaunchNativeFrac)
 		if head > 0 {
 			chunk := head / 4
@@ -281,7 +310,7 @@ func (a *App) ForegroundTick(now, dt time.Duration) time.Duration {
 			if off < 0 {
 				off = 0
 			}
-			stall += a.VM.TouchRange(a.NativeAS, a.nativeBase+off, chunk, false)
+			stall += a.note(a.VM.TouchRange(a.NativeAS, a.nativeBase+off, chunk, false))
 		}
 		churn := int64(float64(a.nativeSize) * a.NativeWSFrac)
 		chunk := 4 * units.PageSize
@@ -289,10 +318,10 @@ func (a *App) ForegroundTick(now, dt time.Duration) time.Duration {
 			// Rotate within a churn area sized by NativeWSFrac: content
 			// turnover without touching the whole segment every session.
 			off := head + a.R.Int63n(min64(churn, a.nativeSize-head-chunk))
-			stall += a.VM.TouchRange(a.NativeAS, a.nativeBase+off, chunk, false)
+			stall += a.note(a.VM.TouchRange(a.NativeAS, a.nativeBase+off, chunk, false))
 		}
 	}
-	return stall
+	return stall, a.takeErr()
 }
 
 // sampleAccess picks an object to touch with a foreground access pattern.
@@ -339,36 +368,36 @@ func (a *App) EnterBackground(now time.Duration) {
 // allocations under the background container (mostly churn) and touches of
 // the background working set. A couple of reference writes land on
 // foreground objects, exercising the BGC write barrier.
-func (a *App) BackgroundTick(now, dt time.Duration) time.Duration {
+func (a *App) BackgroundTick(now, dt time.Duration) (time.Duration, error) {
 	var stall time.Duration
 	budget := int64(float64(a.BgAllocRate) * dt.Seconds())
 	var prev heap.ObjectID
-	for spent := int64(0); spent < budget; {
+	for spent := int64(0); spent < budget && a.err == nil; {
 		size := a.Sizes.Sample(a.R)
 		spent += int64(size)
 		id, s := a.alloc(size, heap.EpochBackground, now)
 		stall += s
 		if a.R.Bool(0.6) || prev == heap.NilObject {
 			if a.R.Bool(0.5) {
-				stall += a.H.AddRef(a.bgContainer, id, now)
+				stall += a.note(a.H.AddRef(a.bgContainer, id, now))
 			} // else: garbage immediately
 		} else {
-			stall += a.H.AddRef(prev, id, now)
+			stall += a.note(a.H.AddRef(prev, id, now))
 		}
 		prev = id
 	}
 	// Periodically reset the background container so BGO churn is
 	// collectable (most BGO die young, §4.1).
 	if a.R.Bool(0.2) {
-		stall += a.H.ClearRefs(a.bgContainer, now)
+		stall += a.note(a.H.ClearRefs(a.bgContainer, now))
 	}
-	for i := 0; i < a.BgAccessesPerTick && len(a.bgWS) > 0; i++ {
+	for i := 0; i < a.BgAccessesPerTick && len(a.bgWS) > 0 && a.err == nil; i++ {
 		id := a.bgWS[a.R.Intn(len(a.bgWS))]
 		if a.H.Object(id).Live() {
-			stall += a.H.Access(id, a.R.Bool(0.2), now)
+			stall += a.note(a.H.Access(id, a.R.Bool(0.2), now))
 		}
 	}
-	return stall
+	return stall, a.takeErr()
 }
 
 // LaunchSet builds the object list a hot launch will re-access, composed
@@ -415,38 +444,41 @@ func (a *App) LaunchSet() []heap.ObjectID {
 
 // HotLaunchAccess touches the launch set and the launch share of native
 // memory, returning the total synchronous stall — the swap-induced part of
-// the hot-launch time.
-func (a *App) HotLaunchAccess(now time.Duration) time.Duration {
+// the hot-launch time — and the first memory fault, if any.
+func (a *App) HotLaunchAccess(now time.Duration) (time.Duration, error) {
 	var stall time.Duration
 	for _, id := range a.LaunchSet() {
-		stall += a.H.Access(id, false, now)
+		if a.err != nil {
+			break
+		}
+		stall += a.note(a.H.Access(id, false, now))
 	}
-	if a.nativeSize > 0 && a.LaunchNativeFrac > 0 {
+	if a.nativeSize > 0 && a.LaunchNativeFrac > 0 && a.err == nil {
 		n := int64(float64(a.nativeSize) * a.LaunchNativeFrac)
-		stall += a.VM.TouchRange(a.NativeAS, a.nativeBase, n, false)
+		stall += a.note(a.VM.TouchRange(a.NativeAS, a.nativeBase, n, false))
 	}
-	return stall
+	return stall, a.takeErr()
 }
 
 // LaunchAllocBurst performs the allocation burst of a (hot or cold) launch.
-func (a *App) LaunchAllocBurst(now time.Duration) time.Duration {
+func (a *App) LaunchAllocBurst(now time.Duration) (time.Duration, error) {
 	var stall time.Duration
-	for spent := int64(0); spent < a.LaunchAllocBytes; {
+	for spent := int64(0); spent < a.LaunchAllocBytes && a.err == nil; {
 		size := a.Sizes.Sample(a.R)
 		spent += int64(size)
 		id, s := a.alloc(size, heap.EpochForeground, now)
 		stall += s
 		if a.R.Bool(0.5) {
-			stall += a.H.AddRef(a.scratch, id, now)
+			stall += a.note(a.H.AddRef(a.scratch, id, now))
 		} else {
 			act := a.activities[a.R.Intn(len(a.activities))]
-			stall += a.H.AddRef(act, id, now)
+			stall += a.note(a.H.AddRef(act, id, now))
 			a.views = append(a.views, id)
 			a.recentNear = pushRecent(a.recentNear, id)
 			a.dataBytes += int64(size)
 		}
 	}
-	return stall
+	return stall, a.takeErr()
 }
 
 // DataBytes returns the app's reachable workload-data size.

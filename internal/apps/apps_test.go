@@ -223,12 +223,12 @@ func TestHotLaunchAccessReturnsStallWhenSwapped(t *testing.T) {
 	}
 	// Swap the whole heap out, then hot-launch: must stall on IO.
 	vm.AdviseCold(a.H.AS, 0, a.H.HeapBytes())
-	stall := a.HotLaunchAccess(10 * time.Second)
+	stall, _ := a.HotLaunchAccess(10 * time.Second)
 	if stall <= 0 {
 		t.Error("no stall despite swapped heap")
 	}
 	// Resident heap: no stall.
-	stall2 := a.HotLaunchAccess(11 * time.Second)
+	stall2, _ := a.HotLaunchAccess(11 * time.Second)
 	if stall2 >= stall {
 		t.Errorf("second (resident) launch stall %v not below first %v", stall2, stall)
 	}

@@ -34,7 +34,7 @@ func TestLeakFallbackTriggersFullGC(t *testing.T) {
 	now := 102 * time.Second
 	for i := 0; i < 5; i++ {
 		for j := 0; j < 20; j++ {
-			id, _ := h.Alloc(256, heap.EpochBackground, now)
+			id, _, _ := h.Alloc(256, heap.EpochBackground, now)
 			h.AddRef(hub, id, now) // all survive
 		}
 		f.RunBGC(now)

@@ -82,6 +82,11 @@ type Fleet struct {
 	// the allocation volume observed at the last cycle.
 	lowYieldCycles int
 	fullFallbacks  int
+
+	// swapFallbacks counts groupings skipped because the swap device was
+	// in an offline fault window: with nothing to steer, Fleet degrades to
+	// the stock full-heap collection until the next background cycle.
+	swapFallbacks int
 }
 
 // New creates a Fleet instance for the heap. A zero Config selects
@@ -177,6 +182,22 @@ func (f *Fleet) classify(o *heap.Object, depth int, now time.Duration) Class {
 // calls of step 2 (§5.3.2).
 func (f *Fleet) RunGrouping(now time.Duration) gc.Result {
 	h := f.h
+
+	// Graceful degradation: grouping exists to steer pages toward the swap
+	// device, and its AdviseCold writes would all fail while the device is
+	// in an offline fault window. Skip the reorganisation, run the stock
+	// full-heap collection instead, and leave the card table down so BGC
+	// also degrades to major GCs until the next background transition
+	// retries grouping. A device with no swap at all (TotalSlots == 0) does
+	// NOT take this path: BGC's working-set reduction is still worthwhile
+	// without a device to steer.
+	if f.vm.Swap.TotalSlots > 0 && !f.vm.Swap.Online() {
+		f.swapFallbacks++
+		res := gc.Major(h, nil, now)
+		f.state = StateActive
+		return res
+	}
+
 	res := gc.Result{Kind: gc.KindGrouping}
 	gs := GroupingStats{}
 
@@ -220,6 +241,9 @@ func (f *Fleet) RunGrouping(now time.Duration) gc.Result {
 	res.BytesTraced = st.BytesTraced
 	res.GCThreadCPU += st.CPU
 	res.GCFaultStall += st.FaultStall
+	if res.Err == nil {
+		res.Err = st.Err
+	}
 
 	// Evacuate everything into typed to-regions.
 	var from []*heap.Region
@@ -253,6 +277,9 @@ func (f *Fleet) RunGrouping(now time.Duration) gc.Result {
 		}
 	}
 	res.GCFaultStall += ev.Stall
+	if res.Err == nil {
+		res.Err = ev.Err
+	}
 	for _, r := range from {
 		h.FreeRegion(r)
 		res.RegionsFreed++
@@ -372,6 +399,9 @@ func (f *Fleet) RunBGC(now time.Duration) gc.Result {
 	res.BytesTraced = st.BytesTraced
 	res.GCThreadCPU += st.CPU
 	res.GCFaultStall += st.FaultStall
+	if res.Err == nil {
+		res.Err = st.Err
+	}
 
 	// Evacuate live BGO out of BGO regions; FGO regions are untouched.
 	var from []*heap.Region
@@ -400,6 +430,9 @@ func (f *Fleet) RunBGC(now time.Duration) gc.Result {
 		}
 	}
 	res.GCFaultStall += ev.Stall
+	if res.Err == nil {
+		res.Err = ev.Err
+	}
 	for _, r := range from {
 		h.FreeRegion(r)
 		res.RegionsFreed++
@@ -434,6 +467,10 @@ func (f *Fleet) RunBGC(now time.Duration) gc.Result {
 
 // FullFallbacks reports how many §5.2 leak-fallback full collections ran.
 func (f *Fleet) FullFallbacks() int { return f.fullFallbacks }
+
+// SwapFallbacks reports how many groupings degraded to a plain major GC
+// because the swap device was offline.
+func (f *Fleet) SwapFallbacks() int { return f.swapFallbacks }
 
 // LaunchRegions returns the current launch regions (hot-launch critical).
 func (f *Fleet) LaunchRegions() []*heap.Region { return f.launchRegions }

@@ -29,18 +29,18 @@ func newRig(dram int64) (*heap.Heap, *vmem.Manager) {
 //
 // Returns the ids of interest.
 func buildApp(h *heap.Heap, now time.Duration) (root, hub heap.ObjectID, nros, deep []heap.ObjectID) {
-	root, _ = h.Alloc(64, heap.EpochForeground, now)
+	root, _, _ = h.Alloc(64, heap.EpochForeground, now)
 	h.AddRoot(root)
-	hub, _ = h.Alloc(64, heap.EpochForeground, now)
+	hub, _, _ = h.Alloc(64, heap.EpochForeground, now)
 	h.AddRef(root, hub, now)
 	for i := 0; i < 10; i++ {
-		leaf, _ := h.Alloc(128, heap.EpochForeground, now)
+		leaf, _, _ := h.Alloc(128, heap.EpochForeground, now)
 		h.AddRef(hub, leaf, now)
 		nros = append(nros, leaf)
 	}
 	prev := nros[0]
 	for i := 0; i < 20; i++ {
-		d, _ := h.Alloc(256, heap.EpochForeground, now)
+		d, _, _ := h.Alloc(256, heap.EpochForeground, now)
 		h.AddRef(prev, d, now)
 		deep = append(deep, d)
 		prev = d
@@ -93,13 +93,13 @@ func TestGroupingClassifiesFYO(t *testing.T) {
 	// A GC boundary, then fresh allocations: those are in newly-allocated
 	// regions at grouping time → FYO (if deeper than D).
 	gc.Major(h, nil, 50*time.Second)
-	root2, _ := h.Alloc(64, heap.EpochForeground, 50*time.Second)
+	root2, _, _ := h.Alloc(64, heap.EpochForeground, 50*time.Second)
 	h.AddRoot(root2)
 	// Build a deep chain of fresh objects so depth > D.
 	prev := root2
 	var fresh []heap.ObjectID
 	for i := 0; i < 10; i++ {
-		id, _ := h.Alloc(128, heap.EpochForeground, 50*time.Second)
+		id, _, _ := h.Alloc(128, heap.EpochForeground, 50*time.Second)
 		h.AddRef(prev, id, 50*time.Second)
 		fresh = append(fresh, id)
 		prev = id
@@ -199,7 +199,7 @@ func TestGroupingCollectsGarbage(t *testing.T) {
 	h, vm := newRig(256 * units.MiB)
 	f := New(DefaultConfig(), h, vm)
 	buildApp(h, 0)
-	g, _ := h.Alloc(4096, heap.EpochForeground, 0) // unreachable
+	g, _, _ := h.Alloc(4096, heap.EpochForeground, 0) // unreachable
 	f.OnBackground()
 	res := f.RunGrouping(100 * time.Second)
 	if res.ObjectsFreed == 0 {
@@ -224,7 +224,7 @@ func TestBGCOnlyTracesBGO(t *testing.T) {
 	var bgos []heap.ObjectID
 	prev := root
 	for i := 0; i < 50; i++ {
-		id, _ := h.Alloc(128, heap.EpochBackground, now)
+		id, _, _ := h.Alloc(128, heap.EpochBackground, now)
 		h.AddRef(prev, id, now)
 		bgos = append(bgos, id)
 		prev = id
@@ -266,7 +266,7 @@ func TestBGCDoesNotFaultSwappedFGO(t *testing.T) {
 
 	// Allocate some BGO referencing FGO (BGO→FGO edges are fine).
 	now := 110 * time.Second
-	id, _ := h.Alloc(128, heap.EpochBackground, now)
+	id, _, _ := h.Alloc(128, heap.EpochBackground, now)
 	h.AddRef(root, id, now) // dirties root's card (root is FGO)
 
 	// Swap out *everything* FGO including launch regions.
@@ -299,7 +299,7 @@ func TestBGCDirtyCardKeepsBGOAlive(t *testing.T) {
 	// A BGO reachable ONLY through an FGO (hub): hub is written, so its
 	// card is dirty and BGC must find the BGO through it.
 	now := 110 * time.Second
-	bgo, _ := h.Alloc(256, heap.EpochBackground, now)
+	bgo, _, _ := h.Alloc(256, heap.EpochBackground, now)
 	h.AddRef(hub, bgo, now)
 	if f.CardTable().DirtyCards() == 0 {
 		t.Fatal("write barrier did not dirty the FGO card")
@@ -399,11 +399,11 @@ func TestBGCCorrectnessProperty(t *testing.T) {
 
 		// Foreground phase: random graph.
 		var fgo []heap.ObjectID
-		root, _ := h.Alloc(64, heap.EpochForeground, 0)
+		root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 		h.AddRoot(root)
 		fgo = append(fgo, root)
 		for i := 0; i < 150; i++ {
-			id, _ := h.Alloc(int32(16+r.Intn(300)), heap.EpochForeground, 0)
+			id, _, _ := h.Alloc(int32(16+r.Intn(300)), heap.EpochForeground, 0)
 			h.AddRef(fgo[r.Intn(len(fgo))], id, 0)
 			fgo = append(fgo, id)
 		}
@@ -417,7 +417,7 @@ func TestBGCCorrectnessProperty(t *testing.T) {
 		var bgo []heap.ObjectID
 		parents := append([]heap.ObjectID{}, fgo...)
 		for i := 0; i < 100; i++ {
-			id, _ := h.Alloc(int32(16+r.Intn(300)), heap.EpochBackground, now)
+			id, _, _ := h.Alloc(int32(16+r.Intn(300)), heap.EpochBackground, now)
 			if r.Bool(0.7) {
 				h.AddRef(parents[r.Intn(len(parents))], id, now)
 				parents = append(parents, id)
@@ -477,11 +477,11 @@ func TestNROClassificationProperty(t *testing.T) {
 		fl := New(cfg, h, vm)
 
 		var ids []heap.ObjectID
-		root, _ := h.Alloc(64, heap.EpochForeground, 0)
+		root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 		h.AddRoot(root)
 		ids = append(ids, root)
 		for i := 0; i < 200; i++ {
-			id, _ := h.Alloc(int32(16+r.Intn(200)), heap.EpochForeground, 0)
+			id, _, _ := h.Alloc(int32(16+r.Intn(200)), heap.EpochForeground, 0)
 			h.AddRef(ids[r.Intn(len(ids))], id, 0)
 			ids = append(ids, id)
 		}
@@ -513,11 +513,11 @@ func TestGroupingPreservesGraph(t *testing.T) {
 	h, vm := newRig(512 * units.MiB)
 	fl := New(DefaultConfig(), h, vm)
 	var ids []heap.ObjectID
-	root, _ := h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(root)
 	ids = append(ids, root)
 	for i := 0; i < 300; i++ {
-		id, _ := h.Alloc(int32(16+r.Intn(200)), heap.EpochForeground, 0)
+		id, _, _ := h.Alloc(int32(16+r.Intn(200)), heap.EpochForeground, 0)
 		h.AddRef(ids[r.Intn(len(ids))], id, 0)
 		ids = append(ids, id)
 	}

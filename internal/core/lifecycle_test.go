@@ -38,7 +38,7 @@ func TestFullLifecycleCycles(t *testing.T) {
 			// BGO churn: some live, some garbage.
 			var keep heap.ObjectID
 			for j := 0; j < 40; j++ {
-				id, _ := h.Alloc(128, heap.EpochBackground, now)
+				id, _, _ := h.Alloc(128, heap.EpochBackground, now)
 				if j%4 == 0 {
 					h.AddRef(hub, id, now) // via dirty FGO card
 					keep = id
@@ -99,7 +99,7 @@ func TestBGCWorkingSetStableAcrossCycles(t *testing.T) {
 	var first, last int64
 	for i := 0; i < 5; i++ {
 		for j := 0; j < 30; j++ {
-			id, _ := h.Alloc(128, heap.EpochBackground, now)
+			id, _, _ := h.Alloc(128, heap.EpochBackground, now)
 			if j%10 == 0 {
 				h.AddRef(hub, id, now)
 			}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fleetsim/internal/android"
+	"fleetsim/internal/faults"
+)
+
+// ChaosRow summarises one (profile, seed) chaos run: the workload outcome,
+// the degradation counters the fault streams tripped, and the invariant
+// checker's verdict. Determinism holds when two runs of the same cell
+// produce identical rows.
+type ChaosRow struct {
+	Profile string
+	Seed    uint64
+
+	// Workload outcome.
+	Launches  int
+	HotMeanMS float64
+
+	// Kill breakdown (lmkd, thrash detector, OOM escalation, crashes).
+	Kills      int
+	HardKills  int
+	PSIKills   int
+	OOMKills   int
+	CrashKills int
+
+	// Degradation-path counters from the VM layer.
+	SwapRetries    int64
+	SwapWriteFails int64
+	OfflineWaitMS  float64
+	SwapFallbacks  int
+
+	// Injected fault events.
+	Faults faults.Stats
+
+	// Invariant checker verdict.
+	InvariantChecks int64
+	Violations      []string
+
+	// Deterministic is false when a same-seed replay diverged (only set by
+	// Chaos, which runs every cell twice).
+	Deterministic bool
+}
+
+// key renders the reproducible portion of a row for bitwise comparison.
+func (r ChaosRow) key() string {
+	return fmt.Sprintf("%s/%d L%d H%.6f K%d/%d/%d/%d/%d R%d W%d O%.6f F%d %+v I%d V%v",
+		r.Profile, r.Seed, r.Launches, r.HotMeanMS,
+		r.Kills, r.HardKills, r.PSIKills, r.OOMKills, r.CrashKills,
+		r.SwapRetries, r.SwapWriteFails, r.OfflineWaitMS, r.SwapFallbacks,
+		r.Faults, r.InvariantChecks, r.Violations)
+}
+
+// Clean reports whether the run finished with zero invariant violations.
+func (r ChaosRow) Clean() bool { return len(r.Violations) == 0 }
+
+// chaosRun executes the full app-lifecycle workload once under a fault
+// profile with the always-on invariant checker, and summarises it.
+func chaosRun(p Params, prof faults.Profile, seed uint64) ChaosRow {
+	cfg := android.DefaultSystemConfig(android.PolicyFleet, p.Scale)
+	cfg.Seed = seed
+	cfg.Faults = &prof
+	cfg.CheckInvariants = true
+
+	// A bounded slice of the §7.2 pressure workload keeps each cell cheap
+	// enough to run the whole suite twice (for the determinism check).
+	pp := p
+	pp.Seed = seed
+	if pp.Rounds > 4 {
+		pp.Rounds = 4
+	}
+	if pp.PressureApps > 10 {
+		pp.PressureApps = 10
+	}
+	population, _ := pressurePopulation(pp, nil)
+
+	sys := android.NewSystem(cfg)
+	runHotLaunchesWithSystem(pp, sys, population, nil)
+
+	// One final full sweep after the workload settles.
+	sys.CheckInvariants()
+
+	m := sys.M
+	st := sys.VM.Stats()
+	row := ChaosRow{
+		Profile:         prof.Name,
+		Seed:            seed,
+		Launches:        len(m.Launches),
+		Kills:           m.Kills,
+		HardKills:       m.HardKills,
+		PSIKills:        m.PSIKills,
+		OOMKills:        m.OOMKills,
+		CrashKills:      m.CrashKills,
+		SwapRetries:     st.SwapRetries,
+		SwapWriteFails:  st.SwapWriteFails,
+		OfflineWaitMS:   float64(st.OfflineWait) / float64(time.Millisecond),
+		InvariantChecks: m.InvariantChecks,
+		Violations:      m.InvariantViolations,
+	}
+	for _, pr := range sys.Procs() {
+		if pr.Fleet != nil {
+			row.SwapFallbacks += pr.Fleet.SwapFallbacks()
+		}
+	}
+	if sys.Injector != nil {
+		row.Faults = sys.Injector.Stats()
+	}
+	var hot, hotN float64
+	for _, l := range m.Launches {
+		if l.Hot {
+			hot += float64(l.Time) / float64(time.Millisecond)
+			hotN++
+		}
+	}
+	if hotN > 0 {
+		row.HotMeanMS = hot / hotN
+	}
+	return row
+}
+
+// Chaos runs the standard fault-profile suite over the given number of
+// seeds. Every (profile, seed) cell is executed twice and the two summaries
+// compared bit for bit; the returned rows carry both the degradation
+// counters and the per-cell determinism/invariant verdicts.
+func Chaos(p Params, seeds int) []ChaosRow {
+	if seeds < 1 {
+		seeds = 1
+	}
+	var rows []ChaosRow
+	for _, prof := range faults.Profiles(p.Scale) {
+		for s := 0; s < seeds; s++ {
+			seed := p.Seed + uint64(s)
+			row := chaosRun(p, prof, seed)
+			replay := chaosRun(p, prof, seed)
+			row.Deterministic = row.key() == replay.key()
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// ChaosPassed reports whether every cell was deterministic and violation
+// free.
+func ChaosPassed(rows []ChaosRow) bool {
+	for _, r := range rows {
+		if !r.Clean() || !r.Deterministic {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatChaos renders the chaos table plus a PASS/FAIL verdict line.
+func FormatChaos(rows []ChaosRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %5s %8s %9s %6s %5s %6s %7s %8s %9s %7s %7s %6s\n",
+		"profile", "seed", "launches", "hot(ms)", "kills", "oom", "crash",
+		"retries", "wrfails", "offln(ms)", "fallbk", "checks", "ok")
+	for _, r := range rows {
+		verdict := "yes"
+		if !r.Clean() {
+			verdict = "VIOLATION"
+		} else if !r.Deterministic {
+			verdict = "DIVERGED"
+		}
+		fmt.Fprintf(&b, "%-14s %5d %8d %9.2f %6d %5d %6d %7d %8d %9.2f %7d %7d %6s\n",
+			r.Profile, r.Seed, r.Launches, r.HotMeanMS,
+			r.Kills, r.OOMKills, r.CrashKills,
+			r.SwapRetries, r.SwapWriteFails, r.OfflineWaitMS,
+			r.SwapFallbacks, r.InvariantChecks, verdict)
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "    ! %s\n", v)
+		}
+	}
+	if ChaosPassed(rows) {
+		fmt.Fprintf(&b, "PASS: %d cells, all deterministic, zero invariant violations\n", len(rows))
+	} else {
+		fmt.Fprintf(&b, "FAIL: invariant violations or nondeterminism detected\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosSuite runs the full chaos matrix (3 fault profiles × 3 seeds,
+// each cell replayed twice by Chaos itself) and requires every cell to be
+// deterministic and invariant-clean, and every profile to actually trip
+// its degradation path.
+func TestChaosSuite(t *testing.T) {
+	p := DefaultParams()
+	p.Rounds = 2 // Chaos caps at 4; trim further to keep the matrix cheap
+	rows := Chaos(p, 3)
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 3 profiles x 3 seeds", len(rows))
+	}
+
+	agg := map[string]*ChaosRow{}
+	for i := range rows {
+		r := rows[i]
+		t.Run(fmt.Sprintf("%s/seed%d", r.Profile, r.Seed), func(t *testing.T) {
+			if !r.Deterministic {
+				t.Error("same-seed replay diverged")
+			}
+			if !r.Clean() {
+				t.Errorf("invariant violations: %v", r.Violations)
+			}
+			if r.InvariantChecks == 0 {
+				t.Error("invariant checker never ran")
+			}
+			if r.Launches == 0 {
+				t.Error("workload performed no launches")
+			}
+			if r.Faults == (ChaosRow{}.Faults) {
+				t.Error("profile injected no faults at all")
+			}
+		})
+		a, ok := agg[r.Profile]
+		if !ok {
+			a = &ChaosRow{}
+			agg[r.Profile] = a
+		}
+		a.SwapRetries += r.SwapRetries
+		a.SwapWriteFails += r.SwapWriteFails
+		a.SwapFallbacks += r.SwapFallbacks
+		a.CrashKills += r.CrashKills
+		a.OfflineWaitMS += r.OfflineWaitMS
+	}
+	if len(agg) != 3 {
+		t.Fatalf("profiles seen = %d, want 3", len(agg))
+	}
+
+	// Each profile must demonstrably exercise its degradation path
+	// somewhere in its three seeds.
+	if a := agg["swap-stress"]; a.SwapRetries == 0 || a.OfflineWaitMS == 0 {
+		t.Errorf("swap-stress tripped no offline backoff: %+v", a)
+	}
+	if a := agg["slot-squeeze"]; a.SwapWriteFails == 0 {
+		t.Errorf("slot-squeeze caused no failed swap-outs: %+v", a)
+	}
+	if a := agg["crash-monkey"]; a.CrashKills == 0 {
+		t.Errorf("crash-monkey killed nothing: %+v", a)
+	}
+}

@@ -256,7 +256,7 @@ func Fig13nControlled(p Params) []Fig13nPoint {
 			}
 		})
 		rig.VM.AdviseCold(rig.App.NativeAS, 0, profile.NativeBytes())
-		stall := rig.App.HotLaunchAccess(rig.now)
+		stall, _ := rig.App.HotLaunchAccess(rig.now)
 		return (profile.HotLaunchCPU + stall).Seconds() * 1000
 	}
 	names := append(append([]string{}, Fig13Apps...), Fig16Apps...)

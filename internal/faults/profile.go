@@ -1,0 +1,103 @@
+// Package faults is the deterministic fault-injection and invariant layer
+// of the simulator. A Profile declares a randomized-but-seeded schedule of
+// device and memory faults; an Injector replays it on the simulation
+// clock, steering the swap device's fault hook, reserving swap capacity,
+// dirtying burst memory and crashing cached apps; Check is the cross-layer
+// consistency sweep the chaos harness runs between events. Everything is
+// driven by simclock + xrand, so a (profile, seed) pair reproduces the
+// exact same fault history bit for bit.
+package faults
+
+import (
+	"time"
+
+	"fleetsim/internal/units"
+)
+
+// Profile declares one fault schedule. All streams are independent and
+// optional: a zero MTBF (or zero magnitude) disables that stream, and the
+// zero Profile injects nothing. Inter-arrival times are exponential with
+// the given mean; window lengths are fixed, so a stream never overlaps
+// itself.
+type Profile struct {
+	Name string
+
+	// Transient swap stalls: windows where every device IO takes
+	// StallFactor times longer (flash controller resets, thermal
+	// throttling). Faulting threads just wait longer; nothing fails.
+	StallMTBF     time.Duration
+	StallDuration time.Duration
+	StallFactor   float64
+
+	// Device-offline windows: reads wait the window out with exponential
+	// backoff (the data is still on the device); writes fail fast with
+	// ErrSwapOffline, so reclaim keeps victims resident and swap-outs are
+	// skipped until the device returns.
+	OfflineMTBF     time.Duration
+	OfflineDuration time.Duration
+
+	// Slot squeezes: SqueezeFrac of total swap capacity vanishes for
+	// SqueezeDuration (another subsystem filling zram). Swap-outs that
+	// find no free slot fail with ErrSwapFull and the page stays resident.
+	SqueezeMTBF     time.Duration
+	SqueezeDuration time.Duration
+	SqueezeFrac     float64
+
+	// Pressure storms: StormBytes of fresh anonymous memory are dirtied
+	// at once and held for StormHold (the camera-burst analogue), driving
+	// reclaim and possibly lmkd.
+	StormMTBF  time.Duration
+	StormBytes int64
+	StormHold  time.Duration
+
+	// App crashes: a deterministically chosen cached app dies, exercising
+	// release and cold-relaunch paths.
+	CrashMTBF time.Duration
+}
+
+// SwapStress exercises the device-fault degradation paths: frequent
+// latency windows plus periodic offline windows.
+func SwapStress() Profile {
+	return Profile{
+		Name:            "swap-stress",
+		StallMTBF:       5 * time.Second,
+		StallDuration:   time.Second,
+		StallFactor:     8,
+		OfflineMTBF:     25 * time.Second,
+		OfflineDuration: 2 * time.Second,
+	}
+}
+
+// SlotSqueeze exhausts swap capacity while pressure storms force reclaim
+// to run exactly when it has nowhere to write.
+func SlotSqueeze(scale int64) Profile {
+	if scale < 1 {
+		scale = 1
+	}
+	return Profile{
+		Name:            "slot-squeeze",
+		SqueezeMTBF:     15 * time.Second,
+		SqueezeDuration: 6 * time.Second,
+		SqueezeFrac:     0.9,
+		StormMTBF:       20 * time.Second,
+		StormBytes:      96 * units.MiB / scale,
+		StormHold:       4 * time.Second,
+	}
+}
+
+// CrashMonkey kills cached apps while the device runs slow, exercising
+// teardown and cold-relaunch under degraded IO.
+func CrashMonkey() Profile {
+	return Profile{
+		Name:          "crash-monkey",
+		CrashMTBF:     20 * time.Second,
+		StallMTBF:     10 * time.Second,
+		StallDuration: 2 * time.Second,
+		StallFactor:   4,
+	}
+}
+
+// Profiles returns the standard chaos suite at a device scale.
+func Profiles(scale int64) []Profile {
+	return []Profile{SwapStress(), SlotSqueeze(scale), CrashMonkey()}
+}

@@ -19,11 +19,11 @@ func benchHeap(nRoots, chainLen int) *heap.Heap {
 
 	var prev heap.ObjectID
 	for r := 0; r < nRoots; r++ {
-		head, _ := h.Alloc(64, heap.EpochForeground, 0)
+		head, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 		h.AddRoot(head)
 		cur := head
 		for i := 0; i < chainLen; i++ {
-			next, _ := h.Alloc(96, heap.EpochForeground, 0)
+			next, _, _ := h.Alloc(96, heap.EpochForeground, 0)
 			h.AddRef(cur, next, 0)
 			if prev != heap.NilObject && i%7 == 0 {
 				h.AddRef(next, prev, 0) // cross link to an older chain

@@ -41,6 +41,12 @@ type Result struct {
 	// GCFaultStall is swap-in IO the GC thread waited on; under memory
 	// pressure this is what offsets swapping (§3.2 issue 1).
 	GCFaultStall time.Duration
+
+	// Err is the first vmem error the cycle hit (ErrOOM under extreme
+	// pressure). The collection still completes structurally — marking and
+	// accounting stay consistent — so the caller can react (lmkd, kill)
+	// without the heap being left half-collected.
+	Err error
 }
 
 // TotalGCTime returns pause + concurrent CPU + fault stall.
@@ -60,6 +66,16 @@ func (r *Result) Add(o Result) {
 	r.PauseSTW += o.PauseSTW
 	r.GCThreadCPU += o.GCThreadCPU
 	r.GCFaultStall += o.GCFaultStall
+	if r.Err == nil {
+		r.Err = o.Err
+	}
+}
+
+// noteErr latches the first error of the cycle into res.
+func (r *Result) noteErr(err error) {
+	if err != nil && r.Err == nil {
+		r.Err = err
+	}
 }
 
 // RememberedSet is the always-on card-table remembered set ART keeps for
@@ -107,7 +123,9 @@ func (rs *RememberedSet) appendCardSeeds(seeds []heap.ObjectID, res *Result, now
 			res.ObjectsTraced++
 			res.BytesTraced += int64(o.Size)
 			res.GCThreadCPU += visitCost(o.Size)
-			res.GCFaultStall += h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), false)
+			stall, terr := h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), false)
+			res.GCFaultStall += stall
+			res.noteErr(terr)
 			for _, ref := range o.Refs {
 				if ref == heap.NilObject {
 					continue
@@ -178,6 +196,7 @@ func Minor(h *heap.Heap, rs *RememberedSet, now time.Duration) Result {
 	res.BytesTraced += st.BytesTraced
 	res.GCThreadCPU += st.CPU
 	res.GCFaultStall += st.FaultStall
+	res.noteErr(st.Err)
 
 	evacuate(h, &res, young, func(o *heap.Object) heap.RegionKind { return heap.KindNormal })
 	res.PauseSTW += FinalPause
@@ -207,6 +226,7 @@ func Major(h *heap.Heap, rs *RememberedSet, now time.Duration) Result {
 	res.BytesTraced += st.BytesTraced
 	res.GCThreadCPU += st.CPU
 	res.GCFaultStall += st.FaultStall
+	res.noteErr(st.Err)
 
 	var sparse, dense []*heap.Region
 	h.Regions(func(r *heap.Region) {
@@ -285,6 +305,7 @@ func evacuate(h *heap.Heap, res *Result, from []*heap.Region, kindOf func(*heap.
 		}
 	}
 	res.GCFaultStall += ev.Stall
+	res.noteErr(ev.Err)
 	for _, r := range from {
 		h.FreeRegion(r)
 		res.RegionsFreed++

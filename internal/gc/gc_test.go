@@ -20,10 +20,10 @@ func newTestHeap() *heap.Heap {
 
 // buildGraph makes root -> a -> b, plus garbage g (unreachable).
 func buildGraph(h *heap.Heap) (root, a, b, g heap.ObjectID) {
-	root, _ = h.Alloc(64, heap.EpochForeground, 0)
-	a, _ = h.Alloc(64, heap.EpochForeground, 0)
-	b, _ = h.Alloc(64, heap.EpochForeground, 0)
-	g, _ = h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ = h.Alloc(64, heap.EpochForeground, 0)
+	a, _, _ = h.Alloc(64, heap.EpochForeground, 0)
+	b, _, _ = h.Alloc(64, heap.EpochForeground, 0)
+	g, _, _ = h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(root)
 	h.AddRef(root, a, 0)
 	h.AddRef(a, b, 0)
@@ -65,10 +65,10 @@ func TestTraceBFSDepths(t *testing.T) {
 func TestTraceBFSShortestPath(t *testing.T) {
 	// Diamond: root -> x -> y -> z and root -> z. BFS depth of z must be 1.
 	h := newTestHeap()
-	root, _ := h.Alloc(64, heap.EpochForeground, 0)
-	x, _ := h.Alloc(64, heap.EpochForeground, 0)
-	y, _ := h.Alloc(64, heap.EpochForeground, 0)
-	z, _ := h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
+	x, _, _ := h.Alloc(64, heap.EpochForeground, 0)
+	y, _, _ := h.Alloc(64, heap.EpochForeground, 0)
+	z, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(root)
 	h.AddRef(root, x, 0)
 	h.AddRef(x, y, 0)
@@ -106,8 +106,8 @@ func TestTraceShouldTraceBoundary(t *testing.T) {
 
 func TestTraceCycles(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(64, heap.EpochForeground, 0)
-	b, _ := h.Alloc(64, heap.EpochForeground, 0)
+	a, _, _ := h.Alloc(64, heap.EpochForeground, 0)
+	b, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(a)
 	h.AddRef(a, b, 0)
 	h.AddRef(b, a, 0) // cycle
@@ -158,16 +158,16 @@ func TestMinorOnlyCollectsYoung(t *testing.T) {
 	h.WriteBarrier = rs.Barrier
 
 	// Old generation: root -> oldLive; oldGarbage unreachable.
-	root, _ := h.Alloc(64, heap.EpochForeground, 0)
-	oldLive, _ := h.Alloc(64, heap.EpochForeground, 0)
-	oldGarbage, _ := h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
+	oldLive, _, _ := h.Alloc(64, heap.EpochForeground, 0)
+	oldGarbage, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(root)
 	h.AddRef(root, oldLive, 0)
 	h.NoteGCComplete() // ages the regions
 
 	// Young generation: root -> youngLive; youngGarbage unreachable.
-	youngLive, _ := h.Alloc(64, heap.EpochForeground, 0)
-	youngGarbage, _ := h.Alloc(64, heap.EpochForeground, 0)
+	youngLive, _, _ := h.Alloc(64, heap.EpochForeground, 0)
+	youngGarbage, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRef(root, youngLive, 0)
 
 	res := Minor(h, rs, 0)
@@ -193,13 +193,13 @@ func TestMinorUsesRememberedSet(t *testing.T) {
 	// Old object NOT reachable from roots after the epoch, holding the
 	// only reference to a young object. Without the remembered set the
 	// young object would be wrongly collected.
-	root, _ := h.Alloc(64, heap.EpochForeground, 0)
-	oldHolder, _ := h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
+	oldHolder, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(root)
 	h.AddRef(root, oldHolder, 0)
 	h.NoteGCComplete()
 
-	young, _ := h.Alloc(64, heap.EpochForeground, 0)
+	young, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRef(oldHolder, young, 0) // dirties oldHolder's card
 
 	// Drop the root->oldHolder path from the trace by removing the root:
@@ -223,7 +223,7 @@ func TestMinorUsesRememberedSet(t *testing.T) {
 
 func TestMinorEmptyYoungGeneration(t *testing.T) {
 	h := newTestHeap()
-	root, _ := h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(root)
 	h.NoteGCComplete()
 	res := Minor(h, nil, 0)
@@ -240,11 +240,11 @@ func TestGCTouchesPagesCausingSwapIns(t *testing.T) {
 	vm := vmem.NewManager(phys, swap)
 	h := heap.New(mem.NewAddressSpace("swapper"), vm)
 
-	root, _ := h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(root)
 	prev := root
 	for i := 0; i < 2000; i++ {
-		id, _ := h.Alloc(512, heap.EpochForeground, 0)
+		id, _, _ := h.Alloc(512, heap.EpochForeground, 0)
 		h.AddRef(prev, id, 0)
 		prev = id
 	}
@@ -305,7 +305,7 @@ func TestMajorLivenessMatchesReachability(t *testing.T) {
 		const n = 200
 		ids := make([]heap.ObjectID, n)
 		for i := range ids {
-			ids[i], _ = h.Alloc(int32(16+r.Intn(512)), heap.EpochForeground, 0)
+			ids[i], _, _ = h.Alloc(int32(16+r.Intn(512)), heap.EpochForeground, 0)
 		}
 		// Random edges.
 		for i := 0; i < 3*n; i++ {
@@ -354,7 +354,7 @@ func TestMajorIdempotent(t *testing.T) {
 	r := xrand.New(7)
 	var ids []heap.ObjectID
 	for i := 0; i < 500; i++ {
-		id, _ := h.Alloc(int32(16+r.Intn(256)), heap.EpochForeground, 0)
+		id, _, _ := h.Alloc(int32(16+r.Intn(256)), heap.EpochForeground, 0)
 		ids = append(ids, id)
 	}
 	for i := 1; i < len(ids); i++ {

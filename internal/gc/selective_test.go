@@ -14,13 +14,13 @@ import (
 // evacuated and freed.
 func TestMajorKeepsDenseRegionsInPlace(t *testing.T) {
 	h := newTestHeap()
-	root, _ := h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(root)
 
 	// Dense region: fill region 0 with live objects.
 	var dense []heap.ObjectID
 	for h.RegionOf(root).BytesFree() > 256 {
-		id, _ := h.Alloc(128, heap.EpochForeground, 0)
+		id, _, _ := h.Alloc(128, heap.EpochForeground, 0)
 		h.AddRef(root, id, 0)
 		dense = append(dense, id)
 	}
@@ -28,10 +28,10 @@ func TestMajorKeepsDenseRegionsInPlace(t *testing.T) {
 
 	// Sparse region: mostly garbage.
 	var sparse []heap.ObjectID
-	filler, _ := h.Alloc(int32(units.RegionSize-int64(h.RegionOf(root).BytesFree())), heap.EpochForeground, 0)
+	filler, _, _ := h.Alloc(int32(units.RegionSize-int64(h.RegionOf(root).BytesFree())), heap.EpochForeground, 0)
 	h.AddRef(root, filler, 0) // pushes allocation into a fresh region
 	for i := 0; i < 500; i++ {
-		id, _ := h.Alloc(256, heap.EpochForeground, 0)
+		id, _, _ := h.Alloc(256, heap.EpochForeground, 0)
 		if i%10 == 0 {
 			h.AddRef(root, id, 0) // 10% survive
 			sparse = append(sparse, id)
@@ -68,11 +68,11 @@ func TestMajorKeepsDenseRegionsInPlace(t *testing.T) {
 // region's objects makes the next Major evacuate it.
 func TestMajorEventuallyCompactsDecayedRegions(t *testing.T) {
 	h := newTestHeap()
-	root, _ := h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	h.AddRoot(root)
 	var ids []heap.ObjectID
 	for i := 0; i < 1500; i++ {
-		id, _ := h.Alloc(512, heap.EpochForeground, 0)
+		id, _, _ := h.Alloc(512, heap.EpochForeground, 0)
 		h.AddRef(root, id, 0)
 		ids = append(ids, id)
 	}
@@ -101,8 +101,8 @@ func TestMajorEventuallyCompactsDecayedRegions(t *testing.T) {
 // TestEvacuatorPageAlign gives each copied object private pages.
 func TestEvacuatorPageAlign(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(100, heap.EpochForeground, 0)
-	b, _ := h.Alloc(100, heap.EpochForeground, 0)
+	a, _, _ := h.Alloc(100, heap.EpochForeground, 0)
+	b, _, _ := h.Alloc(100, heap.EpochForeground, 0)
 	ev := h.NewEvacuator()
 	ev.PageAlign = true
 	ev.Copy(a, heap.KindCold)
@@ -119,7 +119,7 @@ func TestEvacuatorPageAlign(t *testing.T) {
 // TestEvacuatorPinDest pins destination pages as they are written.
 func TestEvacuatorPinDest(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(100, heap.EpochForeground, 0)
+	a, _, _ := h.Alloc(100, heap.EpochForeground, 0)
 	ev := h.NewEvacuator()
 	ev.PinDest = true
 	ev.Copy(a, heap.KindNormal)

@@ -19,6 +19,11 @@ type TraceStats struct {
 	CPU time.Duration
 	// MaxDepth is the deepest level reached (BFS only).
 	MaxDepth int
+	// Err is the first vmem error hit while touching visited objects.
+	// Marking always completes regardless — marks are metadata, so an
+	// OOM'd trace still yields a correct live set and evacuation never
+	// frees a reachable object.
+	Err error
 }
 
 // TraceOpts controls a tracing pass.
@@ -77,7 +82,11 @@ func Trace(h *heap.Heap, seeds []heap.ObjectID, opts TraceOpts) TraceStats {
 		st.BytesTraced += int64(o.Size)
 		st.CPU += visitCost(o.Size)
 		if !opts.NoTouch && (opts.ShouldTouch == nil || opts.ShouldTouch(it.ID)) {
-			st.FaultStall += h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), false)
+			stall, err := h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), false)
+			st.FaultStall += stall
+			if err != nil && st.Err == nil {
+				st.Err = err
+			}
 		}
 		if int(it.Depth) > st.MaxDepth {
 			st.MaxDepth = int(it.Depth)

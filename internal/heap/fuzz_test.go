@@ -76,7 +76,7 @@ func TestHeapRandomOps(t *testing.T) {
 		vm := vmem.NewManager(phys, vmem.NewSwapDevice(vmem.DefaultSwapConfig()))
 		h := New(mem.NewAddressSpace("fuzz"), vm)
 
-		root, _ := h.Alloc(64, EpochForeground, 0)
+		root, _, _ := h.Alloc(64, EpochForeground, 0)
 		h.AddRoot(root)
 		live := []ObjectID{root}
 
@@ -85,7 +85,7 @@ func TestHeapRandomOps(t *testing.T) {
 			now += time.Millisecond
 			switch op := r.Intn(10); {
 			case op < 5: // allocate, usually attached
-				id, _ := h.Alloc(int32(16+r.Intn(2000)), Epoch(r.Intn(2)), now)
+				id, _, _ := h.Alloc(int32(16+r.Intn(2000)), Epoch(r.Intn(2)), now)
 				if r.Bool(0.8) {
 					h.AddRef(live[r.Intn(len(live))], id, now)
 					live = append(live, id)

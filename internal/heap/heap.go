@@ -11,6 +11,7 @@
 package heap
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -18,6 +19,16 @@ import (
 	"fleetsim/internal/units"
 	"fleetsim/internal/vmem"
 )
+
+// ErrDeadObject reports a mutator operation on an object the GC already
+// freed — a use-after-free in the simulated app. The heap state is
+// untouched; the runtime (android) treats it as an app crash, not a sim
+// abort.
+var ErrDeadObject = errors.New("heap: operation on dead object")
+
+// ErrObjectTooLarge rejects allocations above the region size — ART uses a
+// separate large-object space; workloads here cap object sizes below it.
+var ErrObjectTooLarge = errors.New("heap: object exceeds region size")
 
 // ObjectID indexes the heap's object table. IDs are recycled after the
 // object dies; use Object.Seq for stable allocation-order identity.
@@ -336,11 +347,12 @@ func (h *Heap) AddressSpanBytes() int64 {
 
 // Alloc allocates an object of size bytes and returns its ID plus the
 // synchronous stall (page faults) the allocating thread paid. Objects
-// larger than a region are rejected — ART uses a separate large-object
-// space; workloads here cap object sizes below the region size.
-func (h *Heap) Alloc(size int32, epoch Epoch, now time.Duration) (ObjectID, time.Duration) {
+// larger than a region are rejected with ErrObjectTooLarge. A vmem error
+// (ErrOOM) is returned with the object already created — its pages simply
+// are not all resident; the caller decides whether the process survives.
+func (h *Heap) Alloc(size int32, epoch Epoch, now time.Duration) (ObjectID, time.Duration, error) {
 	if int64(size) > units.RegionSize {
-		panic(fmt.Sprintf("heap: object of %d bytes exceeds region size", size))
+		return NilObject, 0, fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, size)
 	}
 	if size <= 0 {
 		size = 8
@@ -382,8 +394,8 @@ func (h *Heap) Alloc(size int32, epoch Epoch, now time.Duration) (ObjectID, time
 	h.BytesSinceGC += int64(size)
 
 	// Allocation writes the object header/fields: touch its pages.
-	stall := h.VM.TouchRange(h.AS, addr, int64(size), true)
-	return id, stall
+	stall, err := h.VM.TouchRange(h.AS, addr, int64(size), true)
+	return id, stall, err
 }
 
 // AddRoot registers id as a GC root (idempotent).
@@ -430,10 +442,10 @@ func (h *Heap) RootSlice() []ObjectID {
 // Access simulates a mutator read (or write) of the object: the page is
 // touched, barriers and samplers fire, and the synchronous stall is
 // returned.
-func (h *Heap) Access(id ObjectID, write bool, now time.Duration) time.Duration {
+func (h *Heap) Access(id ObjectID, write bool, now time.Duration) (time.Duration, error) {
 	o := &h.objects[id]
 	if !o.live {
-		panic(fmt.Sprintf("heap: access to dead object %d", id))
+		return 0, fmt.Errorf("%w: access to %d", ErrDeadObject, id)
 	}
 	o.LastAccess = now
 	h.accessCount++
@@ -443,21 +455,21 @@ func (h *Heap) Access(id ObjectID, write bool, now time.Duration) time.Duration 
 	if h.ReadBarrier != nil {
 		h.ReadBarrier(id)
 	}
-	stall := h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), write)
-	if write {
+	stall, err := h.VM.TouchRange(h.AS, o.Addr, int64(o.Size), write)
+	if write && err == nil {
 		if h.WriteBarrier != nil {
 			h.WriteBarrier(id)
 		}
 	}
-	return stall
+	return stall, err
 }
 
 // SetRef points from's i-th reference slot at to (growing the slot list as
 // needed), running the write barrier. It returns the page-touch stall.
-func (h *Heap) SetRef(from ObjectID, i int, to ObjectID, now time.Duration) time.Duration {
+func (h *Heap) SetRef(from ObjectID, i int, to ObjectID, now time.Duration) (time.Duration, error) {
 	o := &h.objects[from]
 	if !o.live {
-		panic(fmt.Sprintf("heap: SetRef on dead object %d", from))
+		return 0, fmt.Errorf("%w: SetRef on %d", ErrDeadObject, from)
 	}
 	for len(o.Refs) <= i {
 		o.Refs = append(o.Refs, NilObject)
@@ -467,10 +479,10 @@ func (h *Heap) SetRef(from ObjectID, i int, to ObjectID, now time.Duration) time
 }
 
 // AddRef appends a reference from → to.
-func (h *Heap) AddRef(from, to ObjectID, now time.Duration) time.Duration {
+func (h *Heap) AddRef(from, to ObjectID, now time.Duration) (time.Duration, error) {
 	o := &h.objects[from]
 	if !o.live {
-		panic(fmt.Sprintf("heap: AddRef on dead object %d", from))
+		return 0, fmt.Errorf("%w: AddRef on %d", ErrDeadObject, from)
 	}
 	o.Refs = append(o.Refs, to)
 	return h.Access(from, true, now)
@@ -478,7 +490,7 @@ func (h *Heap) AddRef(from, to ObjectID, now time.Duration) time.Duration {
 
 // ClearRefs drops all outgoing references of from (the workload's way of
 // making a subgraph unreachable).
-func (h *Heap) ClearRefs(from ObjectID, now time.Duration) time.Duration {
+func (h *Heap) ClearRefs(from ObjectID, now time.Duration) (time.Duration, error) {
 	o := &h.objects[from]
 	o.Refs = o.Refs[:0]
 	return h.Access(from, true, now)
@@ -556,6 +568,11 @@ type Evacuator struct {
 	// Stall accumulates page-fault time the GC thread paid writing into
 	// to-regions (destination pages are fresh, so normally minor faults).
 	Stall time.Duration
+	// Err latches the first vmem error hit while touching destination
+	// pages. The copy itself always completes — object metadata moves are
+	// free — so heap accounting stays consistent even under OOM; the
+	// collector surfaces Err in its Result.
+	Err error
 }
 
 // NewEvacuator prepares an evacuation pass.
@@ -592,7 +609,11 @@ func (ev *Evacuator) Copy(id ObjectID, kind RegionKind) {
 	o.Region = r.ID
 	r.Objects = append(r.Objects, id)
 	ev.CopiedBytes += int64(o.Size)
-	ev.Stall += h.VM.TouchRange(h.AS, addr, int64(o.Size), true)
+	stall, err := h.VM.TouchRange(h.AS, addr, int64(o.Size), true)
+	ev.Stall += stall
+	if err != nil && ev.Err == nil {
+		ev.Err = err
+	}
 	if ev.PinDest {
 		h.VM.Pin(h.AS, addr, int64(o.Size))
 	}

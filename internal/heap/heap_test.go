@@ -1,6 +1,7 @@
 package heap
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -21,7 +22,7 @@ func newTestHeap() *Heap {
 
 func TestAllocBasics(t *testing.T) {
 	h := newTestHeap()
-	id, stall := h.Alloc(512, EpochForeground, 0)
+	id, stall, _ := h.Alloc(512, EpochForeground, 0)
 	if id == NilObject {
 		t.Fatal("alloc returned nil object")
 	}
@@ -45,7 +46,7 @@ func TestAllocSequenceMonotonic(t *testing.T) {
 	h := newTestHeap()
 	var prev uint64
 	for i := 0; i < 100; i++ {
-		id, _ := h.Alloc(64, EpochForeground, 0)
+		id, _, _ := h.Alloc(64, EpochForeground, 0)
 		seq := h.Object(id).Seq
 		if seq <= prev {
 			t.Fatalf("seq %d not monotonic after %d", seq, prev)
@@ -56,8 +57,8 @@ func TestAllocSequenceMonotonic(t *testing.T) {
 
 func TestBumpPointerPlacement(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(100, EpochForeground, 0)
-	b, _ := h.Alloc(100, EpochForeground, 0)
+	a, _, _ := h.Alloc(100, EpochForeground, 0)
+	b, _, _ := h.Alloc(100, EpochForeground, 0)
 	oa, ob := h.Object(a), h.Object(b)
 	if ob.Addr != oa.Addr+100 {
 		t.Errorf("not bump allocated: %d then %d", oa.Addr, ob.Addr)
@@ -71,8 +72,8 @@ func TestRegionOverflowOpensNewRegion(t *testing.T) {
 	h := newTestHeap()
 	// Fill most of a region then allocate something that doesn't fit.
 	big := int32(units.RegionSize - 100)
-	a, _ := h.Alloc(big, EpochForeground, 0)
-	b, _ := h.Alloc(200, EpochForeground, 0)
+	a, _, _ := h.Alloc(big, EpochForeground, 0)
+	b, _, _ := h.Alloc(200, EpochForeground, 0)
 	if h.Object(a).Region == h.Object(b).Region {
 		t.Error("second object should be in a fresh region")
 	}
@@ -81,19 +82,23 @@ func TestRegionOverflowOpensNewRegion(t *testing.T) {
 	}
 }
 
-func TestOversizeAllocPanics(t *testing.T) {
+func TestOversizeAllocReturnsError(t *testing.T) {
 	h := newTestHeap()
-	defer func() {
-		if recover() == nil {
-			t.Error("alloc larger than a region must panic")
-		}
-	}()
-	h.Alloc(int32(units.RegionSize+1), EpochForeground, 0)
+	id, _, err := h.Alloc(int32(units.RegionSize+1), EpochForeground, 0)
+	if !errors.Is(err, ErrObjectTooLarge) {
+		t.Errorf("oversize alloc = %v, want ErrObjectTooLarge", err)
+	}
+	if id != NilObject {
+		t.Error("failed alloc must return NilObject")
+	}
+	if h.LiveObjects() != 0 {
+		t.Error("failed alloc must not create an object")
+	}
 }
 
 func TestRegionAtAndRegionOf(t *testing.T) {
 	h := newTestHeap()
-	id, _ := h.Alloc(512, EpochBackground, 0)
+	id, _, _ := h.Alloc(512, EpochBackground, 0)
 	o := h.Object(id)
 	if h.RegionAt(o.Addr) != h.RegionOf(id) {
 		t.Error("RegionAt and RegionOf disagree")
@@ -105,8 +110,8 @@ func TestRegionAtAndRegionOf(t *testing.T) {
 
 func TestRootsAndRefs(t *testing.T) {
 	h := newTestHeap()
-	root, _ := h.Alloc(64, EpochForeground, 0)
-	child, _ := h.Alloc(64, EpochForeground, 0)
+	root, _, _ := h.Alloc(64, EpochForeground, 0)
+	child, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.AddRoot(root)
 	h.AddRef(root, child, 0)
 	if len(h.Roots()) != 1 {
@@ -123,8 +128,8 @@ func TestRootsAndRefs(t *testing.T) {
 
 func TestSetRefGrowsSlots(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(64, EpochForeground, 0)
-	b, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
+	b, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.SetRef(a, 3, b, 0)
 	refs := h.Object(a).Refs
 	if len(refs) != 4 || refs[3] != b || refs[0] != NilObject {
@@ -134,8 +139,8 @@ func TestSetRefGrowsSlots(t *testing.T) {
 
 func TestClearRefs(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(64, EpochForeground, 0)
-	b, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
+	b, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.AddRef(a, b, 0)
 	h.ClearRefs(a, 0)
 	if len(h.Object(a).Refs) != 0 {
@@ -147,8 +152,8 @@ func TestWriteBarrierFires(t *testing.T) {
 	h := newTestHeap()
 	var barriered []ObjectID
 	h.WriteBarrier = func(id ObjectID) { barriered = append(barriered, id) }
-	a, _ := h.Alloc(64, EpochForeground, 0)
-	b, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
+	b, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.AddRef(a, b, 0)
 	if len(barriered) != 1 || barriered[0] != a {
 		t.Errorf("write barrier calls = %v", barriered)
@@ -164,7 +169,7 @@ func TestReadBarrierFires(t *testing.T) {
 	h := newTestHeap()
 	var reads int
 	h.ReadBarrier = func(id ObjectID) { reads++ }
-	a, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.Access(a, false, 0)
 	h.Access(a, true, 0)
 	if reads != 2 {
@@ -177,7 +182,7 @@ func TestAccessSampler(t *testing.T) {
 	var sampled int
 	h.AccessSampler = func(id ObjectID, write bool) { sampled++ }
 	h.SampleEvery = 10
-	a, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
 	for i := 0; i < 100; i++ {
 		h.Access(a, false, 0)
 	}
@@ -186,27 +191,24 @@ func TestAccessSampler(t *testing.T) {
 	}
 }
 
-func TestAccessDeadObjectPanics(t *testing.T) {
+func TestAccessDeadObjectReturnsError(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.KillObject(a)
-	defer func() {
-		if recover() == nil {
-			t.Error("access to dead object must panic")
-		}
-	}()
-	h.Access(a, false, 0)
+	if _, err := h.Access(a, false, 0); !errors.Is(err, ErrDeadObject) {
+		t.Errorf("access to dead object = %v, want ErrDeadObject", err)
+	}
 }
 
 func TestKillAndSlotRecycling(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.KillObject(a)
 	if h.LiveObjects() != 0 || h.LiveBytes() != 0 {
 		t.Error("kill did not update stats")
 	}
 	h.KillObject(a) // double-kill is a no-op
-	b, _ := h.Alloc(32, EpochBackground, 0)
+	b, _, _ := h.Alloc(32, EpochBackground, 0)
 	if b != a {
 		t.Errorf("slot not recycled: got %d want %d", b, a)
 	}
@@ -230,7 +232,7 @@ func TestNoteGCCompleteClearsNewlyAllocated(t *testing.T) {
 		t.Errorf("gc count = %d", h.GCCount())
 	}
 	// Allocation after GC opens a fresh NewlyAllocated region.
-	id, _ := h.Alloc(64, EpochForeground, 0)
+	id, _, _ := h.Alloc(64, EpochForeground, 0)
 	if !h.RegionOf(id).NewlyAllocated {
 		t.Error("post-GC allocation region should be NewlyAllocated")
 	}
@@ -238,7 +240,7 @@ func TestNoteGCCompleteClearsNewlyAllocated(t *testing.T) {
 
 func TestMarkGenerations(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.BeginTrace()
 	if h.Marked(a) {
 		t.Error("fresh trace should have nothing marked")
@@ -260,7 +262,7 @@ func TestMarkGenerations(t *testing.T) {
 
 func TestFreeRegionReleasesMemory(t *testing.T) {
 	h := newTestHeap()
-	id, _ := h.Alloc(1024, EpochForeground, 0)
+	id, _, _ := h.Alloc(1024, EpochForeground, 0)
 	r := h.RegionOf(id)
 	h.KillObject(id)
 	resBefore := h.AS.ResidentPages()
@@ -272,7 +274,7 @@ func TestFreeRegionReleasesMemory(t *testing.T) {
 		t.Error("region pages not released")
 	}
 	// Freed region is recycled by the next allocation.
-	id2, _ := h.Alloc(64, EpochForeground, 0)
+	id2, _, _ := h.Alloc(64, EpochForeground, 0)
 	if h.RegionOf(id2) != r {
 		t.Error("freed region slot not recycled")
 	}
@@ -280,7 +282,7 @@ func TestFreeRegionReleasesMemory(t *testing.T) {
 
 func TestEvacuatorCopies(t *testing.T) {
 	h := newTestHeap()
-	id, _ := h.Alloc(300, EpochForeground, 0)
+	id, _, _ := h.Alloc(300, EpochForeground, 0)
 	oldAddr := h.Object(id).Addr
 	oldRegion := h.Object(id).Region
 
@@ -309,8 +311,8 @@ func TestEvacuatorGroupsByKind(t *testing.T) {
 	h := newTestHeap()
 	var launch, cold []ObjectID
 	for i := 0; i < 10; i++ {
-		a, _ := h.Alloc(256, EpochForeground, 0)
-		b, _ := h.Alloc(256, EpochForeground, 0)
+		a, _, _ := h.Alloc(256, EpochForeground, 0)
+		b, _, _ := h.Alloc(256, EpochForeground, 0)
 		launch = append(launch, a)
 		cold = append(cold, b)
 	}
@@ -340,7 +342,7 @@ func TestEvacuatorGroupsByKind(t *testing.T) {
 
 func TestEvacuatorSkipsPinned(t *testing.T) {
 	h := newTestHeap()
-	id, _ := h.Alloc(100, EpochForeground, 0)
+	id, _, _ := h.Alloc(100, EpochForeground, 0)
 	h.Object(id).Pinned = true
 	addr := h.Object(id).Addr
 	ev := h.NewEvacuator()
@@ -362,11 +364,11 @@ func TestRefsSliceReuseNotAliased(t *testing.T) {
 	// Regression guard: a recycled object slot reuses the Refs backing
 	// array; ensure the new object starts with zero refs.
 	h := newTestHeap()
-	a, _ := h.Alloc(64, EpochForeground, 0)
-	b, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
+	b, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.AddRef(a, b, 0)
 	h.KillObject(a)
-	c, _ := h.Alloc(64, EpochForeground, 0)
+	c, _, _ := h.Alloc(64, EpochForeground, 0)
 	if c != a {
 		t.Skip("slot not recycled in this configuration")
 	}
@@ -377,7 +379,7 @@ func TestRefsSliceReuseNotAliased(t *testing.T) {
 
 func TestLastAccessUpdated(t *testing.T) {
 	h := newTestHeap()
-	a, _ := h.Alloc(64, EpochForeground, 0)
+	a, _, _ := h.Alloc(64, EpochForeground, 0)
 	h.Access(a, false, 5*time.Second)
 	if h.Object(a).LastAccess != 5*time.Second {
 		t.Errorf("LastAccess = %v", h.Object(a).LastAccess)

@@ -25,7 +25,7 @@ func newRig() (*heap.Heap, *vmem.Manager, *Marvin) {
 
 // alloc allocates, pins (as the Marvin runtime does), and returns the id.
 func alloc(h *heap.Heap, m *Marvin, size int32, now time.Duration) heap.ObjectID {
-	id, _ := h.Alloc(size, heap.EpochForeground, now)
+	id, _, _ := h.Alloc(size, heap.EpochForeground, now)
 	m.PinAllocation(id)
 	return id
 }
@@ -234,7 +234,7 @@ func TestFaultBackRevivesObject(t *testing.T) {
 		t.Fatal("setup: not bookmarked")
 	}
 	// Mutator touches it: major fault + bookmark shed.
-	stall := h.Access(id, false, 101*time.Second)
+	stall, _ := h.Access(id, false, 101*time.Second)
 	if stall <= 0 {
 		t.Error("fault-back should stall")
 	}
@@ -263,7 +263,7 @@ func TestHeapPagesPinnedAgainstKernelLRU(t *testing.T) {
 	m := New(h, vm)
 	h.ReadBarrier = m.NoteAccess
 
-	root, _ := h.Alloc(64, heap.EpochForeground, 0)
+	root, _, _ := h.Alloc(64, heap.EpochForeground, 0)
 	m.PinAllocation(root)
 	h.AddRoot(root)
 	var ids []heap.ObjectID
@@ -280,7 +280,7 @@ func TestHeapPagesPinnedAgainstKernelLRU(t *testing.T) {
 		return true
 	}
 	for i := 0; i < 700; i++ {
-		id, _ := h.Alloc(2048, heap.EpochForeground, 0)
+		id, _, _ := h.Alloc(2048, heap.EpochForeground, 0)
 		m.PinAllocation(id)
 		h.AddRef(root, id, 0)
 		ids = append(ids, id)

@@ -6,11 +6,21 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"fleetsim/internal/units"
 )
+
+// ErrNoFrames reports that DRAM has no free frame for a residency
+// transition. The caller (vmem) must reclaim and retry, or surface the
+// condition as an out-of-memory event.
+var ErrNoFrames = errors.New("mem: no free frames")
+
+// ErrPageState reports a residency transition applied to a page in the
+// wrong state — accounting corruption if it were allowed to proceed.
+var ErrPageState = errors.New("mem: page in wrong state for transition")
 
 // PageState is the residency state of one virtual page.
 type PageState uint8
@@ -281,30 +291,34 @@ func (ph *Physical) FreeFrames() int64 { return ph.TotalFrames - ph.usedFrames }
 // UsedFrames returns the number of frames backing resident pages.
 func (ph *Physical) UsedFrames() int64 { return ph.usedFrames }
 
-// MakeResident transitions p into DRAM, consuming one frame. The caller
-// must have ensured a frame is available (vmem's reclaim guarantees this).
-func (ph *Physical) MakeResident(p *Page) {
+// MakeResident transitions p into DRAM, consuming one frame. Returns
+// ErrNoFrames when DRAM is exhausted; the caller (vmem) reclaims and
+// retries, or surfaces the condition as an out-of-memory event.
+func (ph *Physical) MakeResident(p *Page) error {
 	if p.State == PageResident {
-		return
+		return nil
 	}
 	if ph.FreeFrames() <= 0 {
-		panic("mem: MakeResident with no free frames; reclaim must run first")
+		return ErrNoFrames
 	}
 	old := p.State
 	p.State = PageResident
 	ph.usedFrames++
 	p.Space.noteTransition(old, PageResident)
+	return nil
 }
 
 // MoveToSwap transitions a resident page out of DRAM into swap state,
 // releasing its frame. Swap-slot accounting is the caller's (vmem's) job.
-func (ph *Physical) MoveToSwap(p *Page) {
+// Returns ErrPageState if the page is not resident.
+func (ph *Physical) MoveToSwap(p *Page) error {
 	if p.State != PageResident {
-		panic(fmt.Sprintf("mem: MoveToSwap on %v page", p.State))
+		return fmt.Errorf("%w: MoveToSwap on %v page", ErrPageState, p.State)
 	}
 	p.State = PageSwapped
 	ph.usedFrames--
 	p.Space.noteTransition(PageResident, PageSwapped)
+	return nil
 }
 
 // Release frees a page entirely (e.g. its heap region was reclaimed by GC).

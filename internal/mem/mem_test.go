@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"testing"
 
 	"fleetsim/internal/units"
@@ -107,25 +108,28 @@ func TestMoveToSwapRequiresResident(t *testing.T) {
 	ph := NewPhysical(units.PageSize)
 	as := NewAddressSpace("t")
 	p := as.Page(as.Reserve(units.PageSize))
-	defer func() {
-		if recover() == nil {
-			t.Error("MoveToSwap on unmapped page must panic")
-		}
-	}()
-	ph.MoveToSwap(p)
+	if err := ph.MoveToSwap(p); !errors.Is(err, ErrPageState) {
+		t.Errorf("MoveToSwap on unmapped page = %v, want ErrPageState", err)
+	}
+	if p.State != PageUnmapped {
+		t.Error("failed transition must not change page state")
+	}
 }
 
-func TestMakeResidentWithoutFramesPanics(t *testing.T) {
+func TestMakeResidentWithoutFramesReturnsError(t *testing.T) {
 	ph := NewPhysical(units.PageSize) // one frame
 	as := NewAddressSpace("t")
 	base := as.Reserve(2 * units.PageSize)
-	ph.MakeResident(as.Page(base))
-	defer func() {
-		if recover() == nil {
-			t.Error("MakeResident with no free frames must panic")
-		}
-	}()
-	ph.MakeResident(as.Page(base + units.PageSize))
+	if err := ph.MakeResident(as.Page(base)); err != nil {
+		t.Fatalf("first MakeResident: %v", err)
+	}
+	p := as.Page(base + units.PageSize)
+	if err := ph.MakeResident(p); !errors.Is(err, ErrNoFrames) {
+		t.Errorf("MakeResident with no free frames = %v, want ErrNoFrames", err)
+	}
+	if p.State != PageUnmapped || as.ResidentPages() != 1 {
+		t.Error("failed MakeResident must leave accounting untouched")
+	}
 }
 
 func TestFootprint(t *testing.T) {

@@ -1,0 +1,27 @@
+package vmem
+
+import "errors"
+
+// Typed fault conditions of the virtual-memory layer. They replace the
+// seed's hard panics so upper layers can degrade the way a real device
+// does: lmkd kill-escalation on ErrOOM, skipped swap-outs on ErrSwapFull,
+// retry-with-backoff (in sim time) across ErrSwapOffline windows.
+var (
+	// ErrOOM means reclaim could not free a frame and the pressure
+	// callback (lmkd) had no victim left: the allocating process must be
+	// OOM-killed, not the whole simulation.
+	ErrOOM = errors.New("vmem: out of memory (reclaim and lmkd exhausted)")
+
+	// ErrSwapFull means every swap slot is occupied; the page stays
+	// resident and memory pressure persists — real zram behaviour.
+	ErrSwapFull = errors.New("vmem: swap device full")
+
+	// ErrSwapOffline means the device is inside an injected offline
+	// window. Writes fail fast; reads wait the window out in sim time.
+	ErrSwapOffline = errors.New("vmem: swap device offline")
+
+	// ErrSwapCorrupt means slot accounting went negative — a simulator
+	// bug surfaced as an error so the invariant checker can catch it
+	// instead of the process dying.
+	ErrSwapCorrupt = errors.New("vmem: swap slot accounting corrupt")
+)

@@ -130,3 +130,78 @@ func TestVMRandomOps(t *testing.T) {
 		}
 	}
 }
+
+// FuzzVMOps drives the manager with an arbitrary op tape — touches,
+// advice, prefetches, releases, plus injected device faults (latency
+// stalls, offline windows, slot squeezes) — and requires the conservation
+// laws to hold and no corruption to latch at the end. Every error return
+// is legal under faults; what must never happen is inconsistent
+// accounting.
+func FuzzVMOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x05, 0x21, 0x10, 0x03})
+	f.Add([]byte{0x07, 0x08, 0x04, 0x63, 0x05, 0x02, 0x01, 0x30, 0x07, 0x08, 0x09, 0x01})
+	f.Add([]byte{0x08, 0x02, 0x02, 0x01, 0x20, 0x04, 0x09, 0x06, 0x20, 0x03, 0x11, 0x05})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		phys := mem.NewPhysical(32 * units.PageSize)
+		cfg := DefaultSwapConfig()
+		cfg.SizeBytes = 64 * units.PageSize
+		m := NewManager(phys, NewSwapDevice(cfg))
+		now := time.Duration(0)
+		m.Now = func() time.Duration { return now }
+
+		var fault FaultState
+		m.Swap.Faults = func() FaultState { return fault }
+
+		const pages = 48
+		as := mem.NewAddressSpace("fuzz")
+		as.Reserve(pages * units.PageSize)
+		m.OnPressure = func(need int64) bool {
+			m.ReleaseRange(as, 0, pages*units.PageSize)
+			return true
+		}
+
+		for i := 0; i+2 < len(data); i += 3 {
+			op, a, b := data[i], int64(data[i+1]), int64(data[i+2])
+			addr := (a % pages) * units.PageSize
+			size := (1 + b%8) * units.PageSize
+			if addr+size > pages*units.PageSize {
+				size = pages*units.PageSize - addr
+			}
+			now += time.Millisecond
+			switch op % 10 {
+			case 0, 1, 2:
+				m.TouchRange(as, addr, size, op&0x10 != 0)
+			case 3:
+				m.AdviseCold(as, addr, size)
+			case 4:
+				m.AdviseHot(as, addr, size)
+			case 5:
+				m.Prefetch(as, addr, size)
+			case 6:
+				m.ReleaseRange(as, addr, size)
+			case 7:
+				if b%4 == 0 {
+					fault.LatencyFactor = 0
+				} else {
+					fault.LatencyFactor = float64(1 + b%16)
+				}
+			case 8:
+				if b%2 == 0 {
+					fault.OfflineFor = time.Duration(1+b%50) * time.Millisecond
+				} else {
+					fault.OfflineFor = 0
+				}
+			case 9:
+				if b%2 == 0 {
+					m.Swap.ReserveSlots(b)
+				} else {
+					m.Swap.UnreserveSlots(b)
+				}
+			}
+		}
+		vmInvariants(t, m, []*mem.AddressSpace{as})
+		if err := m.Corrupt(); err != nil {
+			t.Fatalf("corruption latched: %v", err)
+		}
+	})
+}

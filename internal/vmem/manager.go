@@ -43,6 +43,15 @@ type Stats struct {
 	// PressureKills counts how many times the OnPressure callback had to
 	// free memory (i.e. lmkd activity).
 	PressureKills int64
+	// SwapRetries counts backoff sleeps taken by faulting threads while an
+	// offline swap device held their data (retry-with-backoff in sim time).
+	SwapRetries int64
+	// OfflineWait is the total sim time faulting threads spent waiting out
+	// device-offline windows.
+	OfflineWait time.Duration
+	// SwapWriteFails counts swap-outs skipped because the device was full
+	// or offline (the page stayed resident; pressure persisted).
+	SwapWriteFails int64
 }
 
 // Manager owns physical memory, the LRU and the swap device.
@@ -61,6 +70,10 @@ type Manager struct {
 	// its pages) and return true, or return false to signal true OOM.
 	OnPressure func(needFrames int64) bool
 
+	// AfterReclaim, when non-nil, runs after every reclaim pass; the test
+	// harness hangs the cross-layer invariant checker on it.
+	AfterReclaim func()
+
 	// Now supplies virtual time for refault detection; nil means time
 	// stands still (refaults are then never detected).
 	Now func() time.Duration
@@ -71,7 +84,8 @@ type Manager struct {
 	// owner (debugging/analysis aid).
 	RefaultByOwner map[string]int64
 
-	stats Stats
+	stats   Stats
+	corrupt error // first accounting-corruption error, latched for the checker
 }
 
 // NewManager wires DRAM and swap together. Watermarks default to 2% / 4% of
@@ -94,36 +108,94 @@ func (m *Manager) Stats() Stats { return m.stats }
 // phases); residency state is untouched.
 func (m *Manager) ResetIOStats() { m.stats = Stats{} }
 
+// Corrupt returns the first internal accounting corruption observed (nil
+// when healthy). The invariant checker treats a non-nil value as a
+// violation; degraded-but-consistent operation keeps it nil.
+func (m *Manager) Corrupt() error { return m.corrupt }
+
+func (m *Manager) noteCorrupt(err error) {
+	if m.corrupt == nil {
+		m.corrupt = err
+	}
+}
+
+// waitSwapOnline models a faulting thread retrying with exponential backoff
+// (in sim time) until the swap device's offline window has passed. The data
+// is still on the device, so a read can always be retried — the thread just
+// pays the wait as stall.
+func (m *Manager) waitSwapOnline() time.Duration {
+	off := m.Swap.OfflineFor()
+	if off <= 0 {
+		return 0
+	}
+	var waited time.Duration
+	backoff := 250 * time.Microsecond
+	for waited < off {
+		waited += backoff
+		m.stats.SwapRetries++
+		backoff *= 2
+		if backoff > 100*time.Millisecond {
+			backoff = 100 * time.Millisecond
+		}
+	}
+	m.stats.OfflineWait += waited
+	return waited
+}
+
 // Touch simulates one memory access to addr's page: fault it in if needed,
 // update LRU state, and return the synchronous stall the accessing thread
 // experienced (zero for a plain resident hit — DRAM cost is charged by the
-// CPU model at a higher level).
-func (m *Manager) Touch(p *mem.Page, write bool) time.Duration {
+// CPU model at a higher level). A non-nil error (ErrOOM) means the access
+// could not be satisfied; the page and all accounting remain consistent, so
+// the caller can kill the process or retry later.
+func (m *Manager) Touch(p *mem.Page, write bool) (time.Duration, error) {
 	var stall time.Duration
 	switch p.State {
 	case mem.PageResident:
 		m.lru.touched(p)
 	case mem.PageUnmapped:
-		stall += m.ensureFrame(1)
-		m.Phys.MakeResident(p)
+		io, err := m.ensureFrame(1)
+		stall += io
+		if err != nil {
+			return stall, err
+		}
+		if err := m.Phys.MakeResident(p); err != nil {
+			return stall, fmt.Errorf("%w: %v", ErrOOM, err)
+		}
 		m.lru.insert(p)
 		m.stats.MinorFaults++
 		stall += MinorFaultCost
 	case mem.PageSwapped:
-		stall += m.ensureFrame(1)
+		// Retry-with-backoff across injected device-offline windows: the
+		// data cannot arrive until the device is back.
+		stall += m.waitSwapOnline()
+		io, err := m.ensureFrame(1)
+		stall += io
+		if err != nil {
+			return stall, err
+		}
 		// ensureFrame may have escalated to the pressure callback, which
 		// can release this very page (its owner was killed); re-check.
 		if p.State != mem.PageSwapped {
 			if p.State == mem.PageUnmapped {
-				m.Phys.MakeResident(p)
+				if err := m.Phys.MakeResident(p); err != nil {
+					return stall, fmt.Errorf("%w: %v", ErrOOM, err)
+				}
 				m.lru.insert(p)
 				m.stats.MinorFaults++
 				stall += MinorFaultCost
 			}
 			break
 		}
-		io := m.Swap.ReadPage()
-		m.Phys.MakeResident(p)
+		io, err = m.Swap.ReadPage()
+		if err != nil {
+			m.noteCorrupt(err)
+			return stall, err
+		}
+		if rerr := m.Phys.MakeResident(p); rerr != nil {
+			m.noteCorrupt(rerr)
+			return stall, fmt.Errorf("%w: %v", ErrOOM, rerr)
+		}
 		p.Referenced = true
 		m.lru.insert(p)
 		m.stats.MajorFaults++
@@ -142,23 +214,29 @@ func (m *Manager) Touch(p *mem.Page, write bool) time.Duration {
 		p.Dirty = true
 	}
 	m.balance()
-	return stall
+	return stall, nil
 }
 
 // TouchRange touches every page overlapping [addr, addr+size) in as,
 // returning the total stall. It is the per-object-access hot path and
-// avoids allocation.
-func (m *Manager) TouchRange(as *mem.AddressSpace, addr, size int64, write bool) time.Duration {
+// avoids allocation. On error the already-paid stall is still returned;
+// pages before the failing one remain resident (a partially serviced
+// multi-page access, like a real fault mid-loop).
+func (m *Manager) TouchRange(as *mem.AddressSpace, addr, size int64, write bool) (time.Duration, error) {
 	if size <= 0 {
-		return 0
+		return 0, nil
 	}
 	first := units.PageIndex(addr)
 	last := units.PageIndex(addr + size - 1)
 	var stall time.Duration
 	for i := first; i <= last; i++ {
-		stall += m.Touch(as.PageAt(i), write)
+		io, err := m.Touch(as.PageAt(i), write)
+		stall += io
+		if err != nil {
+			return stall, err
+		}
 	}
-	return stall
+	return stall, nil
 }
 
 // Resident reports whether addr's page is currently in DRAM (untouched
@@ -169,14 +247,17 @@ func (m *Manager) Resident(as *mem.AddressSpace, addr int64) bool {
 }
 
 // Release frees one page entirely (its memory was unmapped, e.g. a GC
-// from-region being reclaimed).
+// from-region being reclaimed). Slot-accounting corruption is latched for
+// the invariant checker rather than aborting the run.
 func (m *Manager) Release(p *mem.Page) {
 	switch p.State {
 	case mem.PageResident:
 		m.lru.remove(p)
 		m.Phys.Release(p)
 	case mem.PageSwapped:
-		m.Swap.Discard()
+		if err := m.Swap.Discard(); err != nil {
+			m.noteCorrupt(err)
+		}
 		m.Phys.Release(p)
 	default:
 		m.Phys.Release(p)
@@ -195,10 +276,10 @@ func (m *Manager) ReleaseSpace(as *mem.AddressSpace) {
 
 // AdviseCold implements madvise(COLD_RUNTIME): the pages in [addr,
 // addr+size) are actively written to swap right now, ahead of memory
-// pressure (§5.3.2). Pages the device has no room for are instead demoted to
-// the inactive tail so ordinary reclaim takes them first. The returned
-// duration is the total write IO, which the caller decides how to account
-// (Fleet issues it from a background thread).
+// pressure (§5.3.2). Pages the device cannot take (no room, offline
+// window) are instead demoted to the inactive tail so ordinary reclaim
+// takes them first. The returned duration is the total write IO, which the
+// caller decides how to account (Fleet issues it from a background thread).
 func (m *Manager) AdviseCold(as *mem.AddressSpace, addr, size int64) time.Duration {
 	var io time.Duration
 	as.ForRange(addr, size, func(p *mem.Page) {
@@ -206,14 +287,24 @@ func (m *Manager) AdviseCold(as *mem.AddressSpace, addr, size int64) time.Durati
 			return
 		}
 		p.Hot = false
-		if m.Swap.FreeSlots() > 0 {
-			io += m.Swap.WritePage()
-			m.lru.remove(p)
-			m.Phys.MoveToSwap(p)
-			m.noteSwapOut(p)
-		} else {
+		wio, err := m.Swap.WritePage()
+		if err != nil {
+			m.stats.SwapWriteFails++
 			m.lru.moveToInactiveTail(p)
+			return
 		}
+		io += wio
+		m.lru.remove(p)
+		if err := m.Phys.MoveToSwap(p); err != nil {
+			// Undo the slot; leave the page where it was.
+			m.noteCorrupt(err)
+			if derr := m.Swap.Discard(); derr != nil {
+				m.noteCorrupt(derr)
+			}
+			m.lru.insert(p)
+			return
+		}
+		m.noteSwapOut(p)
 	})
 	return io
 }
@@ -250,29 +341,46 @@ func (m *Manager) Unpin(as *mem.AddressSpace, addr, size int64) {
 }
 
 // Prefetch swap-ins every swapped page of [addr, addr+size) at sequential
-// readahead speed and returns (pages, io). Prefetchers (ASAP-style
+// readahead speed and returns (pages, io, err). Prefetchers (ASAP-style
 // baselines) call this ahead of a launch so the launch itself runs without
-// random faults.
-func (m *Manager) Prefetch(as *mem.AddressSpace, addr, size int64) (int64, time.Duration) {
+// random faults. On error the pages fetched so far stay resident.
+func (m *Manager) Prefetch(as *mem.AddressSpace, addr, size int64) (int64, time.Duration, error) {
 	var pages int64
 	var io time.Duration
+	var firstErr error
 	as.ForRange(addr, size, func(p *mem.Page) {
-		if p.State != mem.PageSwapped {
+		if firstErr != nil || p.State != mem.PageSwapped {
 			return
 		}
-		io += m.ensureFrame(1)
+		io += m.waitSwapOnline()
+		fio, err := m.ensureFrame(1)
+		io += fio
+		if err != nil {
+			firstErr = err
+			return
+		}
 		if p.State != mem.PageSwapped {
 			return // released by the pressure callback mid-prefetch
 		}
-		io += m.Swap.ReadPageSequential()
-		m.Phys.MakeResident(p)
+		rio, err := m.Swap.ReadPageSequential()
+		if err != nil {
+			m.noteCorrupt(err)
+			firstErr = err
+			return
+		}
+		io += rio
+		if err := m.Phys.MakeResident(p); err != nil {
+			m.noteCorrupt(err)
+			firstErr = fmt.Errorf("%w: %v", ErrOOM, err)
+			return
+		}
 		p.Referenced = true
 		m.lru.insert(p)
 		m.stats.SwapIns++
 		pages++
 	})
 	m.balance()
-	return pages, io
+	return pages, io, firstErr
 }
 
 // balance is the kswapd analogue: when free frames dip below the low
@@ -290,13 +398,16 @@ func (m *Manager) balance() {
 
 // ensureFrame guarantees at least need free frames, running direct reclaim
 // (and ultimately the pressure callback) if necessary. Returns the stall
-// charged to the calling thread.
-func (m *Manager) ensureFrame(need int64) time.Duration {
+// charged to the calling thread. When reclaim, emergency reclaim and the
+// pressure callback all fail to free a frame, it returns ErrOOM — the
+// caller (android) OOM-kills the faulting process and the sim continues.
+func (m *Manager) ensureFrame(need int64) (time.Duration, error) {
 	var stall time.Duration
 	const maxAttempts = 1 << 12
 	for attempt := 0; m.Phys.FreeFrames() < need; attempt++ {
 		if attempt >= maxAttempts {
-			panic("vmem: reclaim made no forward progress (OnPressure freed nothing)")
+			return stall, fmt.Errorf("%w: reclaim made no forward progress (need %d frames, free %d)",
+				ErrOOM, need, m.Phys.FreeFrames())
 		}
 		io, freed := m.reclaim(need-m.Phys.FreeFrames(), false)
 		stall += io
@@ -317,20 +428,23 @@ func (m *Manager) ensureFrame(need int64) time.Duration {
 		// the lmkd moment.
 		m.stats.PressureKills++
 		if m.OnPressure == nil || !m.OnPressure(need-m.Phys.FreeFrames()) {
-			panic(fmt.Sprintf("vmem: out of memory: need %d frames, free %d, swap free %d slots",
-				need, m.Phys.FreeFrames(), m.Swap.FreeSlots()))
+			return stall, fmt.Errorf("%w: need %d frames, free %d, swap free %d slots",
+				ErrOOM, need, m.Phys.FreeFrames(), m.Swap.FreeSlots())
 		}
 	}
-	return stall
+	return stall, nil
 }
 
 // reclaim scans the LRU and swaps out up to want pages, returning the IO
-// time and the number of frames actually freed.
+// time and the number of frames actually freed. A full or offline swap
+// device stops the pass: remaining victims go back on the LRU, the pages
+// stay resident and pressure persists — real zram behaviour.
 func (m *Manager) reclaim(want int64, emergency bool) (time.Duration, int64) {
 	var io time.Duration
 	var freed int64
+scan:
 	for freed < want {
-		if m.Swap.FreeSlots() <= 0 {
+		if !m.Swap.CanWrite() {
 			break
 		}
 		m.lru.rebalance()
@@ -342,17 +456,32 @@ func (m *Manager) reclaim(want int64, emergency bool) (time.Duration, int64) {
 		if len(victims) == 0 {
 			break
 		}
-		for _, p := range victims {
-			if m.Swap.FreeSlots() <= 0 {
-				// Put it back; the caller will escalate.
+		for vi, p := range victims {
+			wio, err := m.Swap.WritePage()
+			if err != nil {
+				// Swap refused the store (full or went offline): put this
+				// and all remaining victims back; the caller escalates.
+				m.stats.SwapWriteFails++
+				for _, q := range victims[vi:] {
+					m.lru.insert(q)
+				}
+				break scan
+			}
+			io += wio
+			if err := m.Phys.MoveToSwap(p); err != nil {
+				m.noteCorrupt(err)
+				if derr := m.Swap.Discard(); derr != nil {
+					m.noteCorrupt(derr)
+				}
 				m.lru.insert(p)
 				continue
 			}
-			io += m.Swap.WritePage()
-			m.Phys.MoveToSwap(p)
 			m.noteSwapOut(p)
 			freed++
 		}
+	}
+	if m.AfterReclaim != nil {
+		m.AfterReclaim()
 	}
 	return io, freed
 }

@@ -6,6 +6,18 @@ import (
 	"fleetsim/internal/units"
 )
 
+// FaultState is the externally injected health of the swap device at one
+// instant. internal/faults computes it from its scheduled fault windows;
+// the device itself stays policy-free.
+type FaultState struct {
+	// LatencyFactor multiplies every IO time (transient stall window).
+	// Values <= 0 or == 1 mean no stall.
+	LatencyFactor float64
+	// OfflineFor is how long the device remains unreachable (device-offline
+	// window). Zero means online.
+	OfflineFor time.Duration
+}
+
 // SwapDevice models the flash-based swap partition: a fixed number of 4 KB
 // slots with strongly asymmetric performance versus DRAM. The paper measures
 // DRAM at 9182.7 MB/s and the swap partition at 20.3 MB/s (§3.2), a ~452×
@@ -13,6 +25,10 @@ import (
 type SwapDevice struct {
 	TotalSlots int64
 	usedSlots  int64
+	// reserved slots are held hostage by an injected slot-exhaustion fault
+	// (e.g. another subsystem filling zram); they count as neither free nor
+	// used.
+	reserved int64
 
 	// ReadBandwidth / WriteBandwidth are sustained throughputs in bytes/s.
 	ReadBandwidth  float64
@@ -24,6 +40,11 @@ type SwapDevice struct {
 	// than the random-read ReadBandwidth (flash readahead); prefetchers
 	// exploit it. 1 means no benefit.
 	SeqReadFactor float64
+
+	// Faults, when non-nil, is sampled before every IO to pick up injected
+	// stall and offline windows. Left nil in fault-free runs, costing one
+	// predictable branch.
+	Faults func() FaultState
 
 	reads, writes int64 // lifetime page-op counters
 }
@@ -82,50 +103,116 @@ func NewSwapDevice(cfg SwapDeviceConfig) *SwapDevice {
 	}
 }
 
-// FreeSlots returns the number of unused swap slots.
-func (d *SwapDevice) FreeSlots() int64 { return d.TotalSlots - d.usedSlots }
+// FreeSlots returns the number of slots available for new writes.
+func (d *SwapDevice) FreeSlots() int64 { return d.TotalSlots - d.usedSlots - d.reserved }
 
 // UsedSlots returns the number of occupied swap slots.
 func (d *SwapDevice) UsedSlots() int64 { return d.usedSlots }
 
+// ReservedSlots returns the slots currently held by an injected
+// slot-exhaustion fault.
+func (d *SwapDevice) ReservedSlots() int64 { return d.reserved }
+
+// ReserveSlots takes up to n free slots out of circulation (an injected
+// slot-exhaustion fault) and returns how many it actually got.
+func (d *SwapDevice) ReserveSlots(n int64) int64 {
+	if free := d.FreeSlots(); n > free {
+		n = free
+	}
+	if n < 0 {
+		n = 0
+	}
+	d.reserved += n
+	return n
+}
+
+// UnreserveSlots returns previously reserved slots to circulation.
+func (d *SwapDevice) UnreserveSlots(n int64) {
+	d.reserved -= n
+	if d.reserved < 0 {
+		d.reserved = 0
+	}
+}
+
+// faultState samples the injected fault hook, if any.
+func (d *SwapDevice) faultState() FaultState {
+	if d.Faults == nil {
+		return FaultState{}
+	}
+	return d.Faults()
+}
+
+// OfflineFor reports how long the device remains unreachable (zero when
+// online). The manager waits this out in sim time before swap-ins.
+func (d *SwapDevice) OfflineFor() time.Duration {
+	return d.faultState().OfflineFor
+}
+
+// Online reports whether the device currently accepts IO.
+func (d *SwapDevice) Online() bool { return d.OfflineFor() <= 0 }
+
+// CanWrite reports whether a swap-out could succeed right now: device
+// present, online, and at least one free slot.
+func (d *SwapDevice) CanWrite() bool {
+	return d.TotalSlots > 0 && d.FreeSlots() > 0 && d.Online()
+}
+
+// stretch applies the injected latency factor of a transient stall window.
+func (d *SwapDevice) stretch(io time.Duration) time.Duration {
+	if f := d.faultState().LatencyFactor; f > 1 {
+		return time.Duration(float64(io) * f)
+	}
+	return io
+}
+
 // WritePage stores one page, consuming a slot, and returns the IO time.
-// The caller must have checked FreeSlots() > 0.
-func (d *SwapDevice) WritePage() time.Duration {
+// Fails fast with ErrSwapFull when no slot is free and ErrSwapOffline
+// during an injected offline window — the reclaim path treats both as
+// "skip this swap-out", exactly like zram refusing a store.
+func (d *SwapDevice) WritePage() (time.Duration, error) {
+	if !d.Online() {
+		return 0, ErrSwapOffline
+	}
 	if d.FreeSlots() <= 0 {
-		panic("vmem: WritePage on full swap device")
+		return 0, ErrSwapFull
 	}
 	d.usedSlots++
 	d.writes++
-	return d.OpLatency + units.TransferTime(units.PageSize, d.WriteBandwidth)
+	return d.stretch(d.OpLatency + units.TransferTime(units.PageSize, d.WriteBandwidth)), nil
 }
 
 // ReadPage loads one page back, freeing its slot, and returns the IO time.
-func (d *SwapDevice) ReadPage() time.Duration {
+// Reading a slot that was never written is accounting corruption
+// (ErrSwapCorrupt). Offline windows are the manager's concern: it waits
+// them out in sim time before calling (a read can always be retried; the
+// data is still on the device).
+func (d *SwapDevice) ReadPage() (time.Duration, error) {
 	if d.usedSlots <= 0 {
-		panic("vmem: ReadPage on empty swap device")
+		return 0, ErrSwapCorrupt
 	}
 	d.usedSlots--
 	d.reads++
-	return d.OpLatency + units.TransferTime(units.PageSize, d.ReadBandwidth)
+	return d.stretch(d.OpLatency + units.TransferTime(units.PageSize, d.ReadBandwidth)), nil
 }
 
 // ReadPageSequential is ReadPage at readahead (sequential) speed, for
 // prefetchers that batch a known page set.
-func (d *SwapDevice) ReadPageSequential() time.Duration {
+func (d *SwapDevice) ReadPageSequential() (time.Duration, error) {
 	if d.usedSlots <= 0 {
-		panic("vmem: ReadPageSequential on empty swap device")
+		return 0, ErrSwapCorrupt
 	}
 	d.usedSlots--
 	d.reads++
-	return d.OpLatency/4 + units.TransferTime(units.PageSize, d.ReadBandwidth*d.SeqReadFactor)
+	return d.stretch(d.OpLatency/4 + units.TransferTime(units.PageSize, d.ReadBandwidth*d.SeqReadFactor)), nil
 }
 
 // Discard frees a slot without a read (the page's memory was released).
-func (d *SwapDevice) Discard() {
+func (d *SwapDevice) Discard() error {
 	if d.usedSlots <= 0 {
-		panic("vmem: Discard on empty swap device")
+		return ErrSwapCorrupt
 	}
 	d.usedSlots--
+	return nil
 }
 
 // Reads returns the lifetime count of page reads (swap-ins).

@@ -1,6 +1,7 @@
 package vmem
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -26,7 +27,11 @@ func rig(dramPages, swapPages int64) (*Manager, *mem.AddressSpace) {
 
 func touchPage(t *testing.T, m *Manager, as *mem.AddressSpace, idx int64) time.Duration {
 	t.Helper()
-	return m.TouchRange(as, idx*units.PageSize, 1, false)
+	stall, err := m.TouchRange(as, idx*units.PageSize, 1, false)
+	if err != nil {
+		t.Fatalf("touch page %d: %v", idx, err)
+	}
+	return stall
 }
 
 func TestFirstTouchIsMinorFault(t *testing.T) {
@@ -274,11 +279,17 @@ func TestSwapDeviceAccounting(t *testing.T) {
 	if d.TotalSlots != 2 {
 		t.Fatalf("slots = %d", d.TotalSlots)
 	}
-	w := d.WritePage()
+	w, werr := d.WritePage()
+	if werr != nil {
+		t.Fatalf("WritePage: %v", werr)
+	}
 	if w <= time.Millisecond {
 		t.Errorf("write cost = %v", w)
 	}
-	r := d.ReadPage()
+	r, rerr := d.ReadPage()
+	if rerr != nil {
+		t.Fatalf("ReadPage: %v", rerr)
+	}
 	if r <= time.Millisecond {
 		t.Errorf("read cost = %v", r)
 	}
@@ -292,15 +303,17 @@ func TestSwapDeviceAccounting(t *testing.T) {
 	}
 }
 
-func TestSwapDeviceFullPanics(t *testing.T) {
+func TestSwapDeviceFullReturnsErrSwapFull(t *testing.T) {
 	d := NewSwapDevice(SwapDeviceConfig{SizeBytes: units.PageSize, ReadBandwidth: 1e6, WriteBandwidth: 1e6})
-	d.WritePage()
-	defer func() {
-		if recover() == nil {
-			t.Error("WritePage on full device must panic")
-		}
-	}()
-	d.WritePage()
+	if _, err := d.WritePage(); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := d.WritePage(); !errors.Is(err, ErrSwapFull) {
+		t.Errorf("WritePage on full device = %v, want ErrSwapFull", err)
+	}
+	if d.UsedSlots() != 1 {
+		t.Errorf("failed write changed accounting: used = %d", d.UsedSlots())
+	}
 }
 
 func TestDefaultSwapConfigMatchesPaper(t *testing.T) {
@@ -318,5 +331,71 @@ func TestDRAMCost(t *testing.T) {
 	c := DRAMCost(units.PageSize)
 	if c <= 0 || c > 10*time.Microsecond {
 		t.Errorf("DRAMCost(page) = %v", c)
+	}
+}
+
+func TestOfflineWindowWaitsWithBackoff(t *testing.T) {
+	m, as := rig(32, 8)
+	base := as.Reserve(units.PageSize)
+	m.TouchRange(as, base, units.PageSize, true)
+	m.AdviseCold(as, base, units.PageSize)
+
+	window := 5 * time.Millisecond
+	m.Swap.Faults = func() FaultState { return FaultState{OfflineFor: window} }
+	stall, err := m.TouchRange(as, base, units.PageSize, false)
+	if err != nil {
+		t.Fatalf("swap-in across offline window: %v", err)
+	}
+	if stall < window {
+		t.Errorf("stall %v shorter than the offline window %v", stall, window)
+	}
+	st := m.Stats()
+	if st.SwapRetries == 0 {
+		t.Error("no backoff retries counted")
+	}
+	if st.OfflineWait < window {
+		t.Errorf("offline wait %v < window %v", st.OfflineWait, window)
+	}
+	if as.ResidentPages() != 1 {
+		t.Error("page not resident after waiting the window out")
+	}
+}
+
+func TestOfflineSkipsSwapOutAndEscalates(t *testing.T) {
+	m, as := rig(8, 64)
+	as.Reserve(64 * units.PageSize)
+	m.Swap.Faults = func() FaultState { return FaultState{OfflineFor: time.Second} }
+	kills := 0
+	m.OnPressure = func(need int64) bool {
+		kills++
+		start := int64(kills-1) * 8
+		m.ReleaseRange(as, start*units.PageSize, 8*units.PageSize)
+		return true
+	}
+	for i := int64(0); i < 30; i++ {
+		touchPage(t, m, as, i)
+	}
+	if m.Swap.UsedSlots() != 0 {
+		t.Errorf("pages written to an offline device: %d slots", m.Swap.UsedSlots())
+	}
+	if kills == 0 {
+		t.Error("reclaim never escalated to lmkd while swap was offline")
+	}
+}
+
+func TestAdviseColdFailsSoftWhenSwapFull(t *testing.T) {
+	m, as := rig(32, 2) // two swap slots
+	base := as.Reserve(8 * units.PageSize)
+	m.TouchRange(as, base, 8*units.PageSize, true)
+	m.AdviseCold(as, base, 8*units.PageSize)
+	if m.Swap.UsedSlots() != 2 {
+		t.Fatalf("used slots = %d, want the device full", m.Swap.UsedSlots())
+	}
+	if as.ResidentPages() != 6 || as.SwappedPages() != 2 {
+		t.Errorf("after full device: resident=%d swapped=%d, want 6/2",
+			as.ResidentPages(), as.SwappedPages())
+	}
+	if m.Stats().SwapWriteFails == 0 {
+		t.Error("failed swap-outs not counted")
 	}
 }
