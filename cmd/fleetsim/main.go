@@ -18,19 +18,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"fleetsim/fleet"
 )
 
-// chaosFailed latches a chaos-harness failure (experiments may run on
-// worker goroutines) so main can exit non-zero.
-var chaosFailed atomic.Bool
+// chaosFailed latches a chaos-harness failure, legFailed a panicked or
+// timed-out experiment leg (experiments may run on worker goroutines), so
+// main can exit non-zero.
+var (
+	chaosFailed atomic.Bool
+	legFailed   atomic.Bool
+)
+
+// interrupted flips on the first SIGINT/SIGTERM; campaigns poll it and
+// stop at the next cell boundary, flushing checkpoints on the way out.
+var interrupted atomic.Bool
 
 var (
 	scale      = flag.Int64("scale", 32, "device scale divisor (1 = full Pixel 3; larger = faster runs)")
@@ -39,6 +49,10 @@ var (
 	quick      = flag.Bool("quick", false, "reduced rounds for a fast pass")
 	parallel   = flag.Int("parallel", 0, "worker count for experiment legs (0 = GOMAXPROCS, 1 = serial)")
 	seeds      = flag.Int("seeds", 3, "seeds per fault profile for the chaos harness")
+	timeout    = flag.Duration("timeout", 0, "wall-clock deadline per experiment and per chaos cell (0 = none)")
+	retries    = flag.Int("retries", 1, "retry budget for transient chaos-cell failures")
+	ckptDir    = flag.String("checkpoint-dir", "", "directory for campaign checkpoint journals and divergence reports")
+	resume     = flag.Bool("resume", false, "resume checkpointed campaigns in -checkpoint-dir instead of starting over")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -173,11 +187,30 @@ var table = []experiment{
 		return fleet.FormatExt("Ablation — runtime-guided swap advice", fleet.ExtAdviceAblation(p))
 	}},
 	{"chaos", "fault-injection chaos harness (3 profiles x -seeds seeds, determinism + invariants)", func(p fleet.Params) string {
-		rows := fleet.Chaos(p, *seeds)
-		if !fleet.ChaosPassed(rows) {
+		opts := fleet.ChaosOpts{
+			Seeds:       *seeds,
+			Deadline:    *timeout,
+			Retries:     *retries,
+			Interrupted: interrupted.Load,
+		}
+		if *ckptDir != "" {
+			st, err := fleet.OpenCheckpoint(filepath.Join(*ckptDir, "chaos.jsonl"), fleet.ChaosCampaignKey(p))
+			if err != nil {
+				chaosFailed.Store(true)
+				return fmt.Sprintf("fleetsim: chaos checkpoint: %v\n", err)
+			}
+			defer st.Close()
+			opts.Store = st
+		}
+		rep := fleet.ChaosSupervised(p, opts)
+		// An interrupted campaign is incomplete, not failed: the partial
+		// summary prints, the checkpoint holds the finished cells, and a
+		// -resume rerun completes the rest.
+		if !rep.Passed() && rep.Skipped == 0 {
 			chaosFailed.Store(true)
 		}
-		return fleet.FormatChaos(rows)
+		writeDivergenceReports(rep)
+		return fleet.FormatChaosReport(rep)
 	}},
 	{"trace", "dump a systrace-style event log of a Fleet scenario (CSV)", func(p fleet.Params) string {
 		sys := fleet.NewSystem(fleet.DefaultSystemConfig(fleet.PolicyFleet, p.Scale))
@@ -200,6 +233,17 @@ var table = []experiment{
 }
 
 func main() {
+	// Registered first so it runs last: by the time the exitCode panic
+	// reaches this recover, the deferred checkpoint Closes have flushed.
+	defer func() {
+		if r := recover(); r != nil {
+			code, ok := r.(exitCode)
+			if !ok {
+				panic(r)
+			}
+			os.Exit(int(code))
+		}
+	}()
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fleetsim [flags] <experiment>...\n\nexperiments:\n")
 		for _, e := range table {
@@ -228,32 +272,59 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	p := params()
+	// Accept flags after experiment names (`fleetsim chaos -seeds 5
+	// -checkpoint-dir ckpt`): the flag package stops at the first non-flag
+	// argument, so re-parse the remainder whenever one appears.
 	want := map[string]bool{}
-	args := flag.Args()
-	for i := 0; i < len(args); i++ {
-		a := args[i]
-		// Accept `fleetsim chaos -seeds 5`: the flag package stops at the
-		// first experiment name, so pick up a trailing -seeds by hand.
-		switch {
-		case a == "-seeds" || a == "--seeds":
-			i++
-			if i >= len(args) {
-				fmt.Fprintln(os.Stderr, "fleetsim: -seeds needs a value")
-				os.Exit(2)
-			}
-			a = "-seeds=" + args[i]
-			fallthrough
-		case strings.HasPrefix(a, "-seeds=") || strings.HasPrefix(a, "--seeds="):
-			n, err := strconv.Atoi(a[strings.Index(a, "=")+1:])
-			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "fleetsim: bad -seeds value %q\n", a)
-				os.Exit(2)
-			}
-			*seeds = n
-		default:
-			want[strings.ToLower(a)] = true
+	rest := flag.Args()
+	for len(rest) > 0 {
+		if strings.HasPrefix(rest[0], "-") {
+			flag.CommandLine.Parse(rest) // ExitOnError: bad flags abort here
+			rest = flag.Args()
+			continue
 		}
+		want[strings.ToLower(rest[0])] = true
+		rest = rest[1:]
+	}
+	p := params()
+	fleet.SetParallelism(*parallel) // again: -parallel may have come trailing
+
+	// First SIGINT/SIGTERM: stop campaigns at the next cell boundary,
+	// flush checkpoints, print the partial summary, exit 130. Second
+	// signal: abort immediately.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		interrupted.Store(true)
+		fmt.Fprintln(os.Stderr, "fleetsim: interrupted — finishing in-flight cells and checkpointing (interrupt again to abort)")
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fleetsim: aborted")
+		os.Exit(130)
+	}()
+
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+			os.Exit(1)
+		}
+		if !*resume {
+			// Fresh campaign: drop stale journals and bisection reports so
+			// old cells cannot leak into the new run.
+			for _, pat := range []string{"chaos.jsonl", "sweep.jsonl", "divergence-*.txt"} {
+				matches, _ := filepath.Glob(filepath.Join(*ckptDir, pat))
+				for _, m := range matches {
+					os.Remove(m)
+				}
+			}
+		}
+		st, err := fleet.OpenCheckpoint(filepath.Join(*ckptDir, "sweep.jsonl"), fleet.SweepCampaignKey(p))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		fleet.SetSweepCheckpointStore(st)
 	}
 	var selected []experiment
 	for _, e := range table {
@@ -277,10 +348,25 @@ func main() {
 		text string
 		took time.Duration
 	}
+	// Each experiment leg runs supervised: a panic or a -timeout overrun
+	// fails that experiment (reported with its stack) without aborting the
+	// others.
 	run := func(e experiment) outcome {
 		start := time.Now()
-		text := e.run(p)
-		return outcome{text, time.Since(start).Round(time.Millisecond)}
+		texts, errs := fleet.SupervisedMap([]experiment{e}, fleet.SupervisePolicy{Deadline: *timeout},
+			func(_ int, e experiment) (string, error) { return e.run(p), nil })
+		o := outcome{texts[0], time.Since(start).Round(time.Millisecond)}
+		if len(errs) > 0 {
+			legFailed.Store(true)
+			le := errs[0]
+			o.text = fmt.Sprintf("%s FAILED: %v\n", e.name, le.Err)
+			if le.Stack != "" {
+				for _, line := range strings.Split(strings.TrimRight(le.Stack, "\n"), "\n") {
+					o.text += "    " + line + "\n"
+				}
+			}
+		}
+		return o
 	}
 	if fleet.Parallelism() == 1 || len(selected) == 1 {
 		for _, e := range selected {
@@ -325,8 +411,44 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if interrupted.Load() {
+		fleet.SetSweepCheckpointStore(nil) // flushed by the deferred Close
+		fmt.Fprintln(os.Stderr, "fleetsim: interrupted; partial results above — rerun with -resume to complete")
+		exitAfterDefers(130)
+	}
 	if chaosFailed.Load() {
-		fmt.Fprintln(os.Stderr, "fleetsim: chaos harness detected invariant violations or nondeterminism")
+		fmt.Fprintln(os.Stderr, "fleetsim: chaos harness detected invariant violations, nondeterminism or failed cells")
 		os.Exit(1)
+	}
+	if legFailed.Load() {
+		fmt.Fprintln(os.Stderr, "fleetsim: one or more experiment legs panicked or exceeded -timeout")
+		os.Exit(1)
+	}
+}
+
+// exitAfterDefers exits with the given code via a rethrown panic so main's
+// deferred checkpoint Closes still run (os.Exit would skip them).
+func exitAfterDefers(code int) {
+	panic(exitCode(code))
+}
+
+type exitCode int
+
+// writeDivergenceReports writes each divergent cell's full bisection report
+// into -checkpoint-dir as divergence-<profile>-<seed>.txt.
+func writeDivergenceReports(rep fleet.ChaosReport) {
+	if *ckptDir == "" {
+		return
+	}
+	for _, r := range rep.Rows {
+		if r.Divergence == nil || r.Divergence.Report == "" {
+			continue
+		}
+		path := filepath.Join(*ckptDir, fmt.Sprintf("divergence-%s-%d.txt", r.Profile, r.Seed))
+		if err := os.WriteFile(path, []byte(r.Divergence.Report), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetsim: %v\n", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "fleetsim: wrote divergence report %s\n", path)
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"fleetsim/internal/experiments"
 	"fleetsim/internal/faults"
 	"fleetsim/internal/runner"
+	"fleetsim/internal/snapshot"
 )
 
 // Policy selects the memory-management design under test (Table 1 of the
@@ -225,6 +226,69 @@ func ChaosPassed(rows []ChaosRow) bool { return experiments.ChaosPassed(rows) }
 
 // FormatChaos renders the chaos table plus a PASS/FAIL verdict line.
 func FormatChaos(rows []ChaosRow) string { return experiments.FormatChaos(rows) }
+
+// ChaosOpts configures a supervised chaos campaign: seeds per profile,
+// per-cell deadline and retry budget, checkpoint store, interruption poll
+// and digest sampling period for divergence bisection.
+type ChaosOpts = experiments.ChaosOpts
+
+// ChaosReport is the outcome of a supervised chaos campaign: rows, leg
+// errors and resume/interrupt accounting.
+type ChaosReport = experiments.ChaosReport
+
+// ChaosSupervised runs the chaos suite under full supervision: panic
+// isolation, per-cell deadlines, checkpoint/resume and digest-based
+// divergence bisection.
+func ChaosSupervised(p Params, opts ChaosOpts) ChaosReport {
+	return experiments.ChaosSupervised(p, opts)
+}
+
+// FormatChaosReport renders a supervised campaign's outcome, including leg
+// errors with stacks and the resume/interrupt accounting.
+func FormatChaosReport(rep ChaosReport) string { return experiments.FormatChaosReport(rep) }
+
+// ChaosCampaignKey canonically encodes the Params that determine a chaos
+// campaign's results, for use as a checkpoint campaign key.
+func ChaosCampaignKey(p Params) string { return experiments.ChaosCampaignKey(p) }
+
+// SweepCampaignKey is the campaign key for the figure sweeps' checkpoints.
+func SweepCampaignKey(p Params) string { return experiments.SweepCampaignKey(p) }
+
+// CheckpointStore is an append-only JSONL journal of completed campaign
+// cells; see internal/snapshot for the journal format and crash tolerance.
+type CheckpointStore = snapshot.Store
+
+// OpenCheckpoint opens (or creates) a checkpoint journal at path. Existing
+// cells are resumed only when their campaign key matches; a mismatched
+// journal is discarded and restarted.
+func OpenCheckpoint(path, campaign string) (*CheckpointStore, error) {
+	return snapshot.Open(path, campaign)
+}
+
+// SetSweepCheckpointStore installs (nil: removes) the store the figure
+// sweeps (Fig13/Fig15/Fig16) record their policy legs in, making
+// interrupted sweeps resumable.
+func SetSweepCheckpointStore(st *CheckpointStore) { experiments.SetCheckpointStore(st) }
+
+// LegError describes one failed leg of a supervised fan-out: which item,
+// how many attempts, whether it panicked or timed out, and the stack.
+type LegError = runner.LegError
+
+// SupervisePolicy bounds supervised legs: wall-clock deadline, retry
+// budget, and a retryability filter.
+type SupervisePolicy = runner.Policy
+
+// SupervisedMap fans items out on the worker pool with panic isolation,
+// per-leg deadlines and bounded retries; failed legs come back as
+// LegErrors instead of aborting the batch.
+func SupervisedMap[T, R any](items []T, pol SupervisePolicy, fn func(int, T) (R, error)) ([]R, []*LegError) {
+	return runner.SupervisedMap(items, pol, fn)
+}
+
+// TryMap is SupervisedMap with the zero Policy: panic isolation only.
+func TryMap[T, R any](items []T, fn func(int, T) (R, error)) ([]R, []*LegError) {
+	return runner.TryMap(items, fn)
+}
 
 // Use is a readability alias: sys.Use(d) advances simulated time by d with
 // the current foreground app in use.

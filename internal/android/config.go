@@ -158,6 +158,13 @@ type SystemConfig struct {
 	KswapdLowFrac  float64
 	KswapdHighFrac float64
 
+	// MaxOfflineWait bounds how long a faulting thread retries against an
+	// offline swap device before the access aborts with ErrSwapOffline
+	// (the process is then killed like any other unrecoverable fault). 0
+	// means wait out the whole window. The default cap keeps one injected
+	// outage from stalling an experiment leg unboundedly.
+	MaxOfflineWait time.Duration
+
 	// Seed feeds every per-app RNG.
 	Seed uint64
 
@@ -194,6 +201,8 @@ func DefaultSystemConfig(policy PolicyKind, scale int64) SystemConfig {
 
 		KswapdLowFrac:  0.08,
 		KswapdHighFrac: 0.14,
+
+		MaxOfflineWait: 1500 * time.Millisecond,
 
 		Seed: 1,
 	}

@@ -88,6 +88,13 @@ type Metrics struct {
 	InvariantFails      int64
 	InvariantViolations []string
 
+	// SwapRetries mirrors vmem.Stats.SwapRetries (offline-window backoff
+	// sleeps) and OfflineReadAborts mirrors vmem.Stats.OfflineGiveUps
+	// (reads abandoned after the capped wait); System.SyncVMStats copies
+	// them up so chaos reports read one place.
+	SwapRetries       int64
+	OfflineReadAborts int64
+
 	// AliveTrace records the alive-app count after each launch
 	// (Fig. 11's y-axis).
 	AliveTrace []int

@@ -64,6 +64,11 @@ func (p *Proc) Alive() bool { return p.alive }
 // Name returns the app name.
 func (p *Proc) Name() string { return p.App.Name }
 
+// LastForeground returns the virtual time the process last became
+// foreground (zero if it never has). Snapshot digests fold it in because it
+// drives lmkd victim selection.
+func (p *Proc) LastForeground() time.Duration { return p.lastFg }
+
 // wirePolicy installs the policy's hooks into the heap.
 func (p *Proc) wirePolicy() {
 	h := p.App.H

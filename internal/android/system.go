@@ -61,6 +61,7 @@ func NewSystem(cfg SystemConfig) *System {
 	}
 	s.VM.OnPressure = s.onPressure
 	s.VM.Now = s.Clock.Now
+	s.VM.MaxOfflineWait = cfg.MaxOfflineWait
 	if cfg.KswapdLowFrac > 0 {
 		s.VM.LowWatermark = int64(float64(phys.TotalFrames) * cfg.KswapdLowFrac)
 		s.VM.HighWatermark = int64(float64(phys.TotalFrames) * cfg.KswapdHighFrac)
@@ -94,6 +95,7 @@ func NewSystem(cfg SystemConfig) *System {
 // returned; an empty slice means the layers agree.
 func (s *System) CheckInvariants() []string {
 	s.M.InvariantChecks++
+	s.SyncVMStats()
 	spaces := make([]*mem.AddressSpace, 0, 2*len(s.procs)+1)
 	heaps := make([]*heap.Heap, 0, len(s.procs))
 	for _, p := range s.procs {
@@ -114,6 +116,15 @@ func (s *System) CheckInvariants() []string {
 		}
 	}
 	return v
+}
+
+// SyncVMStats mirrors the kernel layer's retry/abort counters into
+// Metrics, so reports that only see Metrics still show swap-degradation
+// pressure.
+func (s *System) SyncVMStats() {
+	st := s.VM.Stats()
+	s.M.SwapRetries = st.SwapRetries
+	s.M.OfflineReadAborts = st.OfflineGiveUps
 }
 
 // oomKill is the last-resort OOM path. By the time an ErrOOM reaches here,

@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fleetsim/internal/android"
 	"fleetsim/internal/faults"
+	"fleetsim/internal/runner"
+	"fleetsim/internal/snapshot"
 )
 
 // ChaosRow summarises one (profile, seed) chaos run: the workload outcome,
@@ -32,6 +36,7 @@ type ChaosRow struct {
 	SwapRetries    int64
 	SwapWriteFails int64
 	OfflineWaitMS  float64
+	OfflineAborts  int64
 	SwapFallbacks  int
 
 	// Injected fault events.
@@ -42,25 +47,51 @@ type ChaosRow struct {
 	Violations      []string
 
 	// Deterministic is false when a same-seed replay diverged (only set by
-	// Chaos, which runs every cell twice).
+	// the chaos drivers, which run every cell twice).
 	Deterministic bool
+
+	// Divergence carries the bisection result when the replay diverged:
+	// the first tick whose state digest differed and the subsystem whose
+	// digest differed first.
+	Divergence *DivergenceInfo `json:",omitempty"`
+
+	// Err is set (and the row otherwise zero beyond Profile/Seed) when the
+	// cell's leg failed outright — panicked or exceeded its deadline.
+	Err string `json:",omitempty"`
+}
+
+// DivergenceInfo is the row-embedded summary of a divergence bisection.
+type DivergenceInfo struct {
+	// Tick is the first digest sample that differed (1-based).
+	Tick int
+	// AtMS is that sample's virtual time in milliseconds.
+	AtMS float64
+	// Subsystem is the first differing digest in canonical order: "vmem",
+	// "heap", "android" or "schedule".
+	Subsystem string
+	// Report is the full two-run digest report (both replays' hex digests
+	// at the divergent tick), suitable for writing to a file.
+	Report string `json:",omitempty"`
 }
 
 // key renders the reproducible portion of a row for bitwise comparison.
 func (r ChaosRow) key() string {
-	return fmt.Sprintf("%s/%d L%d H%.6f K%d/%d/%d/%d/%d R%d W%d O%.6f F%d %+v I%d V%v",
+	return fmt.Sprintf("%s/%d L%d H%.6f K%d/%d/%d/%d/%d R%d W%d O%.6f A%d F%d %+v I%d V%v",
 		r.Profile, r.Seed, r.Launches, r.HotMeanMS,
 		r.Kills, r.HardKills, r.PSIKills, r.OOMKills, r.CrashKills,
-		r.SwapRetries, r.SwapWriteFails, r.OfflineWaitMS, r.SwapFallbacks,
+		r.SwapRetries, r.SwapWriteFails, r.OfflineWaitMS, r.OfflineAborts, r.SwapFallbacks,
 		r.Faults, r.InvariantChecks, r.Violations)
 }
 
-// Clean reports whether the run finished with zero invariant violations.
-func (r ChaosRow) Clean() bool { return len(r.Violations) == 0 }
+// Clean reports whether the run finished with zero invariant violations
+// (a leg that failed outright is never clean).
+func (r ChaosRow) Clean() bool { return r.Err == "" && len(r.Violations) == 0 }
 
 // chaosRun executes the full app-lifecycle workload once under a fault
-// profile with the always-on invariant checker, and summarises it.
-func chaosRun(p Params, prof faults.Profile, seed uint64) ChaosRow {
+// profile with the always-on invariant checker, and summarises it. When
+// digestEvery > 0, a snapshot recorder samples per-tick state digests of
+// every subsystem; the divergence bisector replays cells with this on.
+func chaosRun(p Params, prof faults.Profile, seed uint64, digestEvery time.Duration) (ChaosRow, []snapshot.SystemDigest) {
 	cfg := android.DefaultSystemConfig(android.PolicyFleet, p.Scale)
 	cfg.Seed = seed
 	cfg.Faults = &prof
@@ -79,6 +110,11 @@ func chaosRun(p Params, prof faults.Profile, seed uint64) ChaosRow {
 	population, _ := pressurePopulation(pp, nil)
 
 	sys := android.NewSystem(cfg)
+	var rec *snapshot.Recorder
+	if digestEvery > 0 {
+		rec = snapshot.NewRecorder(digestEvery)
+		rec.Attach(sys)
+	}
 	runHotLaunchesWithSystem(pp, sys, population, nil)
 
 	// One final full sweep after the workload settles.
@@ -98,6 +134,7 @@ func chaosRun(p Params, prof faults.Profile, seed uint64) ChaosRow {
 		SwapRetries:     st.SwapRetries,
 		SwapWriteFails:  st.SwapWriteFails,
 		OfflineWaitMS:   float64(st.OfflineWait) / float64(time.Millisecond),
+		OfflineAborts:   st.OfflineGiveUps,
 		InvariantChecks: m.InvariantChecks,
 		Violations:      m.InvariantViolations,
 	}
@@ -119,35 +156,167 @@ func chaosRun(p Params, prof faults.Profile, seed uint64) ChaosRow {
 	if hotN > 0 {
 		row.HotMeanMS = hot / hotN
 	}
-	return row
+	var digests []snapshot.SystemDigest
+	if rec != nil {
+		digests = rec.Digests
+	}
+	return row, digests
+}
+
+// ChaosOpts configures a supervised chaos campaign.
+type ChaosOpts struct {
+	// Seeds is the seed count per fault profile (minimum 1).
+	Seeds int
+	// Deadline bounds each cell's wall-clock time (0 = unbounded); a cell
+	// that exceeds it is abandoned and reported, not waited on.
+	Deadline time.Duration
+	// Retries is the per-cell transient-failure retry budget.
+	Retries int
+	// Store, when non-nil, checkpoints each completed cell so an
+	// interrupted campaign resumes instead of recomputing.
+	Store *snapshot.Store
+	// Interrupted, when non-nil, is polled before each cell; once it
+	// returns true remaining cells are skipped (the SIGINT path).
+	Interrupted func() bool
+	// DigestEvery is the snapshot sampling period used when a divergent
+	// cell is replayed for bisection (0 = 500 ms).
+	DigestEvery time.Duration
+}
+
+// ChaosReport is the outcome of a supervised chaos campaign: the completed
+// rows (including rows for failed legs, with Err set), the supervision
+// errors, and the resume/interrupt accounting.
+type ChaosReport struct {
+	Rows []ChaosRow
+	// Errors lists legs that panicked, timed out or otherwise failed.
+	Errors []*runner.LegError
+	// Skipped counts cells not run because the campaign was interrupted.
+	Skipped int
+	// Resumed counts cells answered from the checkpoint store.
+	Resumed int
+}
+
+// Passed reports whether every executed cell was deterministic and
+// violation free and nothing failed or was skipped.
+func (rep ChaosReport) Passed() bool {
+	return rep.Skipped == 0 && len(rep.Errors) == 0 && ChaosPassed(rep.Rows)
+}
+
+// ChaosCampaignKey canonically encodes everything that determines a chaos
+// campaign's results. Checkpoints recorded under a different key are never
+// resumed into this campaign. The seed count is deliberately excluded:
+// adding seeds only adds cells, so a longer campaign resumes a shorter
+// one's work.
+func ChaosCampaignKey(p Params) string {
+	return fmt.Sprintf("chaos/v1|scale=%d|rounds=%d|use=%s|apps=%d|seed=%d",
+		p.Scale, p.Rounds, p.UseTime, p.PressureApps, p.Seed)
+}
+
+// errSkipped marks cells not run due to interruption; it is non-retryable
+// by construction (the supervisor's Retryable filter rejects it).
+var errSkipped = errors.New("chaos: cell skipped (campaign interrupted)")
+
+type chaosCell struct {
+	prof faults.Profile
+	seed uint64
+}
+
+// ChaosSupervised runs the fault-profile suite under full supervision:
+// cells fan out on the worker pool with panic isolation and per-cell
+// deadlines, every executed cell runs twice and is compared bit for bit,
+// divergent cells are replayed with per-tick state digests and bisected to
+// the first divergent tick and subsystem, and completed cells checkpoint
+// to opts.Store so an interrupted campaign is resumable.
+func ChaosSupervised(p Params, opts ChaosOpts) ChaosReport {
+	if opts.Seeds < 1 {
+		opts.Seeds = 1
+	}
+	var cells []chaosCell
+	for _, prof := range faults.Profiles(p.Scale) {
+		for s := 0; s < opts.Seeds; s++ {
+			cells = append(cells, chaosCell{prof: prof, seed: p.Seed + uint64(s)})
+		}
+	}
+
+	var resumed atomic.Int64
+	pol := runner.Policy{
+		Deadline:  opts.Deadline,
+		Retries:   opts.Retries,
+		Retryable: func(err error) bool { return !errors.Is(err, errSkipped) },
+	}
+	rows, legErrs := runner.SupervisedMap(cells, pol, func(_ int, c chaosCell) (ChaosRow, error) {
+		if opts.Interrupted != nil && opts.Interrupted() {
+			return ChaosRow{}, errSkipped
+		}
+		cellKey := fmt.Sprintf("%s/%d", c.prof.Name, c.seed)
+		if opts.Store != nil {
+			var cached ChaosRow
+			if opts.Store.Get(cellKey, &cached) {
+				resumed.Add(1)
+				return cached, nil
+			}
+		}
+		row, _ := chaosRun(p, c.prof, c.seed, 0)
+		replay, _ := chaosRun(p, c.prof, c.seed, 0)
+		row.Deterministic = row.key() == replay.key()
+		if !row.Deterministic {
+			// Same-seed divergence: rerun both cells with the per-tick
+			// digest recorder and bisect to the first divergent tick.
+			_, da := chaosRun(p, c.prof, c.seed, opts.DigestEvery)
+			_, db := chaosRun(p, c.prof, c.seed, opts.DigestEvery)
+			if d := snapshot.Bisect(da, db); d != nil {
+				row.Divergence = &DivergenceInfo{
+					Tick:      d.Tick,
+					AtMS:      float64(d.At) / float64(time.Millisecond),
+					Subsystem: d.Subsystem,
+					Report:    d.Report(),
+				}
+			}
+		}
+		if opts.Store != nil {
+			opts.Store.Put(cellKey, row)
+		}
+		return row, nil
+	})
+
+	rep := ChaosReport{Resumed: int(resumed.Load())}
+	failed := make(map[int]*runner.LegError)
+	skipped := make(map[int]bool)
+	for _, le := range legErrs {
+		if errors.Is(le.Err, errSkipped) {
+			rep.Skipped++
+			skipped[le.Index] = true
+			continue
+		}
+		failed[le.Index] = le
+		rep.Errors = append(rep.Errors, le)
+	}
+	for i, row := range rows {
+		if skipped[i] {
+			continue
+		}
+		if le, bad := failed[i]; bad {
+			row = ChaosRow{Profile: cells[i].prof.Name, Seed: cells[i].seed, Err: le.Error()}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
 }
 
 // Chaos runs the standard fault-profile suite over the given number of
-// seeds. Every (profile, seed) cell is executed twice and the two summaries
-// compared bit for bit; the returned rows carry both the degradation
-// counters and the per-cell determinism/invariant verdicts.
+// seeds with default supervision (no deadline, no checkpointing). Every
+// (profile, seed) cell is executed twice and the two summaries compared
+// bit for bit; the returned rows carry both the degradation counters and
+// the per-cell determinism/invariant verdicts.
 func Chaos(p Params, seeds int) []ChaosRow {
-	if seeds < 1 {
-		seeds = 1
-	}
-	var rows []ChaosRow
-	for _, prof := range faults.Profiles(p.Scale) {
-		for s := 0; s < seeds; s++ {
-			seed := p.Seed + uint64(s)
-			row := chaosRun(p, prof, seed)
-			replay := chaosRun(p, prof, seed)
-			row.Deterministic = row.key() == replay.key()
-			rows = append(rows, row)
-		}
-	}
-	return rows
+	return ChaosSupervised(p, ChaosOpts{Seeds: seeds}).Rows
 }
 
 // ChaosPassed reports whether every cell was deterministic and violation
 // free.
 func ChaosPassed(rows []ChaosRow) bool {
 	for _, r := range rows {
-		if !r.Clean() || !r.Deterministic {
+		if !r.Clean() || (r.Err == "" && !r.Deterministic) {
 			return false
 		}
 	}
@@ -157,29 +326,59 @@ func ChaosPassed(rows []ChaosRow) bool {
 // FormatChaos renders the chaos table plus a PASS/FAIL verdict line.
 func FormatChaos(rows []ChaosRow) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-14s %5s %8s %9s %6s %5s %6s %7s %8s %9s %7s %7s %6s\n",
+	fmt.Fprintf(&b, "%-14s %5s %8s %9s %6s %5s %6s %7s %8s %9s %6s %7s %7s %6s\n",
 		"profile", "seed", "launches", "hot(ms)", "kills", "oom", "crash",
-		"retries", "wrfails", "offln(ms)", "fallbk", "checks", "ok")
+		"retries", "wrfails", "offln(ms)", "aborts", "fallbk", "checks", "ok")
 	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "%-14s %5d FAILED: %s\n", r.Profile, r.Seed, r.Err)
+			continue
+		}
 		verdict := "yes"
 		if !r.Clean() {
 			verdict = "VIOLATION"
 		} else if !r.Deterministic {
 			verdict = "DIVERGED"
 		}
-		fmt.Fprintf(&b, "%-14s %5d %8d %9.2f %6d %5d %6d %7d %8d %9.2f %7d %7d %6s\n",
+		fmt.Fprintf(&b, "%-14s %5d %8d %9.2f %6d %5d %6d %7d %8d %9.2f %6d %7d %7d %6s\n",
 			r.Profile, r.Seed, r.Launches, r.HotMeanMS,
 			r.Kills, r.OOMKills, r.CrashKills,
 			r.SwapRetries, r.SwapWriteFails, r.OfflineWaitMS,
-			r.SwapFallbacks, r.InvariantChecks, verdict)
+			r.OfflineAborts, r.SwapFallbacks, r.InvariantChecks, verdict)
 		for _, v := range r.Violations {
 			fmt.Fprintf(&b, "    ! %s\n", v)
+		}
+		if d := r.Divergence; d != nil {
+			fmt.Fprintf(&b, "    ~ bisected: first divergent tick %d (t=%.0fms), %s digest differed first\n",
+				d.Tick, d.AtMS, d.Subsystem)
 		}
 	}
 	if ChaosPassed(rows) {
 		fmt.Fprintf(&b, "PASS: %d cells, all deterministic, zero invariant violations\n", len(rows))
 	} else {
-		fmt.Fprintf(&b, "FAIL: invariant violations or nondeterminism detected\n")
+		fmt.Fprintf(&b, "FAIL: invariant violations, nondeterminism or failed cells detected\n")
+	}
+	return b.String()
+}
+
+// FormatChaosReport renders the full campaign outcome: the row table plus
+// supervision errors (with stacks), and the resume/interrupt accounting.
+func FormatChaosReport(rep ChaosReport) string {
+	var b strings.Builder
+	b.WriteString(FormatChaos(rep.Rows))
+	if rep.Resumed > 0 {
+		fmt.Fprintf(&b, "resumed %d cell(s) from checkpoint\n", rep.Resumed)
+	}
+	if rep.Skipped > 0 {
+		fmt.Fprintf(&b, "INTERRUPTED: %d cell(s) skipped; rerun with -resume to complete\n", rep.Skipped)
+	}
+	for _, le := range rep.Errors {
+		fmt.Fprintf(&b, "leg error: %v\n", le)
+		if le.Stack != "" {
+			for _, line := range strings.Split(strings.TrimRight(le.Stack, "\n"), "\n") {
+				fmt.Fprintf(&b, "    %s\n", line)
+			}
+		}
 	}
 	return b.String()
 }

@@ -112,27 +112,32 @@ func runFig13Protocol(p Params, measuredNames []string) Fig13Result {
 	pop, measured := pressurePopulation(p, measuredNames)
 
 	// The three policy legs are the dominant cost of the §7.2 study and
-	// share nothing but read-only inputs, so they run as pool tasks.
+	// share nothing but read-only inputs, so they run as pool tasks. Each
+	// leg reduces to a serializable legSummary so a checkpoint store can
+	// answer it on resume; fresh and resumed legs flow through the same
+	// reduction, keeping results bit-identical either way.
 	policies := []android.PolicyKind{android.PolicyAndroid, android.PolicyMarvin, android.PolicyFleet}
-	legs := runner.Map(policies, func(_ int, pol android.PolicyKind) *hotRun {
-		return runHotLaunches(p, pol, pop, measured, false, 0)
+	legs := runner.Map(policies, func(_ int, pol android.PolicyKind) *legSummary {
+		return checkpointedLeg(p, pol, measuredNames, func() *hotRun {
+			return runHotLaunches(p, pol, pop, measured, false, 0)
+		})
 	})
 	androidRun, marvinRun, fleetRun := legs[0], legs[1], legs[2]
 
 	res := Fig13Result{
-		AndroidKills: androidRun.Sys.M.Kills,
-		MarvinKills:  marvinRun.Sys.M.Kills,
-		FleetKills:   fleetRun.Sys.M.Kills,
+		AndroidKills: androidRun.Kills,
+		MarvinKills:  marvinRun.Kills,
+		FleetKills:   fleetRun.Kills,
 	}
 	for _, name := range measuredNames {
 		profile := apps.ProfileByName(name, p.Scale)
-		get := func(r *hotRun) *metrics.Sample {
+		get := func(r *legSummary) *metrics.Sample {
 			if s := r.All[name]; s != nil {
 				return s
 			}
 			return &metrics.Sample{}
 		}
-		getHot := func(r *hotRun) *metrics.Sample {
+		getHot := func(r *legSummary) *metrics.Sample {
 			if s := r.HotOnly[name]; s != nil {
 				return s
 			}

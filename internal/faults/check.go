@@ -90,24 +90,19 @@ func Check(vm *vmem.Manager, spaces []*mem.AddressSpace, heaps []*heap.Heap) []s
 func checkHeap(h *heap.Heap, addf func(string, ...any)) {
 	owner := h.AS.Owner
 	var liveBytes, liveCount int64
-	for i := 1; i < h.ObjectTableSize(); i++ {
-		id := heap.ObjectID(i)
-		o := h.Object(id)
-		if !o.Live() {
-			continue
-		}
+	h.ForEachLiveObject(func(id heap.ObjectID, o *heap.Object) {
 		liveCount++
 		liveBytes += int64(o.Size)
 		r := h.RegionByID(o.Region)
 		if r.Free() {
-			addf("%s: live object %d in freed region %d", owner, i, o.Region)
-			continue
+			addf("%s: live object %d in freed region %d", owner, id, o.Region)
+			return
 		}
 		if o.Addr < r.Base || o.Addr+int64(o.Size) > r.Base+r.Used {
 			addf("%s: object %d spans [%d,%d) outside region %d's used span [%d,%d)",
-				owner, i, o.Addr, o.Addr+int64(o.Size), r.ID, r.Base, r.Base+r.Used)
+				owner, id, o.Addr, o.Addr+int64(o.Size), r.ID, r.Base, r.Base+r.Used)
 		}
-	}
+	})
 	if liveBytes != h.LiveBytes() {
 		addf("%s: heap says %d live bytes, object walk found %d", owner, h.LiveBytes(), liveBytes)
 	}

@@ -268,6 +268,19 @@ func (h *Heap) Object(id ObjectID) *Object {
 // LiveObjects returns the number of live objects.
 func (h *Heap) LiveObjects() int64 { return h.stats.LiveObjects }
 
+// ForEachLiveObject visits every live object in table order (ascending
+// ObjectID) without allocating. Table order is deterministic for a given
+// allocation history, so walkers that fold object state into digests or
+// validate accounting (internal/faults, internal/snapshot) see a canonical
+// sequence.
+func (h *Heap) ForEachLiveObject(fn func(ObjectID, *Object)) {
+	for i := 1; i < len(h.objects); i++ {
+		if h.objects[i].live {
+			fn(ObjectID(i), &h.objects[i])
+		}
+	}
+}
+
 // ObjectTableSize returns the size of the object table (one past the
 // largest ObjectID ever issued); collectors use it to size side tables
 // indexed by ObjectID.

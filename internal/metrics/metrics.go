@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -97,6 +98,21 @@ func (s *Sample) ensureSorted() {
 		sort.Float64s(s.xs)
 		s.sorted = true
 	}
+}
+
+// MarshalJSON encodes the observations as a plain JSON array. Go's float64
+// encoding is shortest-round-trip, so a marshal/unmarshal cycle reproduces
+// every observation bit for bit — checkpointed experiment legs resume
+// byte-identical to fresh runs.
+func (s *Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.xs)
+}
+
+// UnmarshalJSON restores a Sample from its array encoding.
+func (s *Sample) UnmarshalJSON(b []byte) error {
+	s.xs = nil
+	s.sorted = false
+	return json.Unmarshal(b, &s.xs)
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) using linear

@@ -1,0 +1,165 @@
+// Supervised execution: the fault-tolerant variants of Map. Plain Map
+// assumes legs are pure and well-behaved; a single panicking leg kills the
+// whole process and a wedged leg hangs the sweep forever. TryMap and
+// SupervisedMap recover per-leg panics into typed LegErrors (stack + item
+// index attached), enforce an optional per-leg wall-clock deadline via a
+// watchdog goroutine, and retry transiently-failed legs a bounded number of
+// times — so a campaign returns partial results plus an error report
+// instead of dying.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// ErrLegPanic is the sentinel wrapped by LegErrors produced from a
+// recovered panic.
+var ErrLegPanic = errors.New("runner: leg panicked")
+
+// ErrLegTimeout is the sentinel wrapped by LegErrors produced when a leg
+// exceeded its wall-clock deadline. The leg's goroutine is abandoned (Go
+// cannot kill it), so a timed-out leg may still be burning CPU in the
+// background; the sweep no longer waits on it.
+var ErrLegTimeout = errors.New("runner: leg exceeded its deadline")
+
+// LegError describes one failed leg of a supervised sweep.
+type LegError struct {
+	// Index is the item index within the input slice.
+	Index int
+	// Attempts is how many times the leg ran before the supervisor gave
+	// up (1 = failed on the first try with no retry budget or a
+	// non-retryable failure).
+	Attempts int
+	// Err is the underlying failure: the leg's returned error, or a
+	// wrapped ErrLegPanic / ErrLegTimeout.
+	Err error
+	// Stack is the goroutine stack captured at the panic site (empty for
+	// ordinary errors and timeouts).
+	Stack string
+	// Panicked and TimedOut classify the failure.
+	Panicked bool
+	TimedOut bool
+}
+
+// Error renders the failure with its item index.
+func (e *LegError) Error() string {
+	switch {
+	case e.TimedOut:
+		return fmt.Sprintf("leg %d: %v (after %d attempt(s))", e.Index, e.Err, e.Attempts)
+	case e.Panicked:
+		return fmt.Sprintf("leg %d: %v (after %d attempt(s))", e.Index, e.Err, e.Attempts)
+	default:
+		return fmt.Sprintf("leg %d failed after %d attempt(s): %v", e.Index, e.Attempts, e.Err)
+	}
+}
+
+// Unwrap exposes the underlying error to errors.Is / errors.As.
+func (e *LegError) Unwrap() error { return e.Err }
+
+// Policy configures supervision.
+type Policy struct {
+	// Deadline is the per-attempt wall-clock budget. 0 disables the
+	// watchdog (legs run inline and may block forever).
+	Deadline time.Duration
+	// Retries is how many additional attempts a transiently-failed leg
+	// gets after its first failure. Panics and timeouts never retry: a
+	// panic is a bug and a wedged leg would just wedge again.
+	Retries int
+	// Retryable, when non-nil, filters which returned errors consume the
+	// retry budget; nil retries every returned error.
+	Retryable func(error) bool
+}
+
+// TryMap is Map for fallible legs: fn may return an error or panic, and
+// neither takes down the sweep. Results come back in input order with the
+// zero value in failed slots; the second return lists the failures in
+// index order (nil when every leg succeeded).
+func TryMap[T, R any](items []T, fn func(int, T) (R, error)) ([]R, []*LegError) {
+	return SupervisedMap(items, Policy{}, fn)
+}
+
+// SupervisedMap runs fn over items on the worker pool under a supervision
+// policy: panics are recovered into LegErrors carrying the item index and
+// stack, each attempt is bounded by pol.Deadline, and failed attempts
+// retry per pol. Results are in input order (zero value where the leg
+// ultimately failed); LegErrors are in index order.
+func SupervisedMap[T, R any](items []T, pol Policy, fn func(int, T) (R, error)) ([]R, []*LegError) {
+	type slot struct {
+		r  R
+		le *LegError
+	}
+	slots := Map(items, func(i int, it T) slot {
+		for attempt := 1; ; attempt++ {
+			r, err, panicked, stack, timedOut := runAttempt(pol.Deadline, i, it, fn)
+			if err == nil {
+				return slot{r: r}
+			}
+			le := &LegError{Index: i, Attempts: attempt, Err: err,
+				Stack: stack, Panicked: panicked, TimedOut: timedOut}
+			if panicked || timedOut ||
+				attempt > pol.Retries ||
+				(pol.Retryable != nil && !pol.Retryable(err)) {
+				return slot{le: le}
+			}
+		}
+	})
+	out := make([]R, len(items))
+	var errs []*LegError
+	for i, s := range slots {
+		out[i] = s.r
+		if s.le != nil {
+			errs = append(errs, s.le)
+		}
+	}
+	return out, errs
+}
+
+// runAttempt executes one attempt of a leg, recovering panics and — when a
+// deadline is set — racing the leg against a watchdog timer. With no
+// deadline the leg runs inline on the caller's goroutine, preserving the
+// serial execution profile of Map at parallelism 1.
+func runAttempt[T, R any](deadline time.Duration, i int, it T,
+	fn func(int, T) (R, error)) (r R, err error, panicked bool, stack string, timedOut bool) {
+
+	attempt := func() (r R, err error, panicked bool, stack string) {
+		defer func() {
+			if p := recover(); p != nil {
+				panicked = true
+				stack = string(debug.Stack())
+				err = fmt.Errorf("%w: %v", ErrLegPanic, p)
+			}
+		}()
+		r, err = fn(i, it)
+		return
+	}
+	if deadline <= 0 {
+		r, err, panicked, stack = attempt()
+		return
+	}
+	type result struct {
+		r        R
+		err      error
+		panicked bool
+		stack    string
+	}
+	// Buffered so an abandoned (timed-out) attempt can still deliver and
+	// exit instead of leaking blocked forever.
+	ch := make(chan result, 1)
+	go func() {
+		r, err, p, st := attempt()
+		ch <- result{r, err, p, st}
+	}()
+	watchdog := time.NewTimer(deadline)
+	defer watchdog.Stop()
+	select {
+	case v := <-ch:
+		return v.r, v.err, v.panicked, v.stack, false
+	case <-watchdog.C:
+		err = fmt.Errorf("%w: %v elapsed", ErrLegTimeout, deadline)
+		timedOut = true
+		return
+	}
+}

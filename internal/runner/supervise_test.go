@@ -1,0 +1,166 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A panicking leg must not abort the sweep: every other leg completes, the
+// failed slot holds the zero value, and the LegError carries the item
+// index and a stack trace naming the panic site.
+func TestTryMapPanicIsolation(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	out, errs := TryMap(items, func(i, v int) (int, error) {
+		if v == 3 {
+			panic("boom at three")
+		}
+		return v * 10, nil
+	})
+	if len(out) != len(items) {
+		t.Fatalf("got %d results, want %d", len(out), len(items))
+	}
+	for i, v := range items {
+		want := v * 10
+		if v == 3 {
+			want = 0
+		}
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if len(errs) != 1 {
+		t.Fatalf("got %d LegErrors, want 1: %v", len(errs), errs)
+	}
+	le := errs[0]
+	if le.Index != 3 {
+		t.Errorf("LegError.Index = %d, want 3", le.Index)
+	}
+	if !le.Panicked {
+		t.Error("LegError.Panicked = false, want true")
+	}
+	if !errors.Is(le, ErrLegPanic) {
+		t.Errorf("errors.Is(le, ErrLegPanic) = false; err = %v", le.Err)
+	}
+	if !strings.Contains(le.Err.Error(), "boom at three") {
+		t.Errorf("LegError.Err = %v, want it to carry the panic value", le.Err)
+	}
+	if !strings.Contains(le.Stack, "supervise_test.go") {
+		t.Errorf("LegError.Stack does not name the panic site:\n%s", le.Stack)
+	}
+	if le.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 (panics never retry)", le.Attempts)
+	}
+}
+
+// A leg that blocks past its deadline is abandoned; the sweep still
+// returns every other leg's result plus a TimedOut LegError.
+func TestSupervisedMapDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	items := []int{0, 1, 2, 3}
+	out, errs := SupervisedMap(items, Policy{Deadline: 50 * time.Millisecond},
+		func(i, v int) (int, error) {
+			if v == 2 {
+				<-release // wedged until the test ends
+			}
+			return v + 100, nil
+		})
+	for i, v := range items {
+		want := v + 100
+		if v == 2 {
+			want = 0
+		}
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if len(errs) != 1 {
+		t.Fatalf("got %d LegErrors, want 1: %v", len(errs), errs)
+	}
+	le := errs[0]
+	if le.Index != 2 || !le.TimedOut {
+		t.Errorf("LegError = %+v, want Index=2 TimedOut=true", le)
+	}
+	if !errors.Is(le, ErrLegTimeout) {
+		t.Errorf("errors.Is(le, ErrLegTimeout) = false; err = %v", le.Err)
+	}
+	if le.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 (timeouts never retry)", le.Attempts)
+	}
+}
+
+// Transient errors consume the retry budget and a leg that eventually
+// succeeds reports no error at all.
+func TestSupervisedMapRetries(t *testing.T) {
+	var calls [3]atomic.Int32
+	out, errs := SupervisedMap([]int{0, 1, 2}, Policy{Retries: 2},
+		func(i, v int) (int, error) {
+			n := calls[i].Add(1)
+			switch v {
+			case 0: // succeeds on attempt 2
+				if n < 2 {
+					return 0, fmt.Errorf("transient %d", n)
+				}
+				return 11, nil
+			case 1: // always fails; exhausts budget
+				return 0, fmt.Errorf("permanent %d", n)
+			default: // immediate success
+				return 33, nil
+			}
+		})
+	if out[0] != 11 || out[2] != 33 {
+		t.Errorf("out = %v, want [11 0 33]", out)
+	}
+	if got := calls[0].Load(); got != 2 {
+		t.Errorf("leg 0 ran %d times, want 2", got)
+	}
+	if got := calls[1].Load(); got != 3 {
+		t.Errorf("leg 1 ran %d times, want 3 (1 + 2 retries)", got)
+	}
+	if len(errs) != 1 {
+		t.Fatalf("got %d LegErrors, want 1: %v", len(errs), errs)
+	}
+	if errs[0].Index != 1 || errs[0].Attempts != 3 {
+		t.Errorf("LegError = %+v, want Index=1 Attempts=3", errs[0])
+	}
+}
+
+// A Retryable filter stops the budget from being spent on permanent
+// failures.
+func TestSupervisedMapRetryableFilter(t *testing.T) {
+	errPermanent := errors.New("permanent")
+	var calls atomic.Int32
+	_, errs := SupervisedMap([]int{0}, Policy{
+		Retries:   5,
+		Retryable: func(err error) bool { return !errors.Is(err, errPermanent) },
+	}, func(i, v int) (int, error) {
+		calls.Add(1)
+		return 0, errPermanent
+	})
+	if got := calls.Load(); got != 1 {
+		t.Errorf("leg ran %d times, want 1 (non-retryable)", got)
+	}
+	if len(errs) != 1 || errs[0].Attempts != 1 {
+		t.Fatalf("errs = %v, want one LegError with Attempts=1", errs)
+	}
+}
+
+// TryMap with no failures returns a nil error slice and exactly Map's
+// results.
+func TestTryMapCleanRun(t *testing.T) {
+	items := []int{5, 6, 7}
+	out, errs := TryMap(items, func(i, v int) (int, error) { return v * v, nil })
+	if errs != nil {
+		t.Fatalf("errs = %v, want nil", errs)
+	}
+	want := []int{25, 36, 49}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is an on-disk checkpoint journal for resumable campaigns. Each
+// campaign writes one append-only JSONL file: a header line naming the
+// campaign key (a canonical encoding of everything that determines the
+// results — params, seeds, suite version), then one line per completed
+// cell. Appends are flushed with fsync, so a kill at any instant loses at
+// most the line being written; Open tolerates a partial trailing line and
+// simply replays the complete ones. A campaign-key mismatch discards the
+// journal — results from different parameters must never be resumed into
+// each other.
+//
+// Store is safe for concurrent use: supervised sweep legs complete on
+// worker goroutines and the SIGINT handler flushes from a signal
+// goroutine.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	cells map[string]json.RawMessage
+	// loaded counts the cells replayed from a pre-existing journal.
+	loaded int
+}
+
+type journalHeader struct {
+	Campaign string `json:"campaign"`
+}
+
+type journalLine struct {
+	Cell string          `json:"cell"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Open opens (or creates) the checkpoint journal at path for the given
+// campaign key. An existing journal with a matching key is replayed so
+// Get returns its completed cells; a mismatched or unreadable journal is
+// discarded and the file restarted.
+func Open(path, campaign string) (*Store, error) {
+	st := &Store{path: path, cells: make(map[string]json.RawMessage)}
+	if data, err := os.ReadFile(path); err == nil {
+		st.replay(data, campaign)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: checkpoint dir: %w", err)
+	}
+	if st.loaded == 0 && len(st.cells) == 0 {
+		// Fresh (or discarded) journal: restart the file with a header.
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: create checkpoint: %w", err)
+		}
+		hdr, _ := json.Marshal(journalHeader{Campaign: campaign})
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("snapshot: write checkpoint header: %w", err)
+		}
+		st.f = f
+		return st, nil
+	}
+	// Resuming: rewrite the journal from the replayed cells so a partial
+	// trailing line from the interrupted run is dropped cleanly.
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reopen checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	hdr, _ := json.Marshal(journalHeader{Campaign: campaign})
+	w.Write(append(hdr, '\n'))
+	for _, cell := range st.order() {
+		line, _ := json.Marshal(journalLine{Cell: cell, Data: st.cells[cell]})
+		w.Write(append(line, '\n'))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("snapshot: rewrite checkpoint: %w", err)
+	}
+	st.f = f
+	return st, nil
+}
+
+// replay parses a pre-existing journal, keeping its cells only when the
+// campaign key matches.
+func (st *Store) replay(data []byte, campaign string) {
+	lines := splitLines(data)
+	if len(lines) == 0 {
+		return
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.Campaign != campaign {
+		return // different campaign (or garbage): start fresh
+	}
+	for _, raw := range lines[1:] {
+		var l journalLine
+		if err := json.Unmarshal(raw, &l); err != nil || l.Cell == "" {
+			continue // partial trailing line from an interrupted write
+		}
+		if _, dup := st.cells[l.Cell]; !dup {
+			st.loaded++
+		}
+		st.cells[l.Cell] = l.Data
+	}
+}
+
+func splitLines(data []byte) [][]byte {
+	var out [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			if i > start {
+				out = append(out, data[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, data[start:])
+	}
+	return out
+}
+
+// order returns cell keys in insertion-stable sorted order for journal
+// rewrites (map iteration order would make rewrites nondeterministic).
+func (st *Store) order() []string {
+	keys := make([]string, 0, len(st.cells))
+	for k := range st.cells {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Len returns the number of completed cells currently recorded.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.cells)
+}
+
+// Resumed returns how many cells were replayed from a pre-existing journal
+// at Open time.
+func (st *Store) Resumed() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.loaded
+}
+
+// Get unmarshals the recorded result for cell into out, reporting whether
+// the cell was found.
+func (st *Store) Get(cell string, out any) bool {
+	st.mu.Lock()
+	raw, ok := st.cells[cell]
+	st.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, out) == nil
+}
+
+// Put records a completed cell's result and appends it durably to the
+// journal.
+func (st *Store) Put(cell string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("snapshot: marshal cell %q: %w", cell, err)
+	}
+	line, err := json.Marshal(journalLine{Cell: cell, Data: raw})
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.cells[cell] = raw
+	if st.f == nil {
+		return nil
+	}
+	if _, err := st.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("snapshot: append cell %q: %w", cell, err)
+	}
+	return st.f.Sync()
+}
+
+// Flush fsyncs the journal (the SIGINT handler calls this before exiting).
+func (st *Store) Flush() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return nil
+	}
+	return st.f.Sync()
+}
+
+// Close flushes and closes the journal. The Store remains readable (Get)
+// but further Puts only update memory.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return nil
+	}
+	err := st.f.Sync()
+	if cerr := st.f.Close(); err == nil {
+		err = cerr
+	}
+	st.f = nil
+	return err
+}

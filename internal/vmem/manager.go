@@ -52,6 +52,10 @@ type Stats struct {
 	// SwapWriteFails counts swap-outs skipped because the device was full
 	// or offline (the page stayed resident; pressure persisted).
 	SwapWriteFails int64
+	// OfflineGiveUps counts swap-in attempts abandoned because the
+	// device's offline window outlasted MaxOfflineWait (the read surfaces
+	// ErrSwapOffline instead of stalling unboundedly).
+	OfflineGiveUps int64
 }
 
 // Manager owns physical memory, the LRU and the swap device.
@@ -83,6 +87,13 @@ type Manager struct {
 	// RefaultByOwner, when non-nil, tallies refaults per address-space
 	// owner (debugging/analysis aid).
 	RefaultByOwner map[string]int64
+
+	// MaxOfflineWait bounds how long a faulting thread retries against an
+	// offline swap device before giving up with ErrSwapOffline. 0 means
+	// wait out the whole window, however long (raw-kernel behaviour); the
+	// android layer sets a cap so one injected outage cannot stall a
+	// sweep leg unboundedly.
+	MaxOfflineWait time.Duration
 
 	stats   Stats
 	corrupt error // first accounting-corruption error, latched for the checker
@@ -122,15 +133,23 @@ func (m *Manager) noteCorrupt(err error) {
 // waitSwapOnline models a faulting thread retrying with exponential backoff
 // (in sim time) until the swap device's offline window has passed. The data
 // is still on the device, so a read can always be retried — the thread just
-// pays the wait as stall.
-func (m *Manager) waitSwapOnline() time.Duration {
+// pays the wait as stall. When MaxOfflineWait is set and the window
+// outlasts it, the thread gives up after paying the capped wait and the
+// caller surfaces ErrSwapOffline instead of stalling unboundedly.
+func (m *Manager) waitSwapOnline() (time.Duration, error) {
 	off := m.Swap.OfflineFor()
 	if off <= 0 {
-		return 0
+		return 0, nil
+	}
+	limit := off
+	capped := false
+	if m.MaxOfflineWait > 0 && off > m.MaxOfflineWait {
+		limit = m.MaxOfflineWait
+		capped = true
 	}
 	var waited time.Duration
 	backoff := 250 * time.Microsecond
-	for waited < off {
+	for waited < limit {
 		waited += backoff
 		m.stats.SwapRetries++
 		backoff *= 2
@@ -139,7 +158,12 @@ func (m *Manager) waitSwapOnline() time.Duration {
 		}
 	}
 	m.stats.OfflineWait += waited
-	return waited
+	if capped {
+		m.stats.OfflineGiveUps++
+		return waited, fmt.Errorf("%w: offline %v outlasts retry budget %v",
+			ErrSwapOffline, off, m.MaxOfflineWait)
+	}
+	return waited, nil
 }
 
 // Touch simulates one memory access to addr's page: fault it in if needed,
@@ -167,8 +191,13 @@ func (m *Manager) Touch(p *mem.Page, write bool) (time.Duration, error) {
 		stall += MinorFaultCost
 	case mem.PageSwapped:
 		// Retry-with-backoff across injected device-offline windows: the
-		// data cannot arrive until the device is back.
-		stall += m.waitSwapOnline()
+		// data cannot arrive until the device is back. A capped wait that
+		// expires aborts the access; the caller decides the process's fate.
+		wait, werr := m.waitSwapOnline()
+		stall += wait
+		if werr != nil {
+			return stall, werr
+		}
 		io, err := m.ensureFrame(1)
 		stall += io
 		if err != nil {
@@ -352,7 +381,12 @@ func (m *Manager) Prefetch(as *mem.AddressSpace, addr, size int64) (int64, time.
 		if firstErr != nil || p.State != mem.PageSwapped {
 			return
 		}
-		io += m.waitSwapOnline()
+		wait, werr := m.waitSwapOnline()
+		io += wait
+		if werr != nil {
+			firstErr = werr
+			return
+		}
 		fio, err := m.ensureFrame(1)
 		io += fio
 		if err != nil {
