@@ -1,0 +1,123 @@
+// Command fleetd serves the simulator as a long-running daemon: clients
+// submit campaign jobs (experiment names plus parameter overrides) over
+// HTTP, a worker pool runs them under the campaign supervisor, results
+// stream back as NDJSON, and every state transition is journaled so a
+// restarted daemon resumes incomplete jobs bitwise-identically.
+//
+//	fleetd -addr :8080 -workers 4 -queue 64 -journal ckpt/fleetd.jsonl
+//
+//	curl -s localhost:8080/healthz
+//	id=$(curl -s -X POST localhost:8080/jobs \
+//	      -d '{"experiments":["fig2"],"quick":true}' | jq -r .id)
+//	curl -s localhost:8080/jobs/$id/stream      # NDJSON progress
+//	curl -s localhost:8080/jobs/$id/result      # assembled output
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: it stops admitting
+// (submit → 503), finishes or checkpoints in-flight jobs at the next cell
+// boundary, flushes the journal and exits 0. A second signal aborts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fleetsim/internal/buildinfo"
+	"fleetsim/internal/experiments"
+	"fleetsim/internal/service"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueCap = flag.Int("queue", 64, "queued-job admission bound (full queue sheds with 429)")
+	journal  = flag.String("journal", "", "checkpoint journal path (empty = no durability)")
+	scale    = flag.Int64("scale", 32, "default device scale divisor for jobs that do not override it")
+	rounds   = flag.Int("rounds", 10, "default launch rounds")
+	seed     = flag.Uint64("seed", 1, "default simulation seed")
+	deadline = flag.Duration("timeout", 0, "wall-clock deadline per job cell (0 = none)")
+	retries  = flag.Int("retries", 1, "retry budget per transiently-failed cell")
+	pidfile  = flag.String("pidfile", "", "write the daemon pid to this file once listening")
+	version  = flag.Bool("version", false, "print the build stamp and exit")
+)
+
+func main() {
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Read().String("fleetd"))
+		return
+	}
+
+	p := experiments.DefaultParams()
+	p.Scale = *scale
+	p.Rounds = *rounds
+	p.Seed = *seed
+
+	svc, err := service.New(service.Config{
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		JournalPath: *journal,
+		Params:      p,
+		Deadline:    *deadline,
+		Retries:     *retries,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		os.Exit(1)
+	}
+	if st := svc.Stats(); st.ResumedJobs > 0 {
+		fmt.Fprintf(os.Stderr, "fleetd: resumed %d incomplete job(s) (%d cell(s) already journaled)\n",
+			st.ResumedJobs, st.ResumedCells)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	fmt.Fprintf(os.Stderr, "fleetd: %s listening on http://%s (workers=%d queue=%d journal=%q)\n",
+		buildinfo.Read().String("fleetd"), ln.Addr(), *workers, *queueCap, *journal)
+	if *pidfile != "" {
+		if err := os.WriteFile(*pidfile, []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetd: pidfile: %v\n", err)
+		}
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		svc.Close()
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "fleetd: %v — draining (finishing or checkpointing in-flight jobs; signal again to abort)\n", sig)
+	}
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fleetd: aborted")
+		os.Exit(130)
+	}()
+
+	// Drain: stop admitting, park the workers at the next cell boundary,
+	// flush and close the journal, then stop serving.
+	if err := svc.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: journal close: %v\n", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	st := svc.Stats()
+	fmt.Fprintf(os.Stderr, "fleetd: drained (completed=%d failed=%d cancelled=%d shed=%d queued=%d) — exiting 0\n",
+		st.Completed, st.Failed, st.Cancelled, st.Shed, st.QueueDepth)
+}

@@ -1,0 +1,314 @@
+// Command fleetload is the closed-loop load generator for fleetd: N
+// concurrent clients submit a mixed stream of experiment jobs at a target
+// rate, follow each job to completion (streaming its NDJSON events or
+// polling its status), fetch and cross-check results, and report
+// end-to-end latency percentiles, queue-wait time and shed/error counts.
+//
+//	fleetd -addr :8080 &
+//	fleetload -addr 127.0.0.1:8080 -clients 64 -jobs 256 -quick
+//
+// fleetload verifies the service's delivery guarantees as it measures:
+// every submitted job must reach a terminal state exactly once (no lost,
+// no duplicated IDs), and jobs with identical specs must return identical
+// result digests. Any violation makes fleetload exit non-zero, so it
+// doubles as the "heavy traffic" acceptance check.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fleetsim/internal/buildinfo"
+	"fleetsim/internal/metrics"
+)
+
+var (
+	addr        = flag.String("addr", "127.0.0.1:8080", "fleetd address (host:port)")
+	clients     = flag.Int("clients", 8, "concurrent client goroutines")
+	jobs        = flag.Int("jobs", 0, "total jobs to submit (0 = 4 per client)")
+	rate        = flag.Float64("rate", 0, "target aggregate submission rate, jobs/sec (0 = as fast as possible)")
+	experiments = flag.String("experiments", "tab1,tab2,tab3,fig2,fig5,fig7", "comma-separated experiment mix, assigned round-robin")
+	scale       = flag.Int64("scale", 0, "per-job scale override (0 = daemon default)")
+	rounds      = flag.Int("rounds", 0, "per-job rounds override (0 = daemon default)")
+	seed        = flag.Uint64("seed", 0, "per-job seed override (0 = daemon default)")
+	quick       = flag.Bool("quick", false, "submit jobs with the quick (reduced rounds) flag")
+	stream      = flag.Bool("stream", true, "follow jobs via the NDJSON stream (false: poll status)")
+	pollEvery   = flag.Duration("poll", 50*time.Millisecond, "status poll period when -stream=false")
+	version     = flag.Bool("version", false, "print the build stamp and exit")
+)
+
+// jobSpec mirrors service.JobSpec on the wire.
+type jobSpec struct {
+	Experiments []string `json:"experiments"`
+	Scale       int64    `json:"scale,omitempty"`
+	Rounds      int      `json:"rounds,omitempty"`
+	Seed        uint64   `json:"seed,omitempty"`
+	Quick       bool     `json:"quick,omitempty"`
+}
+
+// jobView mirrors the fields of service.JobView fleetload reads.
+type jobView struct {
+	ID          string  `json:"id"`
+	Status      string  `json:"status"`
+	QueueWaitMS float64 `json:"queueWaitMs"`
+	Digest      string  `json:"digest"`
+	Err         string  `json:"err"`
+}
+
+// event mirrors the fields of service.Event fleetload reads.
+type event struct {
+	Phase  string `json:"phase"`
+	Digest string `json:"digest"`
+	Err    string `json:"err"`
+}
+
+// tally aggregates what the fleet of clients observed.
+type tally struct {
+	mu        sync.Mutex
+	latency   metrics.Sample // submit → terminal, ms
+	queueWait metrics.Sample // server-reported queue wait, ms
+	shed      int            // 429 responses (retried, not lost)
+	errors    int
+	done      int
+	failed    int
+	ids       map[string]int    // job id → occurrences (duplicates = bug)
+	digests   map[string]string // spec key → result digest (mismatch = bug)
+	mismatch  []string
+}
+
+func (t *tally) record(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ids[id]++
+	return t.ids[id] == 1
+}
+
+func (t *tally) checkDigest(specKey, digest string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if prev, ok := t.digests[specKey]; ok {
+		if prev != digest {
+			t.mismatch = append(t.mismatch, fmt.Sprintf("%s: %s != %s", specKey, digest, prev))
+		}
+		return
+	}
+	t.digests[specKey] = digest
+}
+
+func main() {
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Read().String("fleetload"))
+		return
+	}
+	mix := strings.Split(*experiments, ",")
+	for i := range mix {
+		mix[i] = strings.TrimSpace(mix[i])
+	}
+	total := *jobs
+	if total <= 0 {
+		total = 4 * *clients
+	}
+	base := "http://" + *addr
+
+	t := &tally{ids: map[string]int{}, digests: map[string]string{}}
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= total {
+					return
+				}
+				if *rate > 0 {
+					due := start.Add(time.Duration(float64(idx) / *rate * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				runOne(client, base, mix[idx%len(mix)], t)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	lost := total - t.done - t.failed
+	fmt.Printf("fleetload: %d clients, %d jobs in %v (%.1f jobs/s)\n",
+		*clients, total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Printf("  completed %d  failed %d  lost %d  shed(429) %d  errors %d\n",
+		t.done, t.failed, lost, t.shed, t.errors)
+	fmt.Printf("  end-to-end ms   p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+		t.latency.Percentile(50), t.latency.Percentile(95), t.latency.Percentile(99), t.latency.Percentile(100))
+	fmt.Printf("  queue-wait ms   p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+		t.queueWait.Percentile(50), t.queueWait.Percentile(95), t.queueWait.Percentile(99), t.queueWait.Percentile(100))
+
+	dups := 0
+	for _, n := range t.ids {
+		if n > 1 {
+			dups++
+		}
+	}
+	ok := true
+	if lost != 0 || t.failed != 0 || t.errors != 0 {
+		fmt.Printf("FAIL: %d lost, %d failed, %d transport errors\n", lost, t.failed, t.errors)
+		ok = false
+	}
+	if dups != 0 {
+		fmt.Printf("FAIL: %d duplicated job id(s)\n", dups)
+		ok = false
+	}
+	if len(t.mismatch) != 0 {
+		fmt.Printf("FAIL: %d same-spec digest mismatch(es):\n", len(t.mismatch))
+		for _, m := range t.mismatch {
+			fmt.Printf("  %s\n", m)
+		}
+		ok = false
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: all %d jobs completed exactly once, digests consistent across identical specs\n", t.done)
+}
+
+// runOne submits one job (retrying shed submissions per Retry-After),
+// follows it to a terminal state, fetches the result and folds the
+// measurements into the tally.
+func runOne(client *http.Client, base, exp string, t *tally) {
+	spec := jobSpec{Experiments: []string{exp}, Scale: *scale, Rounds: *rounds, Seed: *seed, Quick: *quick}
+	specKey := fmt.Sprintf("%s/s%d/r%d/seed%d/q%v", exp, *scale, *rounds, *seed, *quick)
+	body, _ := json.Marshal(spec)
+
+	submitted := time.Now()
+	var view jobView
+	for {
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.mu.Lock()
+			t.errors++
+			t.mu.Unlock()
+			return
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			t.mu.Lock()
+			t.shed++
+			t.mu.Unlock()
+			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			if after < 1 {
+				after = 1
+			}
+			time.Sleep(time.Duration(after) * time.Second)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted || err != nil || view.ID == "" {
+			t.mu.Lock()
+			t.errors++
+			t.mu.Unlock()
+			return
+		}
+		break
+	}
+	if !t.record(view.ID) {
+		return // duplicate ID: counted as a failure at report time
+	}
+
+	terminal := follow(client, base, view.ID)
+	latencyMS := float64(time.Since(submitted)) / float64(time.Millisecond)
+
+	t.mu.Lock()
+	t.latency.Add(latencyMS)
+	t.queueWait.Add(terminal.QueueWaitMS)
+	if terminal.Status == "done" {
+		t.done++
+	} else {
+		t.failed++
+	}
+	t.mu.Unlock()
+	if terminal.Status == "done" {
+		verifyResult(client, base, terminal, specKey, t)
+	}
+}
+
+// follow waits for the job to reach a terminal state, via the NDJSON
+// stream or by polling, and returns the final status view.
+func follow(client *http.Client, base, id string) jobView {
+	if *stream {
+		resp, err := client.Get(base + "/jobs/" + id + "/stream")
+		if err == nil {
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+			for sc.Scan() {
+				var ev event
+				if json.Unmarshal(sc.Bytes(), &ev) != nil {
+					continue
+				}
+				if ev.Phase == "done" || ev.Phase == "failed" || ev.Phase == "cancelled" {
+					break
+				}
+			}
+			resp.Body.Close()
+		}
+		// The stream ended (terminal event, drain, or disconnect): the
+		// status endpoint has the authoritative final view.
+	}
+	for {
+		resp, err := client.Get(base + "/jobs/" + id)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var v jobView
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err == nil && (v.Status == "done" || v.Status == "failed" || v.Status == "cancelled") {
+				return v
+			}
+		} else if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		time.Sleep(*pollEvery)
+	}
+}
+
+// verifyResult fetches the assembled result and checks it against the
+// advertised digest and against other jobs with the same spec.
+func verifyResult(client *http.Client, base string, v jobView, specKey string, t *tally) {
+	resp, err := client.Get(base + "/jobs/" + v.ID + "/result")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		t.mu.Lock()
+		t.errors++
+		t.mu.Unlock()
+		return
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if n == 0 || resp.Header.Get("X-Fleetd-Digest") != v.Digest {
+		t.mu.Lock()
+		t.errors++
+		t.mu.Unlock()
+		return
+	}
+	t.checkDigest(specKey, v.Digest)
+}

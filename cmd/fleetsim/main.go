@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"fleetsim/fleet"
+	"fleetsim/internal/buildinfo"
 )
 
 // chaosFailed latches a chaos-harness failure, legFailed a panicked or
@@ -55,6 +56,7 @@ var (
 	resume     = flag.Bool("resume", false, "resume checkpointed campaigns in -checkpoint-dir instead of starting over")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	version    = flag.Bool("version", false, "print the build stamp and exit")
 )
 
 func params() fleet.Params {
@@ -70,123 +72,22 @@ func params() fleet.Params {
 
 // experiment runners return their rendered output instead of printing so
 // that `all` can execute them concurrently and still emit table order.
+// The paper experiments come from the shared registry
+// (fleet.Experiments()); only the frontend-specific entries — the chaos
+// campaign (flags, checkpoint store) and the systrace dump (stderr) — are
+// defined here. optIn entries are excluded from `all`.
 type experiment struct {
-	name string
-	desc string
-	run  func(p fleet.Params) string
+	name  string
+	desc  string
+	optIn bool
+	run   func(p fleet.Params) string
 }
 
-var table = []experiment{
-	{"fig2", "hot vs cold launch times", func(p fleet.Params) string {
-		return fleet.FormatFig2(fleet.Fig2(p))
-	}},
-	{"fig3", "tail hot-launch: w/o swap, w/ swap, Marvin", func(p fleet.Params) string {
-		return fleet.FormatFig3(fleet.Fig3(p))
-	}},
-	{"fig4", "object accesses over time (CSV)", func(p fleet.Params) string {
-		res := fleet.Fig4(p)
-		var b strings.Builder
-		fmt.Fprintf(&b, "# fore->back %.0fs, GC %.0fs, back->fore %.0fs\n", res.ToBackSec, res.GCSec, res.ToFrontSec)
-		b.WriteString("time_sec,object_seq,gc\n")
-		for _, pt := range res.Points {
-			g := 0
-			if pt.GC {
-				g = 1
-			}
-			fmt.Fprintf(&b, "%.2f,%d,%d\n", pt.TimeSec, pt.Seq, g)
-		}
-		return b.String()
-	}},
-	{"fig5", "FGO/BGO lifetime and footprint", func(p fleet.Params) string {
-		return fleet.FormatFig5(fleet.Fig5(p))
-	}},
-	{"fig6", "NRO/FYO re-access coverage + depth sweep", func(p fleet.Params) string {
-		return fleet.FormatFig6(fleet.Fig6a(p), fleet.Fig6b(p))
-	}},
-	{"fig7", "object size CDFs", func(p fleet.Params) string {
-		return fleet.FormatFig7(fleet.Fig7(p))
-	}},
-	{"fig11a", "caching capacity, 2048B-object apps", func(p fleet.Params) string {
-		return fleet.FormatFig11("Fig 11a — caching capacity (large objects)", fleet.Fig11a(p))
-	}},
-	{"fig11b", "caching capacity, 512B-object apps", func(p fleet.Params) string {
-		return fleet.FormatFig11("Fig 11b — caching capacity (small objects)", fleet.Fig11b(p))
-	}},
-	{"fig11c", "caching capacity, commercial apps", func(p fleet.Params) string {
-		return fleet.FormatFig11("Fig 11c — caching capacity (commercial apps)", fleet.Fig11c(p))
-	}},
-	{"fig12a", "background GC working set", func(p fleet.Params) string {
-		return fleet.FormatFig12a(fleet.Fig12a(p))
-	}},
-	{"fig12b", "Twitch access timeline (CSV)", func(p fleet.Params) string {
-		res := fleet.Fig12b(p)
-		var b strings.Builder
-		b.WriteString("time_sec,android_gc,fleet_gc,android_mutator\n")
-		n := len(res.Android)
-		if len(res.Fleet) < n {
-			n = len(res.Fleet)
-		}
-		for i := 0; i < n; i++ {
-			fmt.Fprintf(&b, "%.0f,%d,%d,%d\n", res.Android[i].TimeSec, res.Android[i].GC, res.Fleet[i].GC, res.Android[i].Mutator)
-		}
-		return b.String()
-	}},
-	{"fig13", "hot-launch study under pressure (+13m,13n)", func(p fleet.Params) string {
-		return fleet.FormatFig13(fleet.Fig13(p)) + fleet.FormatFig13n(fleet.Fig13n(p))
-	}},
-	{"fig14", "jank ratio and FPS", func(p fleet.Params) string {
-		return fleet.FormatFig14(fleet.Fig14(p))
-	}},
-	{"fig15", "percentile speedups", func(p fleet.Params) string {
-		return fleet.FormatFig15(fleet.Fig15(fleet.Fig13(p)))
-	}},
-	{"fig16", "hot-launch distributions, remaining 6 apps", func(p fleet.Params) string {
-		return fleet.FormatFig13(fleet.Fig16(p))
-	}},
-	{"tab1", "comparison methods", func(fleet.Params) string {
-		return `Table 1 — comparison methods
-  Android: native GC;            page-granularity swap; LRU scheme
-  Marvin:  bookmarking GC;       object-granularity swap; object-LRU scheme
-  Fleet:   background-object GC; grouped-page swap;       runtime-guided scheme
-`
-	}},
-	{"tab2", "Fleet default parameters", func(fleet.Params) string {
-		cfg := fleet.DefaultFleetConfig()
-		return fmt.Sprintf(`Table 2 — Fleet defaults
-  NRO depth D:          %d
-  Background wait Ts:   %v
-  Foreground wait Tf:   %v
-  CARD_SHIFT:           %d
-  Region size:          256 KiB
-`, cfg.NRODepth, cfg.BackgroundWait, cfg.ForegroundWait, cfg.CardShift)
-	}},
-	{"tab3", "commercial app set", func(p fleet.Params) string {
-		var b strings.Builder
-		b.WriteString("Table 3 — commercial apps\n")
-		for _, pr := range fleet.CommercialApps(p.Scale) {
-			fmt.Fprintf(&b, "  %-12s %-14s java %3.0f%% of footprint\n", pr.Name, pr.Category, 100*pr.JavaHeapFrac)
-		}
-		return b.String()
-	}},
-	{"sec73", "CPU / memory / power overheads", func(p fleet.Params) string {
-		return fleet.FormatSec73(fleet.Sec73(p))
-	}},
-	{"sec74", "background heap-size sensitivity", func(p fleet.Params) string {
-		return fleet.FormatSec74(fleet.Sec74(p))
-	}},
-	{"extprefetch", "extension: ASAP-style launch prefetch baseline", func(p fleet.Params) string {
-		return fleet.FormatExt("Extension — prefetch baseline vs Fleet", fleet.ExtPrefetch(p))
-	}},
-	{"extzram", "extension: compressed-RAM (zram) swap device", func(p fleet.Params) string {
-		return fleet.FormatExt("Extension — flash vs zram swap", fleet.ExtZram(p))
-	}},
-	{"extdepth", "ablation: NRO depth sweep, end to end", func(p fleet.Params) string {
-		return fleet.FormatExt("Ablation — NRO depth (end-to-end)", fleet.ExtDepthSweep(p))
-	}},
-	{"extadvice", "ablation: madvise halves (COLD/HOT_RUNTIME)", func(p fleet.Params) string {
-		return fleet.FormatExt("Ablation — runtime-guided swap advice", fleet.ExtAdviceAblation(p))
-	}},
-	{"chaos", "fault-injection chaos harness (3 profiles x -seeds seeds, determinism + invariants)", func(p fleet.Params) string {
+// table is built in main from the registry plus the local entries below.
+var table []experiment
+
+var localEntries = []experiment{
+	{"chaos", "fault-injection chaos harness (3 profiles x -seeds seeds, determinism + invariants)", true, func(p fleet.Params) string {
 		opts := fleet.ChaosOpts{
 			Seeds:       *seeds,
 			Deadline:    *timeout,
@@ -212,7 +113,7 @@ var table = []experiment{
 		writeDivergenceReports(rep)
 		return fleet.FormatChaosReport(rep)
 	}},
-	{"trace", "dump a systrace-style event log of a Fleet scenario (CSV)", func(p fleet.Params) string {
+	{"trace", "dump a systrace-style event log of a Fleet scenario (CSV)", true, func(p fleet.Params) string {
 		sys := fleet.NewSystem(fleet.DefaultSystemConfig(fleet.PolicyFleet, p.Scale))
 		log := sys.EnableTrace(0)
 		apps := fleet.CommercialApps(p.Scale)[:6]
@@ -244,6 +145,13 @@ func main() {
 			os.Exit(int(code))
 		}
 	}()
+	// The shared registry provides every paper experiment; chaos and trace
+	// are frontend-specific and appended here.
+	for _, s := range fleet.Experiments() {
+		table = append(table, experiment{name: s.Name, desc: s.Desc, optIn: s.CSV, run: s.Run})
+	}
+	table = append(table, localEntries...)
+
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fleetsim [flags] <experiment>...\n\nexperiments:\n")
 		for _, e := range table {
@@ -253,6 +161,10 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Read().String("fleetsim"))
+		return
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -326,9 +238,24 @@ func main() {
 		defer st.Close()
 		fleet.SetSweepCheckpointStore(st)
 	}
+	// Reject unknown names up front, listing the registry instead of a
+	// hand-maintained usage string.
+	known := map[string]bool{"all": true}
+	var names []string
+	for _, e := range table {
+		known[e.name] = true
+		names = append(names, e.name)
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "fleetsim: no such experiment %q\nvalid experiments: all %s\n",
+				name, strings.Join(names, " "))
+			os.Exit(2)
+		}
+	}
 	var selected []experiment
 	for _, e := range table {
-		if want["all"] && (e.name == "fig4" || e.name == "fig12b" || e.name == "trace" || e.name == "chaos") {
+		if want["all"] && e.optIn {
 			continue // CSV dumps and the chaos harness are opt-in
 		}
 		if !want["all"] && !want[e.name] {
@@ -337,7 +264,7 @@ func main() {
 		selected = append(selected, e)
 	}
 	if len(selected) == 0 {
-		fmt.Fprintf(os.Stderr, "fleetsim: no such experiment %v\n", flag.Args())
+		fmt.Fprintf(os.Stderr, "fleetsim: no experiment selected %v\n", flag.Args())
 		os.Exit(2)
 	}
 

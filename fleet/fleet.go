@@ -202,6 +202,21 @@ var (
 	FormatSec74  = experiments.FormatSec74
 )
 
+// ExperimentSpec is one entry of the shared experiment registry: name,
+// description and pure runner. cmd/fleetsim and cmd/fleetd both resolve
+// experiment names through this table.
+type ExperimentSpec = experiments.Spec
+
+// Experiments returns the registry in table (paper) order.
+func Experiments() []ExperimentSpec { return experiments.Registry() }
+
+// ExperimentByName resolves one registered experiment (nil if unknown;
+// names are case-insensitive).
+func ExperimentByName(name string) *ExperimentSpec { return experiments.ByName(name) }
+
+// ExperimentNames returns every registered experiment name in table order.
+func ExperimentNames() []string { return experiments.Names() }
+
 // FaultProfile declares a deterministic fault schedule (swap stalls,
 // device-offline windows, slot squeezes, pressure storms, app crashes).
 // Attach one via SystemConfig.Faults; see internal/faults for semantics.

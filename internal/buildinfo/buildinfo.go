@@ -1,0 +1,72 @@
+// Package buildinfo derives a build-identity stamp from the binary itself
+// via runtime/debug.ReadBuildInfo: module version, VCS revision and dirty
+// flag, and the Go toolchain. Every fleetsim executable shares it — the
+// CLIs print it for -version and fleetd reports it from /healthz — so a
+// result file or a running daemon can always be traced back to the exact
+// build that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Module is the main module path (e.g. "fleetsim").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, when the binary was built from a
+	// checkout ("unknown" otherwise).
+	Revision string `json:"revision"`
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool `json:"dirty,omitempty"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+}
+
+// Read extracts the build identity from the running binary. It never
+// fails: fields that cannot be determined come back as "unknown".
+func Read() Info {
+	info := Info{
+		Module:   "unknown",
+		Version:  "unknown",
+		Revision: "unknown",
+		Go:       runtime.Version(),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the stamp as a one-line -version output for the named
+// command, e.g. "fleetd fleetsim (devel) rev 1a2b3c4d (dirty) go1.24.0".
+func (i Info) String(cmd string) string {
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	s := fmt.Sprintf("%s %s %s rev %s", cmd, i.Module, i.Version, rev)
+	if i.Dirty {
+		s += " (dirty)"
+	}
+	return s + " " + i.Go
+}

@@ -1,0 +1,32 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadNeverEmpty(t *testing.T) {
+	info := Read()
+	if info.Module == "" || info.Version == "" || info.Revision == "" || info.Go == "" {
+		t.Fatalf("Read returned empty fields: %+v", info)
+	}
+	if !strings.HasPrefix(info.Go, "go") {
+		t.Errorf("Go = %q, want a go version", info.Go)
+	}
+	// Under `go test` the main module is resolvable.
+	if info.Module != "fleetsim" {
+		t.Logf("module = %q (binary not built from the fleetsim module?)", info.Module)
+	}
+}
+
+func TestStringIncludesCommand(t *testing.T) {
+	info := Info{Module: "fleetsim", Version: "(devel)", Revision: "abcdef0123456789", Go: "go1.24.0"}
+	s := info.String("fleetd")
+	if !strings.HasPrefix(s, "fleetd fleetsim (devel) rev abcdef012345") {
+		t.Fatalf("String = %q", s)
+	}
+	info.Dirty = true
+	if s := info.String("fleetd"); !strings.Contains(s, "(dirty)") {
+		t.Fatalf("dirty String = %q, want (dirty)", s)
+	}
+}

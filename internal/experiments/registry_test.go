@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+func TestRegistryInvariants(t *testing.T) {
+	specs := Registry()
+	if len(specs) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		if sp.Name == "" || sp.Desc == "" || sp.Run == nil {
+			t.Errorf("incomplete spec %+v", sp)
+		}
+		if seen[sp.Name] {
+			t.Errorf("duplicate experiment name %q", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+	// The headline experiments must stay registered under their paper names.
+	for _, name := range []string{"fig2", "fig13", "tab1", "tab2", "tab3", "sec73", "extzram"} {
+		if !seen[name] {
+			t.Errorf("registry lost %q", name)
+		}
+	}
+	if len(Names()) != len(specs) {
+		t.Fatalf("Names() has %d entries, registry %d", len(Names()), len(specs))
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if sp := ByName("FIG2"); sp == nil || sp.Name != "fig2" {
+		t.Fatalf("ByName is not case-insensitive: %+v", sp)
+	}
+	if sp := ByName("nope"); sp != nil {
+		t.Fatalf("ByName invented %+v", sp)
+	}
+	if _, ok := LookupRun("tab1"); !ok {
+		t.Fatal("LookupRun lost tab1")
+	}
+	if _, ok := LookupRun("nope"); ok {
+		t.Fatal("LookupRun resolved a bogus name")
+	}
+}

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"fleetsim/internal/experiments"
+)
+
+// BenchmarkServiceJob measures the full submit→schedule→run→assemble path
+// for a one-cell job with a trivial experiment, i.e. the daemon's own
+// overhead per job (scheduling, events, digesting) excluding experiment
+// cost. Run via scripts/bench.sh.
+func BenchmarkServiceJob(b *testing.B) {
+	s, err := New(Config{
+		Workers: 2,
+		Lookup: fakeLookup(map[string]func(experiments.Params) string{
+			"nop": func(p experiments.Params) string {
+				return fmt.Sprintf("nop seed=%d\n", p.Seed)
+			},
+		}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	spec := JobSpec{Experiments: []string{"nop"}}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view, err := s.Submit(spec)
+		if err != nil {
+			// Bounded queue under a tight loop: wait for drainage.
+			b.StopTimer()
+			for {
+				if st := s.Stats(); st.QueueDepth < s.cfg.QueueCap/2 {
+					break
+				}
+			}
+			b.StartTimer()
+			i--
+			continue
+		}
+		s.Watch(context.Background(), view.ID, func(Event) error { return nil })
+	}
+}

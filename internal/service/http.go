@@ -1,0 +1,180 @@
+// The HTTP face of the service: a small JSON API over the daemon core.
+//
+//	POST   /jobs              submit a JobSpec          → 202 JobView
+//	GET    /jobs              list jobs                 → 200 []JobView
+//	GET    /jobs/{id}         job status                → 200 JobView
+//	GET    /jobs/{id}/stream  NDJSON event stream       → 200 events…
+//	GET    /jobs/{id}/result  assembled result          → 200 text/plain
+//	POST   /jobs/{id}/cancel  cancel (also DELETE /jobs/{id})
+//	GET    /healthz           build stamp + liveness    → 200 / 503
+//	GET    /stats             counters and percentiles  → 200 Stats
+//
+// Admission control is visible on submit: a full queue sheds with
+// 429 Too Many Requests plus a Retry-After header, and a draining daemon
+// refuses with 503 Service Unavailable.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fleetsim/internal/buildinfo"
+)
+
+// Health is the /healthz response body.
+type Health struct {
+	Status   string         `json:"status"` // "ok" or "draining"
+	Build    buildinfo.Info `json:"build"`
+	UptimeMS float64        `json:"uptimeMs"`
+	Stats    Stats          `json:"stats"`
+}
+
+type apiError struct {
+	Error  string `json:"error"`
+	Status Status `json:"status,omitempty"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job spec: %v", err)})
+		return
+	}
+	view, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusAccepted, view)
+	}
+}
+
+// retryAfterSeconds rounds the configured backoff up to whole seconds
+// (the Retry-After header has one-second resolution).
+func retryAfterSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	text, view, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	if view.Status != StatusDone {
+		writeJSON(w, http.StatusConflict, apiError{Error: "job not done", Status: view.Status})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Fleetd-Digest", view.Digest)
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(text))
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	// Cancelling an already-finished or -failed job had no effect; tell
+	// the client so (repeat cancels stay idempotent 200s).
+	if view.Status.Terminal() && view.Status != StatusCancelled {
+		writeJSON(w, http.StatusConflict, apiError{Error: "job already " + string(view.Status), Status: view.Status})
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleStream serves the NDJSON event stream: the job's full history
+// first, then live events as they happen, one JSON object per line,
+// flushed per event. The stream ends at the job's terminal event, at a
+// drain checkpoint, or when the client disconnects.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id); !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	s.Watch(r.Context(), id, func(ev Event) error {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := Health{
+		Status:   "ok",
+		Build:    buildinfo.Read(),
+		UptimeMS: float64(time.Since(s.startedAt)) / float64(time.Millisecond),
+		Stats:    s.Stats(),
+	}
+	code := http.StatusOK
+	if h.Stats.Draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

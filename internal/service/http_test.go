@@ -1,0 +1,310 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fleetsim/internal/experiments"
+)
+
+// newAPI spins up a Service behind httptest for API-level tests.
+func newAPI(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	if cfg.Lookup == nil {
+		cfg.Lookup = fakeLookup(map[string]func(experiments.Params) string{
+			"a": instant("A"), "b": instant("B"),
+		})
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { srv.Close(); s.Close() })
+	return s, srv
+}
+
+func postJob(t *testing.T, srv *httptest.Server, spec JobSpec) (*http.Response, JobView) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v JobView
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatalf("decode submit response: %v", err)
+		}
+	}
+	resp.Body.Close()
+	return resp, v
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPSubmitPollResult(t *testing.T) {
+	s, srv := newAPI(t, Config{Workers: 2})
+	resp, view := postJob(t, srv, JobSpec{Experiments: []string{"a", "b"}, Seed: 3})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if view.ID == "" || (view.Status != StatusQueued && view.Status != StatusRunning) {
+		t.Fatalf("submit view: %+v", view)
+	}
+	await(t, s, view.ID)
+
+	var v JobView
+	if code := getJSON(t, srv.URL+"/jobs/"+view.ID, &v); code != http.StatusOK {
+		t.Fatalf("status: %d", code)
+	}
+	if v.Status != StatusDone || v.CellsDone != 2 {
+		t.Fatalf("final view: %+v", v)
+	}
+
+	rr, err := http.Get(srv.URL + "/jobs/" + view.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d", rr.StatusCode)
+	}
+	if got := rr.Header.Get("X-Fleetd-Digest"); got != v.Digest {
+		t.Fatalf("digest header %s != view digest %s", got, v.Digest)
+	}
+	want := "A scale=32 rounds=10 seed=3\nB scale=32 rounds=10 seed=3\n"
+	if string(text) != want {
+		t.Fatalf("result body = %q, want %q", text, want)
+	}
+
+	// Listing includes the job.
+	var list []JobView
+	if code := getJSON(t, srv.URL+"/jobs", &list); code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if len(list) != 1 || list[0].ID != view.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s, srv := newAPI(t, Config{Workers: 1})
+	// Bad JSON.
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d", resp.StatusCode)
+	}
+	// Invalid spec.
+	if resp, _ := postJob(t, srv, JobSpec{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty spec: %d", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, srv, JobSpec{Experiments: []string{"nope"}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown experiment: %d", resp.StatusCode)
+	}
+	// Unknown job everywhere.
+	for _, path := range []string{"/jobs/j999999", "/jobs/j999999/result", "/jobs/j999999/stream"} {
+		if code := getJSON(t, srv.URL+path, nil); code != http.StatusNotFound {
+			t.Fatalf("%s: %d, want 404", path, code)
+		}
+	}
+	// Result before done → 409.
+	_, view := postJob(t, srv, JobSpec{Experiments: []string{"a"}})
+	await(t, s, view.ID)
+	resp2, err := http.Post(srv.URL+"/jobs/"+view.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel terminal job: %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestHTTPResultNotReady(t *testing.T) {
+	block, started, release := blocker()
+	_, srv := newAPI(t, Config{
+		Workers: 1,
+		Lookup:  fakeLookup(map[string]func(experiments.Params) string{"block": block}),
+	})
+	defer close(release)
+	_, view := postJob(t, srv, JobSpec{Experiments: []string{"block"}})
+	<-started
+	resp, err := http.Get(srv.URL + "/jobs/" + view.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ae struct {
+		Error  string   `json:"error"`
+		Status []string `json:"-"`
+	}
+	json.NewDecoder(resp.Body).Decode(&ae)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result while running: %d, want 409", resp.StatusCode)
+	}
+	if ae.Error == "" {
+		t.Fatal("409 body should carry an error message")
+	}
+	release <- struct{}{}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	block, started, release := blocker()
+	_, srv := newAPI(t, Config{
+		Workers:    1,
+		QueueCap:   1,
+		RetryAfter: 3 * time.Second,
+		Lookup:     fakeLookup(map[string]func(experiments.Params) string{"block": block, "a": instant("A")}),
+	})
+	defer close(release)
+	postJob(t, srv, JobSpec{Experiments: []string{"block"}})
+	<-started
+	postJob(t, srv, JobSpec{Experiments: []string{"a"}})
+	resp, _ := postJob(t, srv, JobSpec{Experiments: []string{"a"}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\"", got)
+	}
+	release <- struct{}{}
+}
+
+func TestHTTPStreamNDJSON(t *testing.T) {
+	_, srv := newAPI(t, Config{Workers: 1})
+	_, view := postJob(t, srv, JobSpec{Experiments: []string{"a", "b"}})
+
+	resp, err := http.Get(srv.URL + "/jobs/" + view.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content-type = %q", ct)
+	}
+	var phases []string
+	var lastSeq int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event seq went backwards: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		phases = append(phases, ev.Phase)
+	}
+	want := "queued,started,cell,cell,done"
+	if strings.Join(phases, ",") != want {
+		t.Fatalf("stream phases = %v, want %s", phases, want)
+	}
+}
+
+func TestHTTPCancelEndpoints(t *testing.T) {
+	block, started, release := blocker()
+	s, srv := newAPI(t, Config{
+		Workers: 1,
+		Lookup:  fakeLookup(map[string]func(experiments.Params) string{"block": block, "a": instant("A")}),
+	})
+	defer close(release)
+	_, run := postJob(t, srv, JobSpec{Experiments: []string{"block", "a"}})
+	<-started
+	_, que := postJob(t, srv, JobSpec{Experiments: []string{"a"}})
+
+	// DELETE form on the queued job.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+que.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v JobView
+	json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || v.Status != StatusCancelled {
+		t.Fatalf("DELETE queued job: %d %+v", resp.StatusCode, v)
+	}
+
+	// POST form on the running job: accepted, lands at the cell boundary.
+	resp2, err := http.Post(srv.URL+"/jobs/"+run.ID+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("POST cancel running: %d", resp2.StatusCode)
+	}
+	release <- struct{}{}
+	if fv := await(t, s, run.ID); fv.Status != StatusCancelled {
+		t.Fatalf("running job after cancel: %s", fv.Status)
+	}
+}
+
+func TestHTTPHealthzAndStats(t *testing.T) {
+	s, srv := newAPI(t, Config{Workers: 2})
+	var h Health
+	if code := getJSON(t, srv.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	if h.Status != "ok" || h.Build.Go == "" || h.Stats.Workers != 2 {
+		t.Fatalf("healthz body: %+v", h)
+	}
+	_, view := postJob(t, srv, JobSpec{Experiments: []string{"a"}})
+	await(t, s, view.ID)
+	var st Stats
+	if code := getJSON(t, srv.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Submitted != 1 || st.Completed != 1 {
+		t.Fatalf("stats after one job: %+v", st)
+	}
+
+	// After drain: healthz degrades, submissions refused with 503.
+	go s.Drain()
+	deadline := time.After(2 * time.Second)
+	for {
+		if code := getJSON(t, srv.URL+"/healthz", nil); code == http.StatusServiceUnavailable {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("healthz never reported draining")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if resp, _ := postJob(t, srv, JobSpec{Experiments: []string{"a"}}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,885 @@
+// Package service turns the simulator into simulation-as-a-service: a
+// long-lived daemon core that accepts campaign jobs (experiment names plus
+// parameter overrides) into a bounded FIFO queue, schedules them across a
+// worker pool built on runner.SupervisedMap (panic isolation, per-cell
+// deadlines and bounded retries carry over from the campaign supervisor),
+// journals every state transition through an internal/snapshot.Store so a
+// restarted daemon resumes incomplete jobs bitwise-identically, and
+// broadcasts per-job progress events to any number of subscribers.
+//
+// A job is a list of cells — one registered experiment each — run in
+// order. Cells are the durability and drain granularity: each completed
+// cell's output is journaled immediately, so a SIGTERM drain finishes the
+// cell in flight, checkpoints the remainder, and exits; the next daemon
+// replays the journal and continues from the first missing cell. Because
+// every registered experiment is a pure function of its Params (and the
+// effective Params are journaled with the job), the reassembled result is
+// byte-identical to an uninterrupted run.
+//
+// cmd/fleetd wraps this package in an HTTP API (see http.go) and
+// cmd/fleetload drives that API under concurrent load.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fleetsim/internal/experiments"
+	"fleetsim/internal/metrics"
+	"fleetsim/internal/runner"
+	"fleetsim/internal/snapshot"
+)
+
+// Campaign is the journal campaign key: it names the job wire format, not
+// the parameters (each job journals its own effective Params), so one
+// daemon journal serves jobs of every shape.
+const Campaign = "fleetd/v1"
+
+// MaxCells bounds the number of experiments in one job.
+const MaxCells = 64
+
+// Submission errors. The HTTP layer maps these onto status codes
+// (ErrQueueFull → 429 with Retry-After, ErrDraining → 503).
+var (
+	ErrQueueFull = errors.New("service: queue full")
+	ErrDraining  = errors.New("service: draining, not admitting jobs")
+	ErrUnknown   = errors.New("service: no such job")
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: Queued → Running → one of Done / Failed / Cancelled.
+// A drain can move a Running job back to Queued (checkpointed, to be
+// resumed by the next daemon).
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether a job in this status will never run again.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// JobSpec is the client-facing job description: which experiments to run
+// and which experiment parameters to override (zero = daemon default).
+type JobSpec struct {
+	Experiments []string `json:"experiments"`
+	Scale       int64    `json:"scale,omitempty"`
+	Rounds      int      `json:"rounds,omitempty"`
+	Seed        uint64   `json:"seed,omitempty"`
+	// Quick applies Params.Quick() after the overrides (reduced rounds).
+	Quick bool `json:"quick,omitempty"`
+}
+
+// Event is one progress record of a job's lifetime, streamed to
+// subscribers as NDJSON. Phases: queued, started, cell (one experiment
+// finished), checkpointed (drain interrupted the job after a cell
+// boundary), done, failed, cancelled.
+type Event struct {
+	Seq        int       `json:"seq"`
+	Time       time.Time `json:"time"`
+	Job        string    `json:"job"`
+	Phase      string    `json:"phase"`
+	Cell       int       `json:"cell,omitempty"`
+	Cells      int       `json:"cells,omitempty"`
+	Experiment string    `json:"experiment,omitempty"`
+	// Digest is the FNV-64a digest of the cell output (phase "cell") or of
+	// the assembled result (phase "done").
+	Digest string `json:"digest,omitempty"`
+	// Cached marks a cell answered from the journal instead of executed.
+	Cached bool    `json:"cached,omitempty"`
+	MS     float64 `json:"ms,omitempty"`
+	// QueueDepth is sampled at emit time (phase "queued").
+	QueueDepth int `json:"queueDepth,omitempty"`
+	// CellP50MS/CellP95MS are the service-wide live cell-latency
+	// percentiles at emit time (phase "cell").
+	CellP50MS float64 `json:"cellP50ms,omitempty"`
+	CellP95MS float64 `json:"cellP95ms,omitempty"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// JobView is the exported snapshot of one job, served by the status API.
+type JobView struct {
+	ID        string             `json:"id"`
+	Spec      JobSpec            `json:"spec"`
+	Params    experiments.Params `json:"params"`
+	Status    Status             `json:"status"`
+	Cells     int                `json:"cells"`
+	CellsDone int                `json:"cellsDone"`
+	// QueuePos is the 1-based position among queued jobs (0 otherwise).
+	QueuePos    int        `json:"queuePos,omitempty"`
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+	QueueWaitMS float64    `json:"queueWaitMs,omitempty"`
+	RunMS       float64    `json:"runMs,omitempty"`
+	// Digest identifies the assembled result (set when Status is done).
+	Digest string `json:"digest,omitempty"`
+	// ResumedCells counts cells answered from the journal of a previous
+	// daemon process.
+	ResumedCells int    `json:"resumedCells,omitempty"`
+	Err          string `json:"err,omitempty"`
+}
+
+// Stats is the service-wide counter and latency snapshot served by
+// /healthz and /stats.
+type Stats struct {
+	Submitted    int  `json:"submitted"`
+	Completed    int  `json:"completed"`
+	Failed       int  `json:"failed"`
+	Cancelled    int  `json:"cancelled"`
+	Shed         int  `json:"shed"`
+	ResumedJobs  int  `json:"resumedJobs"`
+	ResumedCells int  `json:"resumedCells"`
+	QueueDepth   int  `json:"queueDepth"`
+	Running      int  `json:"running"`
+	Workers      int  `json:"workers"`
+	QueueCap     int  `json:"queueCap"`
+	Draining     bool `json:"draining"`
+
+	CellP50MS      float64 `json:"cellP50ms"`
+	CellP95MS      float64 `json:"cellP95ms"`
+	CellP99MS      float64 `json:"cellP99ms"`
+	JobP50MS       float64 `json:"jobP50ms"`
+	JobP95MS       float64 `json:"jobP95ms"`
+	JobP99MS       float64 `json:"jobP99ms"`
+	QueueWaitP50MS float64 `json:"queueWaitP50ms"`
+	QueueWaitP95MS float64 `json:"queueWaitP95ms"`
+}
+
+// Config sizes and parameterizes a Service.
+type Config struct {
+	// Workers is the worker-pool size (<=0: GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the number of queued (not yet running) jobs; a full
+	// queue sheds submissions with ErrQueueFull (<=0: 64).
+	QueueCap int
+	// JournalPath, when non-empty, is the snapshot.Store JSONL journal the
+	// service records job state in and resumes from.
+	JournalPath string
+	// Params are the base experiment parameters; JobSpec overrides apply
+	// on top. Zero value: experiments.DefaultParams().
+	Params experiments.Params
+	// Deadline bounds each cell's wall-clock time via the supervisor
+	// (0 = unbounded).
+	Deadline time.Duration
+	// Retries is the per-cell transient-failure retry budget.
+	Retries int
+	// RetryAfter is the client backoff advertised on queue-full shed
+	// responses (0: 1s).
+	RetryAfter time.Duration
+	// Lookup resolves experiment names to runners. Nil:
+	// experiments.LookupRun (the shared registry). Tests inject
+	// synthetic experiments here.
+	Lookup func(string) (func(experiments.Params) string, bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Params == (experiments.Params{}) {
+		c.Params = experiments.DefaultParams()
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Lookup == nil {
+		c.Lookup = experiments.LookupRun
+	}
+	return c
+}
+
+// cellRecord is the journaled outcome of one completed cell.
+type cellRecord struct {
+	Experiment string `json:"experiment"`
+	Output     string `json:"output"`
+	Digest     string `json:"digest"`
+}
+
+// specRecord journals a job's identity: the client spec plus the resolved
+// effective Params, so a daemon restarted with different defaults still
+// resumes the job under the parameters it was admitted with.
+type specRecord struct {
+	ID          string             `json:"id"`
+	Seq         int                `json:"seq"`
+	Spec        JobSpec            `json:"spec"`
+	Params      experiments.Params `json:"params"`
+	SubmittedAt time.Time          `json:"submittedAt"`
+}
+
+// doneRecord journals a job's terminal state.
+type doneRecord struct {
+	Status Status `json:"status"`
+	Digest string `json:"digest,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// job is the internal job state. All fields are guarded by Service.mu
+// except immutable identity (id, seq, spec, params).
+type job struct {
+	id     string
+	seq    int
+	spec   JobSpec
+	params experiments.Params
+
+	status    Status
+	cells     []cellRecord // cells[0:done] are complete
+	done      int
+	resumed   int // cells answered from a previous daemon's journal
+	cancel    bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	result    string
+	digest    string
+	errMsg    string
+	events    []Event
+}
+
+// Service is the daemon core. Create with New, serve with Handler (see
+// http.go) or drive directly via Submit/Job/Watch/Cancel, stop with
+// Drain + Close.
+type Service struct {
+	cfg   Config
+	store *snapshot.Store
+
+	mu        sync.Mutex
+	workCond  *sync.Cond // queue became non-empty or service stopping
+	eventCond *sync.Cond // an event was emitted somewhere, or stopping
+	jobs      map[string]*job
+	queue     []*job
+	// reserved counts admitted jobs journaling their spec before they
+	// enter the queue, so QueueCap stays a hard bound under concurrent
+	// submission.
+	reserved  int
+	nextSeq   int
+	running   int
+	draining  bool
+	stopping  bool
+	stopped   bool
+	startedAt time.Time
+
+	// Counters and live latency samples.
+	submitted, completed, failed, cancelled, shed int
+	resumedJobs, resumedCells                     int
+	cellDur, jobDur, queueWait                    metrics.Sample
+
+	wg sync.WaitGroup
+}
+
+// New builds a Service, replays its journal (when configured) and starts
+// the worker pool. Incomplete journaled jobs are re-enqueued in their
+// original submission order; terminal ones are served from memory.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:       cfg,
+		jobs:      make(map[string]*job),
+		nextSeq:   1,
+		startedAt: time.Now(),
+	}
+	s.workCond = sync.NewCond(&s.mu)
+	s.eventCond = sync.NewCond(&s.mu)
+	if cfg.JournalPath != "" {
+		st, err := snapshot.Open(cfg.JournalPath, Campaign)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if err := s.replay(); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// jobKey helpers — journal cell keys sort lexically, and the fixed-width
+// sequence keeps journal rewrites in submission order.
+func specKey(seq int) string    { return fmt.Sprintf("job/%06d/spec", seq) }
+func cellKey(seq, i int) string { return fmt.Sprintf("job/%06d/cell/%03d", seq, i) }
+func doneKey(seq int) string    { return fmt.Sprintf("job/%06d/done", seq) }
+func jobID(seq int) string      { return fmt.Sprintf("j%06d", seq) }
+
+// digestOf returns the canonical FNV-64a digest of an output as fixed
+// hex, using the snapshot hasher so service digests and campaign digests
+// share one definition.
+func digestOf(text string) string {
+	h := snapshot.NewHasher()
+	for i := 0; i < len(text); i++ {
+		h.Byte(text[i])
+	}
+	return fmt.Sprintf("%016x", uint64(h.Sum()))
+}
+
+// replay rebuilds job state from the journal: terminal jobs become
+// memory-resident views, incomplete jobs re-enter the queue at their
+// journaled cells, and the sequence counter continues past the highest
+// journaled job.
+func (s *Service) replay() error {
+	var seqs []int
+	for _, key := range s.store.Keys() {
+		var seq int
+		if _, err := fmt.Sscanf(key, "job/%06d/spec", &seq); err == nil && strings.HasSuffix(key, "/spec") {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		var sr specRecord
+		if !s.store.Get(specKey(seq), &sr) {
+			continue
+		}
+		j := &job{
+			id:        sr.ID,
+			seq:       seq,
+			spec:      sr.Spec,
+			params:    sr.Params,
+			status:    StatusQueued,
+			cells:     make([]cellRecord, len(sr.Spec.Experiments)),
+			submitted: sr.SubmittedAt,
+		}
+		for i := range j.cells {
+			var cr cellRecord
+			if !s.store.Get(cellKey(seq, i), &cr) {
+				break
+			}
+			j.cells[i] = cr
+			j.done++
+		}
+		j.resumed = j.done
+		var dr doneRecord
+		if s.store.Get(doneKey(seq), &dr) {
+			j.status = dr.Status
+			j.digest = dr.Digest
+			j.errMsg = dr.Err
+			j.finished = sr.SubmittedAt // true finish time was not journaled
+			if dr.Status == StatusDone {
+				j.assemble()
+				if j.digest != "" && j.digest != dr.Digest {
+					return fmt.Errorf("service: journal corrupt: job %s digest %s != journaled %s", j.id, j.digest, dr.Digest)
+				}
+			}
+			s.emitLocked(j, Event{Phase: string(dr.Status), Digest: dr.Digest, Err: dr.Err})
+		} else {
+			s.resumedJobs++
+			s.resumedCells += j.done
+			s.queue = append(s.queue, j)
+			s.emitLocked(j, Event{Phase: "queued", Cells: len(j.cells), QueueDepth: len(s.queue)})
+		}
+		s.jobs[j.id] = j
+		if seq >= s.nextSeq {
+			s.nextSeq = seq + 1
+		}
+	}
+	return nil
+}
+
+// assemble concatenates the completed cell outputs into the final result
+// and stamps its digest. Caller must hold mu (or own the job exclusively).
+func (j *job) assemble() {
+	var b strings.Builder
+	for _, c := range j.cells {
+		b.WriteString(c.Output)
+	}
+	j.result = b.String()
+	j.digest = digestOf(j.result)
+}
+
+// paramsFor resolves a spec's effective Params against the daemon base.
+func (s *Service) paramsFor(spec JobSpec) experiments.Params {
+	p := s.cfg.Params
+	if spec.Scale > 0 {
+		p.Scale = spec.Scale
+	}
+	if spec.Rounds > 0 {
+		p.Rounds = spec.Rounds
+	}
+	if spec.Seed > 0 {
+		p.Seed = spec.Seed
+	}
+	if spec.Quick {
+		p = p.Quick()
+	}
+	return p
+}
+
+// Validate checks a spec against the registry without admitting it.
+func (s *Service) Validate(spec JobSpec) error {
+	if len(spec.Experiments) == 0 {
+		return fmt.Errorf("service: job needs at least one experiment")
+	}
+	if len(spec.Experiments) > MaxCells {
+		return fmt.Errorf("service: job has %d experiments, max %d", len(spec.Experiments), MaxCells)
+	}
+	if spec.Scale < 0 || spec.Rounds < 0 {
+		return fmt.Errorf("service: negative scale/rounds")
+	}
+	for _, name := range spec.Experiments {
+		if _, ok := s.cfg.Lookup(name); !ok {
+			return fmt.Errorf("service: unknown experiment %q (valid: %s)",
+				name, strings.Join(experiments.Names(), " "))
+		}
+	}
+	return nil
+}
+
+// Submit validates and admits a job. It returns ErrDraining once a drain
+// has begun and ErrQueueFull when the bounded queue is at capacity — the
+// HTTP layer turns the latter into 429 + Retry-After.
+func (s *Service) Submit(spec JobSpec) (JobView, error) {
+	if err := s.Validate(spec); err != nil {
+		return JobView{}, err
+	}
+	s.mu.Lock()
+	if s.draining || s.stopping {
+		s.mu.Unlock()
+		return JobView{}, ErrDraining
+	}
+	if len(s.queue)+s.reserved >= s.cfg.QueueCap {
+		s.shed++
+		s.mu.Unlock()
+		return JobView{}, ErrQueueFull
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	j := &job{
+		id:        jobID(seq),
+		seq:       seq,
+		spec:      spec,
+		params:    s.paramsFor(spec),
+		status:    StatusQueued,
+		cells:     make([]cellRecord, len(spec.Experiments)),
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.reserved++
+	s.submitted++
+	s.mu.Unlock()
+
+	// Journal the spec before the job becomes runnable, so a crash can
+	// never leave cell records without the spec that owns them.
+	if s.store != nil {
+		s.store.Put(specKey(seq), specRecord{
+			ID: j.id, Seq: seq, Spec: spec, Params: j.params, SubmittedAt: j.submitted,
+		})
+	}
+
+	s.mu.Lock()
+	s.reserved--
+	// A drain that began while the spec was journaling does not evict the
+	// job: it was admitted first, stays journaled, and the next daemon
+	// resumes it. A concurrent Cancel may already have finished it.
+	if j.status == StatusQueued {
+		s.queue = append(s.queue, j)
+		s.emitLocked(j, Event{Phase: "queued", Cells: len(j.cells), QueueDepth: len(s.queue)})
+		s.workCond.Signal()
+	}
+	view := s.viewLocked(j)
+	s.mu.Unlock()
+	return view, nil
+}
+
+// worker pulls queued jobs until the service stops.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.stopping {
+			s.workCond.Wait()
+		}
+		if s.stopping {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		if j.status != StatusQueued { // cancelled while queued
+			s.mu.Unlock()
+			continue
+		}
+		j.status = StatusRunning
+		j.started = time.Now()
+		wait := j.started.Sub(j.submitted)
+		s.queueWait.Add(float64(wait) / float64(time.Millisecond))
+		s.running++
+		s.emitLocked(j, Event{Phase: "started", Cell: j.done, Cells: len(j.cells)})
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+// runJob executes (or resumes) one job cell by cell. Each cell runs under
+// the campaign supervisor — a panicking experiment fails the job with its
+// stack attached instead of killing the daemon, a cell exceeding
+// cfg.Deadline is abandoned, and transient errors retry within
+// cfg.Retries. Completed cells journal immediately; between cells the
+// worker honours cancellation and drain.
+func (s *Service) runJob(j *job) {
+	pol := runner.Policy{Deadline: s.cfg.Deadline, Retries: s.cfg.Retries}
+	for {
+		s.mu.Lock()
+		if j.cancel {
+			s.finishLocked(j, StatusCancelled, "cancelled by client")
+			s.mu.Unlock()
+			s.putDone(j)
+			return
+		}
+		if s.draining && j.done < len(j.cells) {
+			// Drain checkpoint: the finished cells are journaled; hand the
+			// job back to the queue state for the next daemon.
+			j.status = StatusQueued
+			s.running--
+			s.emitLocked(j, Event{Phase: "checkpointed", Cell: j.done, Cells: len(j.cells)})
+			s.mu.Unlock()
+			return
+		}
+		if j.done == len(j.cells) {
+			j.assemble()
+			s.finishLocked(j, StatusDone, "")
+			s.mu.Unlock()
+			s.putDone(j)
+			return
+		}
+		i := j.done
+		s.mu.Unlock()
+
+		name := j.spec.Experiments[i]
+		start := time.Now()
+		var cr cellRecord
+		cached := s.store != nil && s.store.Get(cellKey(j.seq, i), &cr)
+		if !cached {
+			run, ok := s.cfg.Lookup(name)
+			if !ok { // validated at submit; registry cannot shrink, but be safe
+				s.mu.Lock()
+				s.finishLocked(j, StatusFailed, fmt.Sprintf("unknown experiment %q", name))
+				s.mu.Unlock()
+				s.putDone(j)
+				return
+			}
+			outs, errs := runner.SupervisedMap([]string{name}, pol,
+				func(_ int, _ string) (string, error) { return run(j.params), nil })
+			if len(errs) > 0 {
+				le := errs[0]
+				msg := fmt.Sprintf("cell %d (%s): %v", i, name, le.Err)
+				if le.Stack != "" {
+					msg += "\n" + le.Stack
+				}
+				s.mu.Lock()
+				s.finishLocked(j, StatusFailed, msg)
+				s.mu.Unlock()
+				s.putDone(j)
+				return
+			}
+			cr = cellRecord{Experiment: name, Output: outs[0], Digest: digestOf(outs[0])}
+			if s.store != nil {
+				s.store.Put(cellKey(j.seq, i), cr)
+			}
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+
+		s.mu.Lock()
+		j.cells[i] = cr
+		j.done++
+		if !cached {
+			s.cellDur.Add(ms)
+		}
+		s.emitLocked(j, Event{
+			Phase: "cell", Cell: i + 1, Cells: len(j.cells),
+			Experiment: name, Digest: cr.Digest, Cached: cached, MS: ms,
+			CellP50MS: s.cellDur.Percentile(50), CellP95MS: s.cellDur.Percentile(95),
+		})
+		s.mu.Unlock()
+	}
+}
+
+// putDone journals a terminal record. Called outside mu — the journal
+// fsync must not serialize the API — by the goroutine that just moved the
+// job to a terminal state (terminal fields are immutable afterwards). A
+// crash between the terminal event and this append is harmless: the next
+// daemon re-enqueues the job, answers every cell from the journal, and
+// re-writes an identical terminal record.
+func (s *Service) putDone(j *job) {
+	if s.store != nil {
+		s.store.Put(doneKey(j.seq), doneRecord{Status: j.status, Digest: j.digest, Err: j.errMsg})
+	}
+}
+
+// finishLocked moves a running job to a terminal state and emits the
+// terminal event. Caller holds mu and must call putDone after unlocking.
+func (s *Service) finishLocked(j *job, st Status, errMsg string) {
+	j.status = st
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	s.running--
+	ms := float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	ev := Event{Phase: string(st), Cell: j.done, Cells: len(j.cells), MS: ms}
+	switch st {
+	case StatusDone:
+		s.completed++
+		s.jobDur.Add(float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond))
+		ev.Digest = j.digest
+	case StatusFailed:
+		s.failed++
+		ev.Err = errMsg
+	case StatusCancelled:
+		s.cancelled++
+		ev.Err = errMsg
+	}
+	s.emitLocked(j, ev)
+}
+
+// emitLocked appends an event to the job's history and wakes every
+// subscriber. Caller holds mu.
+func (s *Service) emitLocked(j *job, ev Event) {
+	ev.Seq = len(j.events) + 1
+	ev.Time = time.Now()
+	ev.Job = j.id
+	j.events = append(j.events, ev)
+	s.eventCond.Broadcast()
+}
+
+// Cancel requests cancellation. A queued job cancels immediately; a
+// running job cancels at its next cell boundary (Go cannot preempt a
+// running experiment). Cancelling a terminal job is a no-op. The bool
+// reports whether the job exists.
+func (s *Service) Cancel(id string) (JobView, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobView{}, false
+	}
+	journal := false
+	switch j.status {
+	case StatusQueued:
+		for qi, qj := range s.queue {
+			if qj == j {
+				s.queue = append(s.queue[:qi], s.queue[qi+1:]...)
+				break
+			}
+		}
+		j.cancel = true
+		j.status = StatusCancelled
+		j.errMsg = "cancelled by client"
+		j.finished = time.Now()
+		s.cancelled++
+		s.emitLocked(j, Event{Phase: string(StatusCancelled), Cells: len(j.cells), Err: j.errMsg})
+		journal = true
+	case StatusRunning:
+		j.cancel = true
+	}
+	view := s.viewLocked(j)
+	s.mu.Unlock()
+	if journal {
+		s.putDone(j)
+	}
+	return view, true
+}
+
+// Job returns a snapshot of one job.
+func (s *Service) Job(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return s.viewLocked(j), true
+}
+
+// Result returns a done job's assembled output.
+func (s *Service) Result(id string) (string, JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return "", JobView{}, false
+	}
+	return j.result, s.viewLocked(j), true
+}
+
+// Jobs lists every known job in submission order.
+func (s *Service) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, s.viewLocked(j))
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+func (s *Service) viewLocked(j *job) JobView {
+	v := JobView{
+		ID:           j.id,
+		Spec:         j.spec,
+		Params:       j.params,
+		Status:       j.status,
+		Cells:        len(j.cells),
+		CellsDone:    j.done,
+		SubmittedAt:  j.submitted,
+		Digest:       j.digest,
+		ResumedCells: j.resumed,
+		Err:          j.errMsg,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+		v.QueueWaitMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+		if !j.started.IsZero() {
+			v.RunMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+		}
+	}
+	if j.status == StatusQueued {
+		for qi, qj := range s.queue {
+			if qj == j {
+				v.QueuePos = qi + 1
+				break
+			}
+		}
+	}
+	return v
+}
+
+// Stats snapshots the service-wide counters and latency percentiles.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted:    s.submitted,
+		Completed:    s.completed,
+		Failed:       s.failed,
+		Cancelled:    s.cancelled,
+		Shed:         s.shed,
+		ResumedJobs:  s.resumedJobs,
+		ResumedCells: s.resumedCells,
+		QueueDepth:   len(s.queue),
+		Running:      s.running,
+		Workers:      s.cfg.Workers,
+		QueueCap:     s.cfg.QueueCap,
+		Draining:     s.draining,
+
+		CellP50MS:      s.cellDur.Percentile(50),
+		CellP95MS:      s.cellDur.Percentile(95),
+		CellP99MS:      s.cellDur.Percentile(99),
+		JobP50MS:       s.jobDur.Percentile(50),
+		JobP95MS:       s.jobDur.Percentile(95),
+		JobP99MS:       s.jobDur.Percentile(99),
+		QueueWaitP50MS: s.queueWait.Percentile(50),
+		QueueWaitP95MS: s.queueWait.Percentile(95),
+	}
+}
+
+// RetryAfter is the backoff the HTTP layer advertises on shed responses.
+func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// Draining reports whether a drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Watch replays a job's event history and then follows it live, calling
+// fn for each event in order. It returns when the job reaches a terminal
+// state (after delivering the terminal event), when the service stops
+// (after delivering everything emitted so far), when ctx is done, or when
+// fn returns an error (which is passed through).
+func (s *Service) Watch(ctx context.Context, id string, fn func(Event) error) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknown
+	}
+	// Wake this watcher when the client goes away.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.eventCond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	idx := 0
+	for {
+		for idx < len(j.events) {
+			ev := j.events[idx]
+			idx++
+			s.mu.Unlock()
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Phase == "checkpointed" {
+				// Drain interrupted the job; nothing more will be emitted
+				// by this process.
+				return nil
+			}
+			s.mu.Lock()
+		}
+		if j.status.Terminal() || s.stopped || ctx.Err() != nil {
+			s.mu.Unlock()
+			return nil
+		}
+		s.eventCond.Wait()
+	}
+}
+
+// Drain stops admission (Submit returns ErrDraining), lets each worker
+// finish its current cell, checkpoints unfinished jobs back to the queued
+// state, waits for the pool to park, and flushes the journal. It is
+// idempotent and safe to call from a signal handler goroutine.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	s.stopping = true
+	s.workCond.Broadcast()
+	s.eventCond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	s.stopped = true
+	s.eventCond.Broadcast()
+	s.mu.Unlock()
+	if s.store != nil {
+		s.store.Flush()
+	}
+}
+
+// Close drains and closes the journal. The Service remains readable
+// (Job/Result/Jobs) but admits nothing.
+func (s *Service) Close() error {
+	s.Drain()
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fleetsim/internal/experiments"
+)
+
+// TestStressConcurrentSubmitters drives a small worker pool with 64
+// concurrent submitters (the acceptance bar; run under -race). Shed
+// submissions are retried, so every client's job must eventually complete
+// exactly once with a correct digest.
+func TestStressConcurrentSubmitters(t *testing.T) {
+	const submitters = 64
+	const perClient = 3
+
+	s, err := New(Config{
+		Workers:  2,
+		QueueCap: 16,
+		Lookup: fakeLookup(map[string]func(experiments.Params) string{
+			"s0": instant("S0"), "s1": instant("S1"), "s2": instant("S2"),
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var mu sync.Mutex
+	ids := make(map[string]int)
+	var shed int
+	var wg sync.WaitGroup
+	for c := 0; c < submitters; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				exp := fmt.Sprintf("s%d", (c+i)%3)
+				spec := JobSpec{Experiments: []string{exp}, Seed: uint64(c%5 + 1)}
+				var view JobView
+				for {
+					v, err := s.Submit(spec)
+					if errors.Is(err, ErrQueueFull) {
+						mu.Lock()
+						shed++
+						mu.Unlock()
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if err != nil {
+						t.Errorf("submitter %d: %v", c, err)
+						return
+					}
+					view = v
+					break
+				}
+				mu.Lock()
+				ids[view.ID]++
+				mu.Unlock()
+				fv := await(t, s, view.ID)
+				if fv.Status != StatusDone {
+					t.Errorf("job %s: %s (%s)", view.ID, fv.Status, fv.Err)
+					continue
+				}
+				text, rv, ok := s.Result(view.ID)
+				if !ok || rv.Digest != digestOf(text) {
+					t.Errorf("job %s: result/digest mismatch", view.ID)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	want := submitters * perClient
+	if len(ids) != want {
+		t.Fatalf("unique job ids = %d, want %d", len(ids), want)
+	}
+	for id, n := range ids {
+		if n != 1 {
+			t.Fatalf("job id %s issued %d times", id, n)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != want {
+		t.Fatalf("completed = %d, want %d (stats %+v)", st.Completed, want, st)
+	}
+	if st.Submitted != want {
+		t.Fatalf("submitted = %d, want %d", st.Submitted, want)
+	}
+	t.Logf("stress: %d jobs, %d shed-retries, cell p95 %.2fms", want, shed+st.Shed, st.CellP95MS)
+}
+
+// TestStressWatchersAndCancels mixes streaming watchers, cancels and a
+// drain into concurrent traffic, checking nothing deadlocks or races.
+func TestStressWatchersAndCancels(t *testing.T) {
+	s, err := New(Config{
+		Workers:  2,
+		QueueCap: 128,
+		Lookup: fakeLookup(map[string]func(experiments.Params) string{
+			"w": instant("W"),
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for c := 0; c < 32; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			view, err := s.Submit(JobSpec{Experiments: []string{"w", "w"}})
+			if err != nil {
+				return // shed under load is fine here
+			}
+			switch c % 3 {
+			case 0: // watcher with early disconnect
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(c)*time.Millisecond)
+				s.Watch(ctx, view.ID, func(Event) error { return nil })
+				cancel()
+			case 1: // canceller
+				s.Cancel(view.ID)
+			default: // plain follower
+				await(t, s, view.ID)
+			}
+		}(c)
+	}
+	wg.Wait()
+	s.Drain()
+	st := s.Stats()
+	if got := st.Completed + st.Failed + st.Cancelled + st.QueueDepth; got != st.Submitted {
+		t.Fatalf("jobs unaccounted for: %+v", st)
+	}
+}
+
+// TestStressRestartUnderLoad drains a journaled service mid-traffic and
+// restarts it, checking no accepted job is lost and resumed results stay
+// self-consistent.
+func TestStressRestartUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	lookup := map[string]func(experiments.Params) string{
+		"r0": instant("R0"), "r1": instant("R1"),
+	}
+	s1, err := New(Config{
+		Workers:     2,
+		QueueCap:    256,
+		JournalPath: filepath.Join(dir, "j.jsonl"),
+		Lookup:      fakeLookup(lookup),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	accepted := []string{}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := s1.Submit(JobSpec{
+					Experiments: []string{fmt.Sprintf("r%d", i%2), fmt.Sprintf("r%d", (i+1)%2)},
+					Seed:        uint64(c + 1),
+				})
+				if err != nil {
+					return // draining began
+				}
+				mu.Lock()
+				accepted = append(accepted, v.ID)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	s1.Drain()
+	wg.Wait()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(accepted) == 0 {
+		t.Skip("no job accepted before drain; nothing to check")
+	}
+
+	s2, err := New(Config{
+		Workers:     2,
+		JournalPath: filepath.Join(dir, "j.jsonl"),
+		Lookup:      fakeLookup(lookup),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for _, id := range accepted {
+		fv := await(t, s2, id)
+		if fv.Status != StatusDone {
+			t.Fatalf("job %s after restart: %s (%s)", id, fv.Status, fv.Err)
+		}
+		text, rv, ok := s2.Result(id)
+		if !ok || rv.Digest != digestOf(text) {
+			t.Fatalf("job %s: digest does not cover result", id)
+		}
+	}
+	t.Logf("restart: %d accepted jobs all completed (resumed %d cells from journal)",
+		len(accepted), s2.Stats().ResumedCells)
+}

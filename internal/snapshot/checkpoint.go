@@ -142,6 +142,14 @@ func (st *Store) order() []string {
 	return keys
 }
 
+// Keys returns every recorded cell key in sorted order. The service layer
+// uses it to enumerate journaled jobs at resume time.
+func (st *Store) Keys() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.order()
+}
+
 // Len returns the number of completed cells currently recorded.
 func (st *Store) Len() int {
 	st.mu.Lock()

@@ -1,14 +1,15 @@
 #!/bin/sh
-# Runs the hot-path micro-benchmarks (GC trace and page-table lookup) and
-# writes the raw `go test -json` stream to BENCH_1.json at the repo root.
-# Usage: scripts/bench.sh [extra go-test args]
+# Runs the hot-path micro-benchmarks (GC trace, page-table lookup and the
+# fleetd per-job service overhead) and writes the raw `go test -json`
+# stream to $BENCH_OUT (default BENCH_1.json) at the repo root.
+# Usage: [BENCH_OUT=BENCH_2.json] scripts/bench.sh [extra go-test args]
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_1.json
-go test -run '^$' -bench 'TraceHotPath|PageLookup|PageRangeWalk' -benchmem -json \
-	"$@" ./internal/gc ./internal/mem | tee "$out" | \
+out=${BENCH_OUT:-BENCH_1.json}
+go test -run '^$' -bench 'TraceHotPath|PageLookup|PageRangeWalk|ServiceJob' -benchmem -json \
+	"$@" ./internal/gc ./internal/mem ./internal/service | tee "$out" | \
 	grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
 
 echo "wrote $out"
