@@ -1,16 +1,23 @@
 // Command fleetd serves the simulator as a long-running daemon: clients
 // submit campaign jobs (experiment names plus parameter overrides) over
-// HTTP, a worker pool runs them under the campaign supervisor, results
-// stream back as NDJSON, and every state transition is journaled so a
-// restarted daemon resumes incomplete jobs bitwise-identically.
+// the versioned /v1 HTTP API, a worker pool runs them under the campaign
+// supervisor, results stream back as NDJSON, and every state transition
+// is journaled so a restarted daemon resumes incomplete jobs
+// bitwise-identically.
 //
 //	fleetd -addr :8080 -workers 4 -queue 64 -journal ckpt/fleetd.jsonl
 //
-//	curl -s localhost:8080/healthz
-//	id=$(curl -s -X POST localhost:8080/jobs \
+//	curl -s localhost:8080/v1/healthz
+//	id=$(curl -s -X POST localhost:8080/v1/jobs \
 //	      -d '{"experiments":["fig2"],"quick":true}' | jq -r .id)
-//	curl -s localhost:8080/jobs/$id/stream      # NDJSON progress
-//	curl -s localhost:8080/jobs/$id/result      # assembled output
+//	curl -s localhost:8080/v1/jobs/$id/stream    # NDJSON progress
+//	curl -s localhost:8080/v1/jobs/$id/result    # assembled output
+//	curl -s localhost:8080/v1/jobs/$id/trace     # Perfetto-loadable trace
+//	curl -s localhost:8080/metrics               # Prometheus exposition
+//
+// The pre-v1 unversioned paths redirect (301/308) to their /v1
+// successors for one release. With -debug-addr a second, private
+// listener serves net/http/pprof and a /metrics mirror.
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: it stops admitting
 // (submit → 503), finishes or checkpoints in-flight jobs at the next cell
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,20 +39,24 @@ import (
 	"fleetsim/internal/buildinfo"
 	"fleetsim/internal/experiments"
 	"fleetsim/internal/service"
+	"fleetsim/internal/telemetry"
+	"fleetsim/internal/telemetry/slogx"
 )
 
 var (
-	addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
-	workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	queueCap = flag.Int("queue", 64, "queued-job admission bound (full queue sheds with 429)")
-	journal  = flag.String("journal", "", "checkpoint journal path (empty = no durability)")
-	scale    = flag.Int64("scale", 32, "default device scale divisor for jobs that do not override it")
-	rounds   = flag.Int("rounds", 10, "default launch rounds")
-	seed     = flag.Uint64("seed", 1, "default simulation seed")
-	deadline = flag.Duration("timeout", 0, "wall-clock deadline per job cell (0 = none)")
-	retries  = flag.Int("retries", 1, "retry budget per transiently-failed cell")
-	pidfile  = flag.String("pidfile", "", "write the daemon pid to this file once listening")
-	version  = flag.Bool("version", false, "print the build stamp and exit")
+	addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueCap  = flag.Int("queue", 64, "queued-job admission bound (full queue sheds with 429)")
+	journal   = flag.String("journal", "", "checkpoint journal path (empty = no durability)")
+	scale     = flag.Int64("scale", 32, "default device scale divisor for jobs that do not override it")
+	rounds    = flag.Int("rounds", 10, "default launch rounds")
+	seed      = flag.Uint64("seed", 1, "default simulation seed")
+	deadline  = flag.Duration("timeout", 0, "wall-clock deadline per job cell (0 = none)")
+	retries   = flag.Int("retries", 1, "retry budget per transiently-failed cell")
+	pidfile   = flag.String("pidfile", "", "write the daemon pid to this file once listening")
+	logLevel  = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+	debugAddr = flag.String("debug-addr", "", "private debug listener serving net/http/pprof and /metrics (empty = off)")
+	version   = flag.Bool("version", false, "print the build stamp and exit")
 )
 
 func main() {
@@ -53,11 +65,23 @@ func main() {
 		fmt.Println(buildinfo.Read().String("fleetd"))
 		return
 	}
+	log, err := slogx.Setup(os.Stderr, *logLevel, "fleetd")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		os.Exit(2)
+	}
 
 	p := experiments.DefaultParams()
 	p.Scale = *scale
 	p.Rounds = *rounds
 	p.Seed = *seed
+
+	// One process-wide registry: the service publishes its queue/worker/
+	// journal instruments into it, and the sim bridge routes per-policy
+	// simulation metrics (GC pauses, swap traffic, launches) into the
+	// same registry, so one /metrics scrape covers the whole stack.
+	reg := telemetry.Default()
+	telemetry.SetSimRegistry(reg)
 
 	svc, err := service.New(service.Config{
 		Workers:     *workers,
@@ -66,28 +90,42 @@ func main() {
 		Params:      p,
 		Deadline:    *deadline,
 		Retries:     *retries,
+		Telemetry:   reg,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		log.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
 	if st := svc.Stats(); st.ResumedJobs > 0 {
-		fmt.Fprintf(os.Stderr, "fleetd: resumed %d incomplete job(s) (%d cell(s) already journaled)\n",
-			st.ResumedJobs, st.ResumedCells)
+		log.Info("resumed incomplete jobs from journal",
+			"jobs", st.ResumedJobs, "cells", st.ResumedCells)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		log.Error("listen failed", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
 	srv := &http.Server{Handler: svc.Handler()}
-	fmt.Fprintf(os.Stderr, "fleetd: %s listening on http://%s (workers=%d queue=%d journal=%q)\n",
-		buildinfo.Read().String("fleetd"), ln.Addr(), *workers, *queueCap, *journal)
+	log.Info("listening",
+		"build", buildinfo.Read().String("fleetd"), "addr", ln.Addr().String(),
+		"workers", *workers, "queue", *queueCap, "journal", *journal)
 	if *pidfile != "" {
 		if err := os.WriteFile(*pidfile, []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "fleetd: pidfile: %v\n", err)
+			log.Warn("pidfile write failed", "path", *pidfile, "err", err)
 		}
+	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Error("debug listen failed", "addr", *debugAddr, "err", err)
+			os.Exit(1)
+		}
+		debugSrv = &http.Server{Handler: debugMux(reg)}
+		go debugSrv.Serve(dln)
+		log.Info("debug listener up (pprof + metrics)", "addr", dln.Addr().String())
 	}
 
 	serveErr := make(chan error, 1)
@@ -97,27 +135,46 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-serveErr:
-		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		log.Error("serve failed", "err", err)
 		svc.Close()
 		os.Exit(1)
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "fleetd: %v — draining (finishing or checkpointing in-flight jobs; signal again to abort)\n", sig)
+		log.Info("draining: finishing or checkpointing in-flight jobs (signal again to abort)",
+			"signal", sig.String())
 	}
 	go func() {
 		<-sigc
-		fmt.Fprintln(os.Stderr, "fleetd: aborted")
+		log.Warn("aborted")
 		os.Exit(130)
 	}()
 
 	// Drain: stop admitting, park the workers at the next cell boundary,
 	// flush and close the journal, then stop serving.
 	if err := svc.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "fleetd: journal close: %v\n", err)
+		log.Error("journal close failed", "err", err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	srv.Shutdown(ctx)
+	if debugSrv != nil {
+		debugSrv.Shutdown(ctx)
+	}
 	st := svc.Stats()
-	fmt.Fprintf(os.Stderr, "fleetd: drained (completed=%d failed=%d cancelled=%d shed=%d queued=%d) — exiting 0\n",
-		st.Completed, st.Failed, st.Cancelled, st.Shed, st.QueueDepth)
+	log.Info("drained, exiting 0",
+		"completed", st.Completed, "failed", st.Failed, "cancelled", st.Cancelled,
+		"shed", st.Shed, "queued", st.QueueDepth)
+}
+
+// debugMux serves the private diagnostics surface: the pprof index and
+// profiles plus a /metrics mirror, on a listener that is never exposed
+// alongside the public API.
+func debugMux(reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	return mux
 }

@@ -7,6 +7,12 @@
 //	fleetd -addr :8080 &
 //	fleetload -addr 127.0.0.1:8080 -clients 64 -jobs 256 -quick
 //
+// fleetload speaks the /v1 API and is a well-behaved citizen of its
+// backpressure contract: shed (429) and draining (503) responses are
+// retried after the server-advertised delay — the retry_after_ms field
+// of the error envelope, falling back to the Retry-After header — and
+// both retry classes are counted in the final report.
+//
 // fleetload verifies the service's delivery guarantees as it measures:
 // every submitted job must reach a terminal state exactly once (no lost,
 // no duplicated IDs), and jobs with identical specs must return identical
@@ -31,6 +37,7 @@ import (
 
 	"fleetsim/internal/buildinfo"
 	"fleetsim/internal/metrics"
+	"fleetsim/internal/telemetry/slogx"
 )
 
 var (
@@ -45,8 +52,14 @@ var (
 	quick       = flag.Bool("quick", false, "submit jobs with the quick (reduced rounds) flag")
 	stream      = flag.Bool("stream", true, "follow jobs via the NDJSON stream (false: poll status)")
 	pollEvery   = flag.Duration("poll", 50*time.Millisecond, "status poll period when -stream=false")
+	logLevel    = flag.String("log-level", "warn", "minimum log level (debug, info, warn, error)")
 	version     = flag.Bool("version", false, "print the build stamp and exit")
 )
+
+// maxDrainRetries bounds how long a client waits out a draining (503)
+// daemon before giving the job up as a transport error: unlike a
+// momentarily full queue, a drain usually ends in the daemon exiting.
+const maxDrainRetries = 20
 
 // jobSpec mirrors service.JobSpec on the wire.
 type jobSpec struct {
@@ -73,18 +86,28 @@ type event struct {
 	Err    string `json:"err"`
 }
 
+// apiError mirrors the v1 error envelope fleetload reads.
+type apiError struct {
+	Error struct {
+		Code         string  `json:"code"`
+		Message      string  `json:"message"`
+		RetryAfterMS float64 `json:"retry_after_ms"`
+	} `json:"error"`
+}
+
 // tally aggregates what the fleet of clients observed.
 type tally struct {
-	mu        sync.Mutex
-	latency   metrics.Sample // submit → terminal, ms
-	queueWait metrics.Sample // server-reported queue wait, ms
-	shed      int            // 429 responses (retried, not lost)
-	errors    int
-	done      int
-	failed    int
-	ids       map[string]int    // job id → occurrences (duplicates = bug)
-	digests   map[string]string // spec key → result digest (mismatch = bug)
-	mismatch  []string
+	mu         sync.Mutex
+	latency    metrics.Sample // submit → terminal, ms
+	queueWait  metrics.Sample // server-reported queue wait, ms
+	retries429 int            // shed responses (retried per server backoff, not lost)
+	retries503 int            // draining responses (retried, bounded)
+	errors     int
+	done       int
+	failed     int
+	ids        map[string]int    // job id → occurrences (duplicates = bug)
+	digests    map[string]string // spec key → result digest (mismatch = bug)
+	mismatch   []string
 }
 
 func (t *tally) record(id string) bool {
@@ -112,6 +135,10 @@ func main() {
 		fmt.Println(buildinfo.Read().String("fleetload"))
 		return
 	}
+	if _, err := slogx.Setup(os.Stderr, *logLevel, "fleetload"); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetload: %v\n", err)
+		os.Exit(2)
+	}
 	mix := strings.Split(*experiments, ",")
 	for i := range mix {
 		mix[i] = strings.TrimSpace(mix[i])
@@ -120,7 +147,7 @@ func main() {
 	if total <= 0 {
 		total = 4 * *clients
 	}
-	base := "http://" + *addr
+	base := "http://" + *addr + "/v1"
 
 	t := &tally{ids: map[string]int{}, digests: map[string]string{}}
 	var next atomic.Int64
@@ -152,8 +179,8 @@ func main() {
 	lost := total - t.done - t.failed
 	fmt.Printf("fleetload: %d clients, %d jobs in %v (%.1f jobs/s)\n",
 		*clients, total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-	fmt.Printf("  completed %d  failed %d  lost %d  shed(429) %d  errors %d\n",
-		t.done, t.failed, lost, t.shed, t.errors)
+	fmt.Printf("  completed %d  failed %d  lost %d  retried(429) %d  retried(503) %d  errors %d\n",
+		t.done, t.failed, lost, t.retries429, t.retries503, t.errors)
 	fmt.Printf("  end-to-end ms   p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
 		t.latency.Percentile(50), t.latency.Percentile(95), t.latency.Percentile(99), t.latency.Percentile(100))
 	fmt.Printf("  queue-wait ms   p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
@@ -187,9 +214,26 @@ func main() {
 	fmt.Printf("PASS: all %d jobs completed exactly once, digests consistent across identical specs\n", t.done)
 }
 
-// runOne submits one job (retrying shed submissions per Retry-After),
-// follows it to a terminal state, fetches the result and folds the
-// measurements into the tally.
+// retryDelay extracts the server-advertised backoff from a 429/503
+// response: the error envelope's retry_after_ms when present, else the
+// Retry-After header (whole seconds), else one second. It consumes and
+// closes the body.
+func retryDelay(resp *http.Response) time.Duration {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	var env apiError
+	if json.Unmarshal(body, &env) == nil && env.Error.RetryAfterMS > 0 {
+		return time.Duration(env.Error.RetryAfterMS * float64(time.Millisecond))
+	}
+	if after, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && after > 0 {
+		return time.Duration(after) * time.Second
+	}
+	return time.Second
+}
+
+// runOne submits one job (retrying shed and draining submissions per the
+// server's advertised backoff), follows it to a terminal state, fetches
+// the result and folds the measurements into the tally.
 func runOne(client *http.Client, base, exp string, t *tally) {
 	spec := jobSpec{Experiments: []string{exp}, Scale: *scale, Rounds: *rounds, Seed: *seed, Quick: *quick}
 	specKey := fmt.Sprintf("%s/s%d/r%d/seed%d/q%v", exp, *scale, *rounds, *seed, *quick)
@@ -197,6 +241,7 @@ func runOne(client *http.Client, base, exp string, t *tally) {
 
 	submitted := time.Now()
 	var view jobView
+	drains := 0
 	for {
 		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -205,17 +250,25 @@ func runOne(client *http.Client, base, exp string, t *tally) {
 			t.mu.Unlock()
 			return
 		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			code := resp.StatusCode
+			delay := retryDelay(resp)
 			t.mu.Lock()
-			t.shed++
-			t.mu.Unlock()
-			after, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-			if after < 1 {
-				after = 1
+			if code == http.StatusTooManyRequests {
+				t.retries429++
+			} else {
+				t.retries503++
 			}
-			time.Sleep(time.Duration(after) * time.Second)
+			t.mu.Unlock()
+			if code == http.StatusServiceUnavailable {
+				if drains++; drains > maxDrainRetries {
+					t.mu.Lock()
+					t.errors++
+					t.mu.Unlock()
+					return
+				}
+			}
+			time.Sleep(delay)
 			continue
 		}
 		err = json.NewDecoder(resp.Body).Decode(&view)

@@ -54,6 +54,7 @@ var (
 	retries    = flag.Int("retries", 1, "retry budget for transient chaos-cell failures")
 	ckptDir    = flag.String("checkpoint-dir", "", "directory for campaign checkpoint journals and divergence reports")
 	resume     = flag.Bool("resume", false, "resume checkpointed campaigns in -checkpoint-dir instead of starting over")
+	traceOut   = flag.String("trace-out", "", "write the trace experiment's event log as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	version    = flag.Bool("version", false, "print the build stamp and exit")
@@ -113,22 +114,23 @@ var localEntries = []experiment{
 		writeDivergenceReports(rep)
 		return fleet.FormatChaosReport(rep)
 	}},
-	{"trace", "dump a systrace-style event log of a Fleet scenario (CSV)", true, func(p fleet.Params) string {
-		sys := fleet.NewSystem(fleet.DefaultSystemConfig(fleet.PolicyFleet, p.Scale))
-		log := sys.EnableTrace(0)
-		apps := fleet.CommercialApps(p.Scale)[:6]
-		procs := make([]*fleet.Proc, len(apps))
-		for i, pr := range apps {
-			procs[i] = sys.Launch(pr)
-			sys.Use(12 * time.Second)
-		}
-		for r := 0; r < 2; r++ {
-			for i := range procs {
-				_, procs[i] = sys.SwitchTo(procs[i])
-				sys.Use(12 * time.Second)
+	{"trace", "dump a systrace-style event log of a Fleet scenario (CSV; -trace-out adds Perfetto JSON)", true, func(p fleet.Params) string {
+		// The canonical capture shared with fleetd's GET /v1/jobs/{id}/trace:
+		// six commercial apps launched, used, and switched through twice.
+		log := fleet.CaptureTrace(p, fleet.PolicyFleet)
+		fmt.Fprintf(os.Stderr, "%d events\n", log.Len())
+		if *traceOut != "" {
+			data, err := log.ChromeJSON()
+			if err == nil {
+				err = os.WriteFile(*traceOut, data, 0o644)
+			}
+			if err != nil {
+				legFailed.Store(true)
+				fmt.Fprintf(os.Stderr, "fleetsim: trace-out: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "fleetsim: wrote Chrome trace %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "%d events\n", log.Len())
 		return log.CSV()
 	}},
 }

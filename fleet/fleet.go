@@ -18,6 +18,16 @@
 //     groups launch-critical objects into pages and steers the kernel via
 //     madvise.
 //
+// The API is organised by file:
+//
+//   - system.go — building and driving a simulated device (System, Proc,
+//     app profiles, configs, tracing).
+//   - experiments.go — the paper's tables and figures as pure runners,
+//     the shared experiment registry, and the parallel fan-out knobs.
+//   - faults.go — deterministic fault injection and the chaos harness.
+//   - service.go — supervision, checkpointing, and the fleetd daemon
+//     core (jobs, queue, journal).
+//
 // # Quick start
 //
 //	sys := fleet.NewSystem(fleet.DefaultSystemConfig(fleet.PolicyFleet, 32))
@@ -37,283 +47,15 @@
 // fully deterministic: same Params, same output.
 package fleet
 
-import (
-	"time"
+import "fleetsim/internal/buildinfo"
 
-	"fleetsim/internal/android"
-	"fleetsim/internal/apps"
-	"fleetsim/internal/core"
-	"fleetsim/internal/experiments"
-	"fleetsim/internal/faults"
-	"fleetsim/internal/runner"
-	"fleetsim/internal/snapshot"
-)
+// BuildInfo is the embedded build stamp (module version, VCS revision,
+// dirty flag, Go version).
+type BuildInfo = buildinfo.Info
 
-// Policy selects the memory-management design under test (Table 1 of the
-// paper).
-type Policy = android.PolicyKind
+// Build returns the build stamp of the running binary.
+func Build() BuildInfo { return buildinfo.Read() }
 
-// The three policies of Table 1.
-const (
-	// PolicyAndroid is stock Android: native GC + kernel LRU page swap.
-	PolicyAndroid = android.PolicyAndroid
-	// PolicyMarvin is the bookmarking-GC baseline.
-	PolicyMarvin = android.PolicyMarvin
-	// PolicyFleet is the paper's GC-swap co-design.
-	PolicyFleet = android.PolicyFleet
-)
-
-// FleetConfig carries Fleet's own tunables (Table 2): NRO depth D, the
-// background wait Ts, the foreground wait Tf and the card-table shift.
-type FleetConfig = core.Config
-
-// DefaultFleetConfig returns Table 2's defaults (D=2, Ts=10 s, Tf=3 s,
-// CARD_SHIFT=10).
-func DefaultFleetConfig() FleetConfig { return core.DefaultConfig() }
-
-// DeviceConfig sizes the simulated device (DRAM, system reservation, swap
-// partition).
-type DeviceConfig = android.DeviceConfig
-
-// Pixel3 returns the paper's evaluation platform at the given scale
-// divisor: 4 GB DRAM, ~1.4 GB system-reserved, 2 GB swap at 20.3 MB/s
-// read. Scale divides sizes and IO bandwidth together, so launch-time
-// milliseconds stay comparable to the real device while simulations run
-// quickly. Scale 1 is the full-size phone.
-func Pixel3(scale int64) DeviceConfig { return android.Pixel3(scale) }
-
-// Pixel3NoSwap is the same device with the swap partition disabled.
-func Pixel3NoSwap(scale int64) DeviceConfig { return android.Pixel3NoSwap(scale) }
-
-// SystemConfig configures a simulated system: device, policy, GC
-// parameters, lmkd thresholds.
-type SystemConfig = android.SystemConfig
-
-// DefaultSystemConfig returns the calibrated evaluation configuration for
-// a policy at the given device scale.
-func DefaultSystemConfig(policy Policy, scale int64) SystemConfig {
-	return android.DefaultSystemConfig(policy, scale)
-}
-
-// System is a running simulated device: an activity manager, the kernel
-// memory manager, and any number of app processes. Drive it with Launch /
-// SwitchTo / Use / Kill and read results from its Metrics.
-type System = android.System
-
-// Proc is one app process within a System.
-type Proc = android.Proc
-
-// Metrics aggregates everything a System measured: launch records, GC
-// records, frame statistics, CPU time and lmkd kills.
-type Metrics = android.Metrics
-
-// NewSystem boots a simulated device.
-func NewSystem(cfg SystemConfig) *System { return android.NewSystem(cfg) }
-
-// AppProfile describes one app's memory behaviour: Java heap size and
-// share, object-size distribution, allocation and access rates, launch
-// costs and hot-launch re-access pattern.
-type AppProfile = apps.Profile
-
-// CommercialApps returns the 18 Table 3 app profiles at the given device
-// scale, calibrated to the paper's Figs. 2, 7 and 13n.
-func CommercialApps(scale int64) []AppProfile { return apps.CommercialProfiles(scale) }
-
-// AppByName returns one Table 3 profile (nil if unknown).
-func AppByName(name string, scale int64) *AppProfile { return apps.ProfileByName(name, scale) }
-
-// SyntheticApp builds one of the paper's manually created test apps: all
-// objects are objSize bytes and the Java heap is footprint bytes (§6 uses
-// 512 B / 2048 B objects and 180 MB).
-func SyntheticApp(name string, objSize int32, footprint int64) AppProfile {
-	return apps.SyntheticProfile(name, objSize, footprint)
-}
-
-// Params are the experiment knobs shared by the Fig*/Sec* runners.
-type Params = experiments.Params
-
-// DefaultParams returns the calibrated experiment parameters (device
-// scale 32, 10 rounds, 17-app pressure population).
-func DefaultParams() Params { return experiments.DefaultParams() }
-
-// Experiment runners — one per table/figure of the paper. See
-// EXPERIMENTS.md for the paper-vs-measured record.
-var (
-	// Fig2 measures hot vs cold launch without pressure (§2.1).
-	Fig2 = experiments.Fig2
-	// Fig3 shows swap and Marvin degrading tail hot-launches (§3.1).
-	Fig3 = experiments.Fig3
-	// Fig4 is the object-access timeline with the background-GC spike
-	// (§3.2).
-	Fig4 = experiments.Fig4
-	// Fig5 is the FGO/BGO lifetime and footprint study (§4.1).
-	Fig5 = experiments.Fig5
-	// Fig6a measures NRO/FYO hot-launch re-access coverage (§4.2).
-	Fig6a = experiments.Fig6a
-	// Fig6b sweeps the NRO depth parameter (§4.2).
-	Fig6b = experiments.Fig6b
-	// Fig7 samples the object-size distributions (§4.3).
-	Fig7 = experiments.Fig7
-	// Fig11a/b/c measure app-caching capacity (§7.1).
-	Fig11a = experiments.Fig11a
-	Fig11b = experiments.Fig11b
-	Fig11c = experiments.Fig11c
-	// Fig12a/b measure the background GC working set (§7.1).
-	Fig12a = experiments.Fig12a
-	Fig12b = experiments.Fig12b
-	// Fig13 is the main hot-launch study (§7.2); Fig15 and Fig16 derive
-	// the appendix statistics and the remaining apps' distributions.
-	Fig13 = experiments.Fig13
-	// Fig13n is the controlled speedup-vs-Java-share correlation.
-	Fig13n = experiments.Fig13nControlled
-	Fig15  = experiments.Fig15
-	Fig16  = experiments.Fig16
-	// Fig14 measures jank ratio and FPS (§7.3).
-	Fig14 = experiments.Fig14
-	// Sec73 measures CPU, memory and power overheads (§7.3).
-	Sec73 = experiments.Sec73
-	// Sec74 is the background heap-size sensitivity study (§7.4).
-	Sec74 = experiments.Sec74
-
-	// Extension studies beyond the paper's evaluation (see
-	// EXPERIMENTS.md): an ASAP-style prefetch baseline, a compressed-RAM
-	// swap device, the NRO-depth ablation and the madvise ablation.
-	ExtPrefetch       = experiments.ExtPrefetch
-	ExtZram           = experiments.ExtZram
-	ExtDepthSweep     = experiments.ExtDepthSweep
-	ExtAdviceAblation = experiments.ExtAdviceAblation
-)
-
-// Formatting helpers for the experiment results.
-var (
-	FormatFig2   = experiments.FormatFig2
-	FormatFig3   = experiments.FormatFig3
-	FormatFig5   = experiments.FormatFig5
-	FormatFig6   = experiments.FormatFig6
-	FormatFig7   = experiments.FormatFig7
-	FormatFig11  = experiments.FormatFig11
-	FormatFig12a = experiments.FormatFig12a
-	FormatFig13  = experiments.FormatFig13
-	FormatFig13n = experiments.FormatFig13n
-	FormatFig14  = experiments.FormatFig14
-	FormatFig15  = experiments.FormatFig15
-	FormatSec73  = experiments.FormatSec73
-	FormatExt    = experiments.FormatExt
-	FormatSec74  = experiments.FormatSec74
-)
-
-// ExperimentSpec is one entry of the shared experiment registry: name,
-// description and pure runner. cmd/fleetsim and cmd/fleetd both resolve
-// experiment names through this table.
-type ExperimentSpec = experiments.Spec
-
-// Experiments returns the registry in table (paper) order.
-func Experiments() []ExperimentSpec { return experiments.Registry() }
-
-// ExperimentByName resolves one registered experiment (nil if unknown;
-// names are case-insensitive).
-func ExperimentByName(name string) *ExperimentSpec { return experiments.ByName(name) }
-
-// ExperimentNames returns every registered experiment name in table order.
-func ExperimentNames() []string { return experiments.Names() }
-
-// FaultProfile declares a deterministic fault schedule (swap stalls,
-// device-offline windows, slot squeezes, pressure storms, app crashes).
-// Attach one via SystemConfig.Faults; see internal/faults for semantics.
-type FaultProfile = faults.Profile
-
-// FaultProfiles returns the standard chaos suite (swap-stress,
-// slot-squeeze, crash-monkey) at a device scale.
-func FaultProfiles(scale int64) []FaultProfile { return faults.Profiles(scale) }
-
-// ChaosRow summarises one (profile, seed) chaos run.
-type ChaosRow = experiments.ChaosRow
-
-// Chaos runs the fault-injection chaos harness: the standard profile suite
-// over the given seed count, every cell executed twice to verify
-// bit-for-bit determinism, with the cross-layer invariant checker on
-// throughout.
-func Chaos(p Params, seeds int) []ChaosRow { return experiments.Chaos(p, seeds) }
-
-// ChaosPassed reports whether every chaos cell was deterministic and
-// violation free.
-func ChaosPassed(rows []ChaosRow) bool { return experiments.ChaosPassed(rows) }
-
-// FormatChaos renders the chaos table plus a PASS/FAIL verdict line.
-func FormatChaos(rows []ChaosRow) string { return experiments.FormatChaos(rows) }
-
-// ChaosOpts configures a supervised chaos campaign: seeds per profile,
-// per-cell deadline and retry budget, checkpoint store, interruption poll
-// and digest sampling period for divergence bisection.
-type ChaosOpts = experiments.ChaosOpts
-
-// ChaosReport is the outcome of a supervised chaos campaign: rows, leg
-// errors and resume/interrupt accounting.
-type ChaosReport = experiments.ChaosReport
-
-// ChaosSupervised runs the chaos suite under full supervision: panic
-// isolation, per-cell deadlines, checkpoint/resume and digest-based
-// divergence bisection.
-func ChaosSupervised(p Params, opts ChaosOpts) ChaosReport {
-	return experiments.ChaosSupervised(p, opts)
-}
-
-// FormatChaosReport renders a supervised campaign's outcome, including leg
-// errors with stacks and the resume/interrupt accounting.
-func FormatChaosReport(rep ChaosReport) string { return experiments.FormatChaosReport(rep) }
-
-// ChaosCampaignKey canonically encodes the Params that determine a chaos
-// campaign's results, for use as a checkpoint campaign key.
-func ChaosCampaignKey(p Params) string { return experiments.ChaosCampaignKey(p) }
-
-// SweepCampaignKey is the campaign key for the figure sweeps' checkpoints.
-func SweepCampaignKey(p Params) string { return experiments.SweepCampaignKey(p) }
-
-// CheckpointStore is an append-only JSONL journal of completed campaign
-// cells; see internal/snapshot for the journal format and crash tolerance.
-type CheckpointStore = snapshot.Store
-
-// OpenCheckpoint opens (or creates) a checkpoint journal at path. Existing
-// cells are resumed only when their campaign key matches; a mismatched
-// journal is discarded and restarted.
-func OpenCheckpoint(path, campaign string) (*CheckpointStore, error) {
-	return snapshot.Open(path, campaign)
-}
-
-// SetSweepCheckpointStore installs (nil: removes) the store the figure
-// sweeps (Fig13/Fig15/Fig16) record their policy legs in, making
-// interrupted sweeps resumable.
-func SetSweepCheckpointStore(st *CheckpointStore) { experiments.SetCheckpointStore(st) }
-
-// LegError describes one failed leg of a supervised fan-out: which item,
-// how many attempts, whether it panicked or timed out, and the stack.
-type LegError = runner.LegError
-
-// SupervisePolicy bounds supervised legs: wall-clock deadline, retry
-// budget, and a retryability filter.
-type SupervisePolicy = runner.Policy
-
-// SupervisedMap fans items out on the worker pool with panic isolation,
-// per-leg deadlines and bounded retries; failed legs come back as
-// LegErrors instead of aborting the batch.
-func SupervisedMap[T, R any](items []T, pol SupervisePolicy, fn func(int, T) (R, error)) ([]R, []*LegError) {
-	return runner.SupervisedMap(items, pol, fn)
-}
-
-// TryMap is SupervisedMap with the zero Policy: panic isolation only.
-func TryMap[T, R any](items []T, fn func(int, T) (R, error)) ([]R, []*LegError) {
-	return runner.TryMap(items, fn)
-}
-
-// Use is a readability alias: sys.Use(d) advances simulated time by d with
-// the current foreground app in use.
-func Use(sys *System, d time.Duration) { sys.Use(d) }
-
-// SetParallelism sets the process-wide worker count the experiment runners
-// fan out on. n <= 0 means GOMAXPROCS; 1 forces fully serial execution.
-// Results are bitwise-identical at every setting — every experiment leg is
-// a pure function of its Params-derived seed.
-func SetParallelism(n int) { runner.SetParallelism(n) }
-
-// Parallelism reports the effective worker count.
-func Parallelism() int { return runner.Parallelism() }
+// Version returns the module version of the running binary ("(devel)"
+// for source builds).
+func Version() string { return buildinfo.Read().Version }

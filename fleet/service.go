@@ -1,0 +1,65 @@
+// Running simulations as managed work: the supervised fan-out primitives,
+// the crash-tolerant checkpoint journal, and the fleetd daemon core
+// (bounded job queue, worker pool, durable resume).
+package fleet
+
+import (
+	"fleetsim/internal/runner"
+	"fleetsim/internal/service"
+	"fleetsim/internal/snapshot"
+)
+
+// LegError describes one failed leg of a supervised fan-out: which item,
+// how many attempts, whether it panicked or timed out, and the stack.
+type LegError = runner.LegError
+
+// SupervisePolicy bounds supervised legs: wall-clock deadline, retry
+// budget, and a retryability filter.
+type SupervisePolicy = runner.Policy
+
+// SupervisedMap fans items out on the worker pool with panic isolation,
+// per-leg deadlines and bounded retries; failed legs come back as
+// LegErrors instead of aborting the batch.
+func SupervisedMap[T, R any](items []T, pol SupervisePolicy, fn func(int, T) (R, error)) ([]R, []*LegError) {
+	return runner.SupervisedMap(items, pol, fn)
+}
+
+// TryMap is SupervisedMap with the zero Policy: panic isolation only.
+func TryMap[T, R any](items []T, fn func(int, T) (R, error)) ([]R, []*LegError) {
+	return runner.TryMap(items, fn)
+}
+
+// CheckpointStore is an append-only JSONL journal of completed campaign
+// cells; see internal/snapshot for the journal format and crash tolerance.
+type CheckpointStore = snapshot.Store
+
+// OpenCheckpoint opens (or creates) a checkpoint journal at path. Existing
+// cells are resumed only when their campaign key matches; a mismatched
+// journal is discarded and restarted.
+func OpenCheckpoint(path, campaign string) (*CheckpointStore, error) {
+	return snapshot.Open(path, campaign)
+}
+
+// JobSpec is a fleetd job description: which experiments to run and which
+// parameters to override.
+type JobSpec = service.JobSpec
+
+// JobView is the exported snapshot of one fleetd job.
+type JobView = service.JobView
+
+// JobStatus is a job's lifecycle state (queued, running, done, failed,
+// cancelled).
+type JobStatus = service.Status
+
+// ServiceConfig sizes and parameterizes a Service (workers, queue bound,
+// journal path, telemetry registry).
+type ServiceConfig = service.Config
+
+// Service is the fleetd daemon core: a bounded job queue over a
+// supervised worker pool with a durable journal. Serve its HTTP API with
+// Handler, or drive it directly via Submit/Job/Watch/Cancel.
+type Service = service.Service
+
+// NewService builds a Service, replays its journal (when configured) and
+// starts the worker pool.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }

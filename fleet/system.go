@@ -1,0 +1,121 @@
+// The simulated device: policies, device and system configuration, the
+// System/Proc lifecycle API, app profiles, and event tracing.
+package fleet
+
+import (
+	"time"
+
+	"fleetsim/internal/android"
+	"fleetsim/internal/apps"
+	"fleetsim/internal/core"
+	"fleetsim/internal/experiments"
+	"fleetsim/internal/trace"
+)
+
+// Policy selects the memory-management design under test (Table 1 of the
+// paper).
+type Policy = android.PolicyKind
+
+// The three policies of Table 1.
+const (
+	// PolicyAndroid is stock Android: native GC + kernel LRU page swap.
+	PolicyAndroid = android.PolicyAndroid
+	// PolicyMarvin is the bookmarking-GC baseline.
+	PolicyMarvin = android.PolicyMarvin
+	// PolicyFleet is the paper's GC-swap co-design.
+	PolicyFleet = android.PolicyFleet
+)
+
+// ParsePolicy maps a policy name ("Android", "Marvin", "Fleet";
+// case-insensitive) to its Policy. The second result is false for
+// unknown names.
+func ParsePolicy(name string) (Policy, bool) { return android.ParsePolicy(name) }
+
+// FleetConfig carries Fleet's own tunables (Table 2): NRO depth D, the
+// background wait Ts, the foreground wait Tf and the card-table shift.
+type FleetConfig = core.Config
+
+// DefaultFleetConfig returns Table 2's defaults (D=2, Ts=10 s, Tf=3 s,
+// CARD_SHIFT=10).
+func DefaultFleetConfig() FleetConfig { return core.DefaultConfig() }
+
+// DeviceConfig sizes the simulated device (DRAM, system reservation, swap
+// partition).
+type DeviceConfig = android.DeviceConfig
+
+// Pixel3 returns the paper's evaluation platform at the given scale
+// divisor: 4 GB DRAM, ~1.4 GB system-reserved, 2 GB swap at 20.3 MB/s
+// read. Scale divides sizes and IO bandwidth together, so launch-time
+// milliseconds stay comparable to the real device while simulations run
+// quickly. Scale 1 is the full-size phone.
+func Pixel3(scale int64) DeviceConfig { return android.Pixel3(scale) }
+
+// Pixel3NoSwap is the same device with the swap partition disabled.
+func Pixel3NoSwap(scale int64) DeviceConfig { return android.Pixel3NoSwap(scale) }
+
+// SystemConfig configures a simulated system: device, policy, GC
+// parameters, lmkd thresholds.
+type SystemConfig = android.SystemConfig
+
+// DefaultSystemConfig returns the calibrated evaluation configuration for
+// a policy at the given device scale.
+func DefaultSystemConfig(policy Policy, scale int64) SystemConfig {
+	return android.DefaultSystemConfig(policy, scale)
+}
+
+// System is a running simulated device: an activity manager, the kernel
+// memory manager, and any number of app processes. Drive it with Launch /
+// SwitchTo / Use / Kill and read results from its Metrics.
+type System = android.System
+
+// Proc is one app process within a System.
+type Proc = android.Proc
+
+// Metrics aggregates everything a System measured: launch records, GC
+// records, frame statistics, CPU time and lmkd kills.
+type Metrics = android.Metrics
+
+// NewSystem boots a simulated device.
+func NewSystem(cfg SystemConfig) *System { return android.NewSystem(cfg) }
+
+// AppProfile describes one app's memory behaviour: Java heap size and
+// share, object-size distribution, allocation and access rates, launch
+// costs and hot-launch re-access pattern.
+type AppProfile = apps.Profile
+
+// CommercialApps returns the 18 Table 3 app profiles at the given device
+// scale, calibrated to the paper's Figs. 2, 7 and 13n.
+func CommercialApps(scale int64) []AppProfile { return apps.CommercialProfiles(scale) }
+
+// AppByName returns one Table 3 profile (nil if unknown).
+func AppByName(name string, scale int64) *AppProfile { return apps.ProfileByName(name, scale) }
+
+// SyntheticApp builds one of the paper's manually created test apps: all
+// objects are objSize bytes and the Java heap is footprint bytes (§6 uses
+// 512 B / 2048 B objects and 180 MB).
+func SyntheticApp(name string, objSize int32, footprint int64) AppProfile {
+	return apps.SyntheticProfile(name, objSize, footprint)
+}
+
+// Use is a readability alias: sys.Use(d) advances simulated time by d with
+// the current foreground app in use.
+func Use(sys *System, d time.Duration) { sys.Use(d) }
+
+// TraceLog is the simulator's systrace analogue: the structured event log
+// a System fills after EnableTrace. Export it with CSV, JSON or
+// ChromeJSON (Perfetto-loadable).
+type TraceLog = trace.Log
+
+// CaptureTrace runs the canonical trace scenario — six commercial apps
+// launched, used and switched through twice — under the given policy and
+// returns its event log. fleetsim's `trace` experiment and fleetd's
+// GET /v1/jobs/{id}/trace both serve exactly this capture, so the two
+// frontends stay byte-identical for the same Params.
+func CaptureTrace(p Params, policy Policy) *TraceLog {
+	return experiments.CaptureTrace(p, policy)
+}
+
+// ValidateChromeTrace structurally checks a Chrome trace-event export:
+// valid JSON, non-decreasing timestamps, properly paired B/E duration
+// events on every track.
+func ValidateChromeTrace(data []byte) error { return trace.ValidateChrome(data) }

@@ -7,6 +7,7 @@
 package android
 
 import (
+	"strings"
 	"time"
 
 	"fleetsim/internal/core"
@@ -40,6 +41,17 @@ func (p PolicyKind) String() string {
 	default:
 		return "unknown"
 	}
+}
+
+// ParsePolicy maps a policy name (case-insensitive) back to its
+// PolicyKind. The second result is false for unknown names.
+func ParsePolicy(name string) (PolicyKind, bool) {
+	for _, p := range []PolicyKind{PolicyAndroid, PolicyMarvin, PolicyFleet} {
+		if strings.EqualFold(name, p.String()) {
+			return p, true
+		}
+	}
+	return 0, false
 }
 
 // DeviceConfig sizes the simulated device.

@@ -20,6 +20,7 @@ type GCRecord struct {
 	Kind          string
 	Background    bool
 	ObjectsTraced int64
+	BytesCopied   int64
 	Pause         time.Duration
 	FaultStall    time.Duration
 	CPU           time.Duration

@@ -142,6 +142,7 @@ func (p *Proc) finishGC(now time.Duration, res gc.Result, background bool) {
 		Kind:          string(res.Kind),
 		Background:    background,
 		ObjectsTraced: res.ObjectsTraced,
+		BytesCopied:   res.BytesCopied,
 		Pause:         res.PauseSTW,
 		FaultStall:    res.GCFaultStall,
 		CPU:           res.GCThreadCPU,

@@ -66,6 +66,8 @@ func Fig2(p Params) []Fig2Row {
 			_, fp = sys.SwitchTo(fp)
 			sys.Use(p.UseTime)
 		}
+		// Write-only telemetry bridge; no-op unless a registry is installed.
+		sys.PublishTelemetry()
 		return Fig2Row{
 			App:    name,
 			HotMs:  hot.Mean(),

@@ -134,6 +134,11 @@ func runHotLaunchesWithSystem(p Params, sys *android.System, population []apps.P
 			sys.Use(p.UseTime)
 		}
 	}
+	// Publish the finished run's aggregates into the sim-telemetry bridge
+	// (a no-op unless a daemon installed a registry). After the protocol
+	// body on purpose: the bridge is write-only and post-hoc, so telemetry
+	// cannot change what the run computed.
+	sys.PublishTelemetry()
 	return run
 }
 

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"fleetsim/internal/android"
+	"fleetsim/internal/metrics"
+	"fleetsim/internal/snapshot"
+	"fleetsim/internal/telemetry"
+)
+
+// runForDigest executes a small hot-launch protocol and returns the final
+// system digest plus a rendered summary, so both the simulation state and
+// the reported numbers can be compared bitwise across telemetry modes.
+func runForDigest() (snapshot.SystemDigest, string) {
+	p := DefaultParams().Quick()
+	p.Rounds = 2
+	pop := allCommercial(p)[:4]
+	run := runHotLaunches(p, android.PolicyFleet, pop, nil, false, 0)
+	out := fmt.Sprintf("hot=%d cold=%d mean=%.6f",
+		run.HotCount, run.ColdCount, meanOverApps(run.All, (*metrics.Sample).Mean))
+	return snapshot.Capture(run.Sys), out
+}
+
+// TestTelemetryDoesNotPerturbDeterminism is the tentpole's safety
+// property: a same-seed run with the sim-telemetry bridge installed must
+// leave the simulation in bitwise-identical state (and report identical
+// numbers) to a run with telemetry off.
+func TestTelemetryDoesNotPerturbDeterminism(t *testing.T) {
+	telemetry.SetSimRegistry(nil)
+	offDigest, offOut := runForDigest()
+
+	reg := telemetry.NewRegistry()
+	telemetry.SetSimRegistry(reg)
+	defer telemetry.SetSimRegistry(nil)
+	onDigest, onOut := runForDigest()
+
+	if offDigest != onDigest {
+		t.Fatalf("telemetry perturbed the simulation:\noff: %+v\non:  %+v", offDigest, onDigest)
+	}
+	if offOut != onOut {
+		t.Fatalf("telemetry perturbed reported results:\noff: %s\non:  %s", offOut, onOut)
+	}
+
+	// And the bridge did actually publish: the run's launches must be
+	// visible in the registry under the policy label.
+	hot := reg.Histogram("fleetsim_hot_launch_ms",
+		"Hot-launch latency by memory policy.", telemetry.LatencyBuckets, "policy", android.PolicyFleet.String())
+	cold := reg.Histogram("fleetsim_cold_launch_ms",
+		"Cold-launch latency by memory policy.", telemetry.LatencyBuckets, "policy", android.PolicyFleet.String())
+	if hot.Count()+cold.Count() == 0 {
+		t.Fatal("telemetry bridge enabled but no launches were published")
+	}
+}
+
+// TestCaptureTraceDeterministic pins that the canonical trace scenario is
+// a pure function of (params, policy) — fleetsim and fleetd serve
+// byte-identical traces — and that its Chrome export is structurally
+// valid.
+func TestCaptureTraceDeterministic(t *testing.T) {
+	p := DefaultParams()
+	a := CaptureTrace(p, android.PolicyFleet)
+	b := CaptureTrace(p, android.PolicyFleet)
+	if a.Len() == 0 {
+		t.Fatal("trace scenario recorded no events")
+	}
+	aj, err := a.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("same-seed trace exports differ")
+	}
+}

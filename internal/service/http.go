@@ -1,17 +1,25 @@
-// The HTTP face of the service: a small JSON API over the daemon core.
+// The HTTP face of the service: a small JSON API over the daemon core,
+// versioned under /v1.
 //
-//	POST   /jobs              submit a JobSpec          → 202 JobView
-//	GET    /jobs              list jobs                 → 200 []JobView
-//	GET    /jobs/{id}         job status                → 200 JobView
-//	GET    /jobs/{id}/stream  NDJSON event stream       → 200 events…
-//	GET    /jobs/{id}/result  assembled result          → 200 text/plain
-//	POST   /jobs/{id}/cancel  cancel (also DELETE /jobs/{id})
-//	GET    /healthz           build stamp + liveness    → 200 / 503
-//	GET    /stats             counters and percentiles  → 200 Stats
+//	POST   /v1/jobs              submit a JobSpec          → 202 JobView
+//	GET    /v1/jobs              list jobs                 → 200 []JobView
+//	GET    /v1/jobs/{id}         job status                → 200 JobView
+//	GET    /v1/jobs/{id}/stream  NDJSON event stream       → 200 events…
+//	GET    /v1/jobs/{id}/result  assembled result          → 200 text/plain
+//	GET    /v1/jobs/{id}/trace   Chrome trace-event JSON   → 200 (?policy=)
+//	POST   /v1/jobs/{id}/cancel  cancel (also DELETE /v1/jobs/{id})
+//	GET    /v1/healthz           build stamp + liveness    → 200 / 503
+//	GET    /v1/stats             counters and percentiles  → 200 Stats
+//	GET    /metrics              Prometheus text exposition
 //
-// Admission control is visible on submit: a full queue sheds with
-// 429 Too Many Requests plus a Retry-After header, and a draining daemon
-// refuses with 503 Service Unavailable.
+// The pre-versioning paths (/jobs…, /healthz, /stats) redirect to their
+// /v1 equivalents for one release — 301 for GET/HEAD, 308 (method
+// preserving) otherwise — with a Deprecation header.
+//
+// Every error is a JSON envelope {"error":{"code","message",…}} with a
+// typed code (see ErrorCode). Admission control stays visible on submit:
+// a full queue sheds with 429 plus Retry-After (header and
+// retry_after_ms), and a draining daemon refuses with 503.
 package service
 
 import (
@@ -25,7 +33,7 @@ import (
 	"fleetsim/internal/buildinfo"
 )
 
-// Health is the /healthz response body.
+// Health is the /v1/healthz response body.
 type Health struct {
 	Status   string         `json:"status"` // "ok" or "draining"
 	Build    buildinfo.Info `json:"build"`
@@ -33,24 +41,81 @@ type Health struct {
 	Stats    Stats          `json:"stats"`
 }
 
-type apiError struct {
-	Error  string `json:"error"`
+// ErrorCode is the typed, machine-matchable error identity of the v1 API.
+// Clients switch on codes, not message text or bare HTTP status.
+type ErrorCode string
+
+// The v1 error codes.
+const (
+	// CodeBadRequest is a malformed or invalid request body/parameter.
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeQueueFull means admission was shed (429; honor retry_after_ms).
+	CodeQueueFull ErrorCode = "queue_full"
+	// CodeDraining means the daemon is shutting down (503; resubmit to
+	// its successor or honor retry_after_ms).
+	CodeDraining ErrorCode = "draining"
+	// CodeNotDone means the requested artifact needs a done job (409).
+	CodeNotDone ErrorCode = "not_done"
+	// CodeTerminal means the action is void on a finished job (409).
+	CodeTerminal ErrorCode = "terminal"
+	// CodeNotFound means no such job (404).
+	CodeNotFound ErrorCode = "not_found"
+)
+
+// APIError is the error payload of the v1 envelope.
+type APIError struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+	// RetryAfterMS advises a client backoff (codes queue_full, draining).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Status carries the job's current status where it explains the error
+	// (codes not_done, terminal).
 	Status Status `json:"status,omitempty"`
+}
+
+// errorBody is the envelope: {"error":{...}}.
+type errorBody struct {
+	Error APIError `json:"error"`
 }
 
 // Handler returns the service's HTTP API.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
-	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
-	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.Handle("GET /metrics", s.cfg.Telemetry.Handler())
+	// Deprecated pre-versioning paths (one release of grace).
+	mux.HandleFunc("/jobs", s.redirectLegacy)
+	mux.HandleFunc("/jobs/", s.redirectLegacy)
+	mux.HandleFunc("/healthz", s.redirectLegacy)
+	mux.HandleFunc("/stats", s.redirectLegacy)
 	return mux
+}
+
+// redirectLegacy maps a pre-versioning path onto /v1: permanent, cacheable
+// 301 for safe methods, 308 for POST/DELETE so the method (and body)
+// survive the redirect — Go's and curl's clients rewrite a 301 POST into
+// a GET, which would turn a submit into a list.
+func (s *Service) redirectLegacy(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `<`+target+`>; rel="successor-version"`)
+	code := http.StatusMovedPermanently
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		code = http.StatusPermanentRedirect
+	}
+	http.Redirect(w, r, target, code)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -60,34 +125,35 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// writeError emits the v1 envelope, mirroring RetryAfterMS into the
+// standard Retry-After header (whole seconds, rounded up) for plain HTTP
+// clients.
+func writeError(w http.ResponseWriter, httpCode int, e APIError) {
+	if e.RetryAfterMS > 0 {
+		sec := (e.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(sec, 10))
+	}
+	writeJSON(w, httpCode, errorBody{Error: e})
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad job spec: %v", err)})
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: fmt.Sprintf("bad job spec: %v", err)})
 		return
 	}
 	view, err := s.Submit(spec)
+	retryMS := int64(s.RetryAfter() / time.Millisecond)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		writeError(w, http.StatusTooManyRequests, APIError{Code: CodeQueueFull, Message: err.Error(), RetryAfterMS: retryMS})
 	case errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		writeError(w, http.StatusServiceUnavailable, APIError{Code: CodeDraining, Message: err.Error(), RetryAfterMS: retryMS})
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: err.Error()})
 	default:
 		writeJSON(w, http.StatusAccepted, view)
 	}
-}
-
-// retryAfterSeconds rounds the configured backoff up to whole seconds
-// (the Retry-After header has one-second resolution).
-func retryAfterSeconds(d time.Duration) int {
-	sec := int((d + time.Second - 1) / time.Second)
-	if sec < 1 {
-		sec = 1
-	}
-	return sec
 }
 
 func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -97,7 +163,7 @@ func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	view, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeError(w, http.StatusNotFound, APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -106,11 +172,11 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	text, view, ok := s.Result(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeError(w, http.StatusNotFound, APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	if view.Status != StatusDone {
-		writeJSON(w, http.StatusConflict, apiError{Error: "job not done", Status: view.Status})
+		writeError(w, http.StatusConflict, APIError{Code: CodeNotDone, Message: "job not done", Status: view.Status})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -119,16 +185,40 @@ func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte(text))
 }
 
+// handleTrace serves a completed job's Chrome trace-event export
+// (Perfetto-loadable). ?policy=Android|Marvin|Fleet selects the simulated
+// policy; default Fleet.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, err := s.TraceJSON(id, r.URL.Query().Get("policy"))
+	switch {
+	case errors.Is(err, ErrUnknown):
+		writeError(w, http.StatusNotFound, APIError{Code: CodeNotFound, Message: "no such job"})
+		return
+	case errors.Is(err, ErrNotDone):
+		view, _ := s.Job(id)
+		writeError(w, http.StatusConflict, APIError{Code: CodeNotDone, Message: "job not done", Status: view.Status})
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+id+`-trace.json"`)
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	view, ok := s.Cancel(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeError(w, http.StatusNotFound, APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	// Cancelling an already-finished or -failed job had no effect; tell
 	// the client so (repeat cancels stay idempotent 200s).
 	if view.Status.Terminal() && view.Status != StatusCancelled {
-		writeJSON(w, http.StatusConflict, apiError{Error: "job already " + string(view.Status), Status: view.Status})
+		writeError(w, http.StatusConflict, APIError{Code: CodeTerminal, Message: "job already " + string(view.Status), Status: view.Status})
 		return
 	}
 	writeJSON(w, http.StatusOK, view)
@@ -141,7 +231,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.Job(id); !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		writeError(w, http.StatusNotFound, APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

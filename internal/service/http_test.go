@@ -12,15 +12,21 @@ import (
 	"time"
 
 	"fleetsim/internal/experiments"
+	"fleetsim/internal/telemetry"
 )
 
-// newAPI spins up a Service behind httptest for API-level tests.
+// newAPI spins up a Service behind httptest for API-level tests. Each
+// test gets its own telemetry registry so counters don't bleed between
+// services sharing the process default.
 func newAPI(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	t.Helper()
 	if cfg.Lookup == nil {
 		cfg.Lookup = fakeLookup(map[string]func(experiments.Params) string{
 			"a": instant("A"), "b": instant("B"),
 		})
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
 	}
 	s, err := New(cfg)
 	if err != nil {
@@ -34,7 +40,7 @@ func newAPI(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 func postJob(t *testing.T, srv *httptest.Server, spec JobSpec) (*http.Response, JobView) {
 	t.Helper()
 	body, _ := json.Marshal(spec)
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,14 +83,14 @@ func TestHTTPSubmitPollResult(t *testing.T) {
 	await(t, s, view.ID)
 
 	var v JobView
-	if code := getJSON(t, srv.URL+"/jobs/"+view.ID, &v); code != http.StatusOK {
+	if code := getJSON(t, srv.URL+"/v1/jobs/"+view.ID, &v); code != http.StatusOK {
 		t.Fatalf("status: %d", code)
 	}
 	if v.Status != StatusDone || v.CellsDone != 2 {
 		t.Fatalf("final view: %+v", v)
 	}
 
-	rr, err := http.Get(srv.URL + "/jobs/" + view.ID + "/result")
+	rr, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/result")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +109,7 @@ func TestHTTPSubmitPollResult(t *testing.T) {
 
 	// Listing includes the job.
 	var list []JobView
-	if code := getJSON(t, srv.URL+"/jobs", &list); code != http.StatusOK {
+	if code := getJSON(t, srv.URL+"/v1/jobs", &list); code != http.StatusOK {
 		t.Fatalf("list: %d", code)
 	}
 	if len(list) != 1 || list[0].ID != view.ID {
@@ -114,7 +120,7 @@ func TestHTTPSubmitPollResult(t *testing.T) {
 func TestHTTPErrors(t *testing.T) {
 	s, srv := newAPI(t, Config{Workers: 1})
 	// Bad JSON.
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader("{"))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +137,7 @@ func TestHTTPErrors(t *testing.T) {
 		t.Fatalf("unknown experiment: %d", resp.StatusCode)
 	}
 	// Unknown job everywhere.
-	for _, path := range []string{"/jobs/j999999", "/jobs/j999999/result", "/jobs/j999999/stream"} {
+	for _, path := range []string{"/v1/jobs/j999999", "/v1/jobs/j999999/result", "/v1/jobs/j999999/stream"} {
 		if code := getJSON(t, srv.URL+path, nil); code != http.StatusNotFound {
 			t.Fatalf("%s: %d, want 404", path, code)
 		}
@@ -139,7 +145,7 @@ func TestHTTPErrors(t *testing.T) {
 	// Result before done → 409.
 	_, view := postJob(t, srv, JobSpec{Experiments: []string{"a"}})
 	await(t, s, view.ID)
-	resp2, err := http.Post(srv.URL+"/jobs/"+view.ID+"/cancel", "", nil)
+	resp2, err := http.Post(srv.URL+"/v1/jobs/"+view.ID+"/cancel", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,21 +165,18 @@ func TestHTTPResultNotReady(t *testing.T) {
 	defer close(release)
 	_, view := postJob(t, srv, JobSpec{Experiments: []string{"block"}})
 	<-started
-	resp, err := http.Get(srv.URL + "/jobs/" + view.ID + "/result")
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/result")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var ae struct {
-		Error  string   `json:"error"`
-		Status []string `json:"-"`
-	}
-	json.NewDecoder(resp.Body).Decode(&ae)
+	var eb errorBody
+	json.NewDecoder(resp.Body).Decode(&eb)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("result while running: %d, want 409", resp.StatusCode)
 	}
-	if ae.Error == "" {
-		t.Fatal("409 body should carry an error message")
+	if eb.Error.Code != CodeNotDone || eb.Error.Message == "" || eb.Error.Status != StatusRunning {
+		t.Fatalf("409 envelope = %+v, want code not_done with running status", eb.Error)
 	}
 	release <- struct{}{}
 }
@@ -204,7 +207,7 @@ func TestHTTPStreamNDJSON(t *testing.T) {
 	_, srv := newAPI(t, Config{Workers: 1})
 	_, view := postJob(t, srv, JobSpec{Experiments: []string{"a", "b"}})
 
-	resp, err := http.Get(srv.URL + "/jobs/" + view.ID + "/stream")
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + view.ID + "/stream")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +247,7 @@ func TestHTTPCancelEndpoints(t *testing.T) {
 	_, que := postJob(t, srv, JobSpec{Experiments: []string{"a"}})
 
 	// DELETE form on the queued job.
-	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/jobs/"+que.ID, nil)
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+que.ID, nil)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -257,7 +260,7 @@ func TestHTTPCancelEndpoints(t *testing.T) {
 	}
 
 	// POST form on the running job: accepted, lands at the cell boundary.
-	resp2, err := http.Post(srv.URL+"/jobs/"+run.ID+"/cancel", "", nil)
+	resp2, err := http.Post(srv.URL+"/v1/jobs/"+run.ID+"/cancel", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +278,7 @@ func TestHTTPCancelEndpoints(t *testing.T) {
 func TestHTTPHealthzAndStats(t *testing.T) {
 	s, srv := newAPI(t, Config{Workers: 2})
 	var h Health
-	if code := getJSON(t, srv.URL+"/healthz", &h); code != http.StatusOK {
+	if code := getJSON(t, srv.URL+"/v1/healthz", &h); code != http.StatusOK {
 		t.Fatalf("healthz: %d", code)
 	}
 	if h.Status != "ok" || h.Build.Go == "" || h.Stats.Workers != 2 {
@@ -284,7 +287,7 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 	_, view := postJob(t, srv, JobSpec{Experiments: []string{"a"}})
 	await(t, s, view.ID)
 	var st Stats
-	if code := getJSON(t, srv.URL+"/stats", &st); code != http.StatusOK {
+	if code := getJSON(t, srv.URL+"/v1/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats: %d", code)
 	}
 	if st.Submitted != 1 || st.Completed != 1 {
@@ -295,7 +298,7 @@ func TestHTTPHealthzAndStats(t *testing.T) {
 	go s.Drain()
 	deadline := time.After(2 * time.Second)
 	for {
-		if code := getJSON(t, srv.URL+"/healthz", nil); code == http.StatusServiceUnavailable {
+		if code := getJSON(t, srv.URL+"/v1/healthz", nil); code == http.StatusServiceUnavailable {
 			break
 		}
 		select {

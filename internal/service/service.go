@@ -34,6 +34,7 @@ import (
 	"fleetsim/internal/metrics"
 	"fleetsim/internal/runner"
 	"fleetsim/internal/snapshot"
+	"fleetsim/internal/telemetry"
 )
 
 // Campaign is the journal campaign key: it names the job wire format, not
@@ -50,6 +51,7 @@ var (
 	ErrQueueFull = errors.New("service: queue full")
 	ErrDraining  = errors.New("service: draining, not admitting jobs")
 	ErrUnknown   = errors.New("service: no such job")
+	ErrNotDone   = errors.New("service: job not done")
 )
 
 // Status is a job's lifecycle state.
@@ -183,6 +185,10 @@ type Config struct {
 	// experiments.LookupRun (the shared registry). Tests inject
 	// synthetic experiments here.
 	Lookup func(string) (func(experiments.Params) string, bool)
+	// Telemetry is the metrics registry the service instruments itself
+	// into (served on GET /metrics). Nil: telemetry.Default(), the
+	// process-wide registry.
+	Telemetry *telemetry.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -200,6 +206,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Lookup == nil {
 		c.Lookup = experiments.LookupRun
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.Default()
 	}
 	return c
 }
@@ -249,6 +258,10 @@ type job struct {
 	digest    string
 	errMsg    string
 	events    []Event
+	// traces caches lazily generated Chrome trace exports per policy
+	// name; traces are deterministic in (params, policy), so the cache is
+	// a pure memoization.
+	traces map[string][]byte
 }
 
 // Service is the daemon core. Create with New, serve with Handler (see
@@ -257,6 +270,7 @@ type job struct {
 type Service struct {
 	cfg   Config
 	store *snapshot.Store
+	inst  *instruments
 
 	mu        sync.Mutex
 	workCond  *sync.Cond // queue became non-empty or service stopping
@@ -295,6 +309,7 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.workCond = sync.NewCond(&s.mu)
 	s.eventCond = sync.NewCond(&s.mu)
+	s.inst = newInstruments(cfg.Telemetry, s)
 	if cfg.JournalPath != "" {
 		st, err := snapshot.Open(cfg.JournalPath, Campaign)
 		if err != nil {
@@ -458,6 +473,7 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	if len(s.queue)+s.reserved >= s.cfg.QueueCap {
 		s.shed++
 		s.mu.Unlock()
+		s.inst.shed.Inc()
 		return JobView{}, ErrQueueFull
 	}
 	seq := s.nextSeq
@@ -475,11 +491,12 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	s.reserved++
 	s.submitted++
 	s.mu.Unlock()
+	s.inst.submitted.Inc()
 
 	// Journal the spec before the job becomes runnable, so a crash can
 	// never leave cell records without the spec that owns them.
 	if s.store != nil {
-		s.store.Put(specKey(seq), specRecord{
+		s.put(specKey(seq), specRecord{
 			ID: j.id, Seq: seq, Spec: spec, Params: j.params, SubmittedAt: j.submitted,
 		})
 	}
@@ -521,6 +538,7 @@ func (s *Service) worker() {
 		j.started = time.Now()
 		wait := j.started.Sub(j.submitted)
 		s.queueWait.Add(float64(wait) / float64(time.Millisecond))
+		s.inst.queueWait.Observe(float64(wait) / float64(time.Millisecond))
 		s.running++
 		s.emitLocked(j, Event{Phase: "started", Cell: j.done, Cells: len(j.cells)})
 		s.mu.Unlock()
@@ -592,10 +610,14 @@ func (s *Service) runJob(j *job) {
 			}
 			cr = cellRecord{Experiment: name, Output: outs[0], Digest: digestOf(outs[0])}
 			if s.store != nil {
-				s.store.Put(cellKey(j.seq, i), cr)
+				s.put(cellKey(j.seq, i), cr)
 			}
 		}
 		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		if !cached {
+			s.inst.cellRun.Observe(ms)
+			s.inst.busyMS.Add(int64(ms))
+		}
 
 		s.mu.Lock()
 		j.cells[i] = cr
@@ -620,7 +642,7 @@ func (s *Service) runJob(j *job) {
 // re-writes an identical terminal record.
 func (s *Service) putDone(j *job) {
 	if s.store != nil {
-		s.store.Put(doneKey(j.seq), doneRecord{Status: j.status, Digest: j.digest, Err: j.errMsg})
+		s.put(doneKey(j.seq), doneRecord{Status: j.status, Digest: j.digest, Err: j.errMsg})
 	}
 }
 
@@ -637,12 +659,16 @@ func (s *Service) finishLocked(j *job, st Status, errMsg string) {
 	case StatusDone:
 		s.completed++
 		s.jobDur.Add(float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond))
+		s.inst.done.Inc()
+		s.inst.jobRun.Observe(ms)
 		ev.Digest = j.digest
 	case StatusFailed:
 		s.failed++
+		s.inst.failed.Inc()
 		ev.Err = errMsg
 	case StatusCancelled:
 		s.cancelled++
+		s.inst.cancelled.Inc()
 		ev.Err = errMsg
 	}
 	s.emitLocked(j, ev)
@@ -683,6 +709,7 @@ func (s *Service) Cancel(id string) (JobView, bool) {
 		j.errMsg = "cancelled by client"
 		j.finished = time.Now()
 		s.cancelled++
+		s.inst.cancelled.Inc()
 		s.emitLocked(j, Event{Phase: string(StatusCancelled), Cells: len(j.cells), Err: j.errMsg})
 		journal = true
 	case StatusRunning:

@@ -1,0 +1,72 @@
+// Service-side instrumentation: every counter, gauge and histogram fleetd
+// exposes on GET /metrics. Instruments are registered once at service
+// construction; the hot paths (submit, worker loop, journal append) then
+// update them with lock-free atomics, so instrumentation adds nanoseconds,
+// not contention. Queue depth, running jobs and pool size are GaugeFuncs —
+// sampled at scrape time from state the service already tracks, costing
+// the request paths nothing at all.
+package service
+
+import (
+	"time"
+
+	"fleetsim/internal/telemetry"
+)
+
+// instruments bundles the service's registered metrics.
+type instruments struct {
+	submitted *telemetry.Counter // fleetd_jobs_submitted_total
+	shed      *telemetry.Counter // fleetd_jobs_shed_total
+	done      *telemetry.Counter // fleetd_jobs_total{state="done"}
+	failed    *telemetry.Counter // fleetd_jobs_total{state="failed"}
+	cancelled *telemetry.Counter // fleetd_jobs_total{state="cancelled"}
+	busyMS    *telemetry.Counter // fleetd_worker_busy_ms_total
+
+	queueWait *telemetry.Histogram // fleetd_queue_wait_ms
+	cellRun   *telemetry.Histogram // fleetd_cell_run_ms
+	jobRun    *telemetry.Histogram // fleetd_job_run_ms
+	fsync     *telemetry.Histogram // fleetd_journal_fsync_ms
+}
+
+// fsyncBuckets resolve journal appends, which are usually sub-millisecond.
+var fsyncBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250}
+
+// newInstruments registers the service's metrics in reg. The GaugeFuncs
+// close over s and take its mutex at scrape time — the service never
+// scrapes while holding the mutex, so this cannot deadlock.
+func newInstruments(reg *telemetry.Registry, s *Service) *instruments {
+	reg.GaugeFunc("fleetd_queue_depth", "Jobs queued and not yet running.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.queue) + s.reserved)
+	})
+	reg.GaugeFunc("fleetd_jobs_running", "Jobs currently executing on the worker pool.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.running)
+	})
+	workers := s.cfg.Workers
+	reg.GaugeFunc("fleetd_workers", "Worker-pool size.", func() float64 {
+		return float64(workers)
+	})
+	return &instruments{
+		submitted: reg.Counter("fleetd_jobs_submitted_total", "Jobs admitted into the queue."),
+		shed:      reg.Counter("fleetd_jobs_shed_total", "Submissions refused because the queue was full."),
+		done:      reg.Counter("fleetd_jobs_total", "Jobs by terminal state.", "state", "done"),
+		failed:    reg.Counter("fleetd_jobs_total", "Jobs by terminal state.", "state", "failed"),
+		cancelled: reg.Counter("fleetd_jobs_total", "Jobs by terminal state.", "state", "cancelled"),
+		busyMS:    reg.Counter("fleetd_worker_busy_ms_total", "Milliseconds workers spent executing cells (utilization numerator)."),
+		queueWait: reg.Histogram("fleetd_queue_wait_ms", "Time jobs spent queued before a worker picked them up.", telemetry.LatencyBuckets),
+		cellRun:   reg.Histogram("fleetd_cell_run_ms", "Execution time of one experiment cell.", telemetry.LatencyBuckets),
+		jobRun:    reg.Histogram("fleetd_job_run_ms", "Execution time of one whole job.", telemetry.LatencyBuckets),
+		fsync:     reg.Histogram("fleetd_journal_fsync_ms", "Latency of journal appends (marshal + write + fsync).", fsyncBuckets),
+	}
+}
+
+// put journals one record and times the append (the store fsyncs every
+// Put, so this histogram is the durability cost the API pays).
+func (s *Service) put(key string, v any) {
+	start := time.Now()
+	s.store.Put(key, v)
+	s.inst.fsync.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+}

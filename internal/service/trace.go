@@ -1,0 +1,65 @@
+package service
+
+import (
+	"fmt"
+
+	"fleetsim/internal/android"
+	"fleetsim/internal/experiments"
+)
+
+// TraceJSON returns the Chrome trace-event export for a completed job:
+// the canonical trace scenario (experiments.CaptureTrace) run under the
+// job's effective Params and the requested policy ("" = Fleet). The
+// export is deterministic in (params, policy), generated lazily on first
+// request and cached on the job, so repeated fetches — and fetches of the
+// same job from fleetsim — are byte-identical.
+//
+// Errors: ErrUnknown for an unknown job id, ErrNotDone for a job that
+// has not finished successfully, and a plain error for an unknown policy
+// name (the HTTP layer maps it to bad_request).
+func (s *Service) TraceJSON(id, policy string) ([]byte, error) {
+	pol := android.PolicyFleet
+	if policy != "" {
+		p, ok := android.ParsePolicy(policy)
+		if !ok {
+			return nil, fmt.Errorf("service: unknown policy %q (valid: Android, Marvin, Fleet)", policy)
+		}
+		pol = p
+	}
+	key := pol.String()
+
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrUnknown
+	}
+	if j.status != StatusDone {
+		s.mu.Unlock()
+		return nil, ErrNotDone
+	}
+	if b, ok := j.traces[key]; ok {
+		s.mu.Unlock()
+		return b, nil
+	}
+	params := j.params
+	s.mu.Unlock()
+
+	// Generate outside the lock: the scenario takes real time, and a
+	// concurrent request for the same job computes identical bytes anyway.
+	data, err := experiments.CaptureTrace(params, pol).ChromeJSON()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if j.traces == nil {
+		j.traces = make(map[string][]byte)
+	}
+	if prior, ok := j.traces[key]; ok {
+		data = prior // keep the first winner for pointer-level stability
+	} else {
+		j.traces[key] = data
+	}
+	s.mu.Unlock()
+	return data, nil
+}

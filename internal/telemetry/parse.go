@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses Prometheus text-format exposition into a flat
+// sample map keyed by "name{labels}" (labels exactly as exposed, "" when
+// unlabelled). Comment and blank lines are skipped; a malformed sample
+// line is an error. It implements just enough of the format to round-trip
+// WritePrometheus output — tests and the CI smoke use it to assert that
+// /metrics stays machine-readable.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the field after the last space outside braces; label
+		// values may themselves contain spaces.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			return nil, fmt.Errorf("telemetry: line %d: no value in %q", lineNo, line)
+		}
+		key, val := strings.TrimSpace(line[:cut]), line[cut+1:]
+		if key == "" {
+			return nil, fmt.Errorf("telemetry: line %d: empty metric name", lineNo)
+		}
+		if open := strings.IndexByte(key, '{'); open >= 0 && !strings.HasSuffix(key, "}") {
+			return nil, fmt.Errorf("telemetry: line %d: unterminated labels in %q", lineNo, key)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: bad value %q: %v", lineNo, val, err)
+		}
+		out[key] = f
+	}
+	return out, sc.Err()
+}

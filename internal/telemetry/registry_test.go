@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs", "state", "done")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("jobs_total", "jobs", "state", "done"); again != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+	if other := r.Counter("jobs_total", "jobs", "state", "failed"); other == c {
+		t.Fatal("different labels must get a different series")
+	}
+
+	g := r.Gauge("queue_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+
+	h := r.Histogram("lat_ms", "latency", []float64{1, 10, 100})
+	for _, x := range []float64{0.2, 5, 5, 50, 5000} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d", h.Count())
+	}
+	if got := h.BucketCounts(); got[0] != 1 || got[1] != 2 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("buckets = %v", got)
+	}
+	if h.Sum() != 5060.2 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramBoundInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{10})
+	h.Observe(10) // inclusive upper bound: lands in the first bucket
+	if got := h.BucketCounts(); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("buckets = %v, want [1 0]", got)
+	}
+}
+
+// TestExpositionRoundTrip asserts that everything WritePrometheus renders
+// parses back to the registered values — the /metrics endpoint stays
+// machine-readable by construction.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fleetd_jobs_total", "terminal jobs", "state", "done").Add(7)
+	r.Counter("fleetd_jobs_total", "terminal jobs", "state", "failed").Add(2)
+	r.Gauge("fleetd_queue_depth", "queued jobs").Set(3.5)
+	r.GaugeFunc("fleetd_workers", "pool size", func() float64 { return 8 })
+	h := r.Histogram("fleetd_cell_run_ms", "cell latency", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(500)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText on own output: %v\n%s", err, text)
+	}
+	want := map[string]float64{
+		`fleetd_jobs_total{state="done"}`:      7,
+		`fleetd_jobs_total{state="failed"}`:    2,
+		`fleetd_queue_depth`:                   3.5,
+		`fleetd_workers`:                       8,
+		`fleetd_cell_run_ms_bucket{le="1"}`:    1,
+		`fleetd_cell_run_ms_bucket{le="10"}`:   2,
+		`fleetd_cell_run_ms_bucket{le="+Inf"}`: 3,
+		`fleetd_cell_run_ms_sum`:               505.5,
+		`fleetd_cell_run_ms_count`:             3,
+	}
+	for k, v := range want {
+		got, ok := samples[k]
+		if !ok {
+			t.Fatalf("sample %q missing from exposition:\n%s", k, text)
+		}
+		if got != v {
+			t.Fatalf("sample %q = %v, want %v", k, got, v)
+		}
+	}
+	if !strings.Contains(text, "# TYPE fleetd_cell_run_ms histogram") {
+		t.Fatalf("missing histogram TYPE header:\n%s", text)
+	}
+	// Two scrapes of an unchanged registry are byte-identical.
+	var b2 strings.Builder
+	r.WritePrometheus(&b2)
+	if b2.String() != text {
+		t.Fatal("exposition is not deterministic across scrapes")
+	}
+}
+
+// TestHotPathAllocs pins the allocation-free guarantee of the
+// instruments' update paths.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", LatencyBuckets)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Fatalf("Counter hot path allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Add(1.5) }); n != 0 {
+		t.Fatalf("Gauge hot path allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(7.25) }); n != 0 {
+		t.Fatalf("Histogram hot path allocates %v/op", n)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "", []float64{10})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d", c.Value(), h.Count())
+	}
+	if got := h.BucketCounts(); got[0]+got[1] != 8000 {
+		t.Fatalf("bucket counts %v do not sum to 8000", got)
+	}
+}
+
+func TestSimRegistryGate(t *testing.T) {
+	if SimRegistry() != nil {
+		t.Fatal("sim bridge should start disabled")
+	}
+	r := NewRegistry()
+	SetSimRegistry(r)
+	if SimRegistry() != r {
+		t.Fatal("SetSimRegistry did not install")
+	}
+	SetSimRegistry(nil)
+	if SimRegistry() != nil {
+		t.Fatal("SetSimRegistry(nil) did not disable the bridge")
+	}
+}

@@ -1,0 +1,19 @@
+package telemetry
+
+import "sync/atomic"
+
+// The sim bridge: simulation layers (internal/android) publish per-policy
+// metrics into whatever registry is installed here. The bridge is off by
+// default — library users and the test suite run with zero telemetry —
+// and fleetd (or a test) turns it on by installing its registry. The
+// bridge is deliberately one-way: installed or not, nothing in the
+// simulation reads it, so enabling telemetry cannot perturb determinism.
+var simRegistry atomic.Pointer[Registry]
+
+// SetSimRegistry installs (nil: removes) the registry the simulation
+// layers publish per-policy metrics into.
+func SetSimRegistry(r *Registry) { simRegistry.Store(r) }
+
+// SimRegistry returns the installed sim-bridge registry (nil when the
+// bridge is off). Publishers must nil-check.
+func SimRegistry() *Registry { return simRegistry.Load() }

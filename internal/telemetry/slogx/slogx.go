@@ -1,0 +1,42 @@
+// Package slogx is the shared structured-logging setup: every fleetsim
+// executable that logs (fleetd, fleetload) calls Setup once so the whole
+// stack emits leveled JSON records with consistent keys, and -log-level
+// flags parse through one place.
+package slogx
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// ParseLevel maps a -log-level flag value to a slog.Level
+// (case-insensitive: debug, info, warn, error).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("slogx: unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// Setup builds a JSON logger writing to w at the given minimum level,
+// installs it as slog's process default, and returns it. The cmd attribute
+// tags every record with the emitting executable.
+func Setup(w io.Writer, level, cmd string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	l := slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: lv})).With("cmd", cmd)
+	slog.SetDefault(l)
+	return l, nil
+}

@@ -1,0 +1,195 @@
+// Chrome trace-event (Perfetto-loadable) export: the simulator's systrace
+// analogue rendered in the JSON format ui.perfetto.dev and
+// chrome://tracing open natively, which is how the paper's artifact
+// inspects per-launch and per-GC timelines (§B.5.3).
+//
+// Mapping: one process ("fleetsim"), two threads ("tracks") per app — a
+// main lane carrying launches, lifecycle instants and kills, and a memory
+// lane carrying GC spans and madvise instants — plus a "system" lane for
+// app-less events. Durational events (launches, GCs) become paired B/E
+// duration events; everything else becomes a thread-scoped instant.
+// Timestamps are virtual time in microseconds. Because the simulator can
+// overlap spans on one track (a collection's pause outlives the clock
+// advance that started the next event), span starts are clamped to the
+// previous span's end on each lane: every lane renders as a properly
+// nested, monotonically timestamped sequence, which both trace UIs and
+// the golden test require.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// chromeEvent is one trace-event record on the wire.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`    // instant scope
+	Args map[string]any `json:"args,omitempty"` // json.Marshal sorts keys: deterministic
+}
+
+// chromeTrace is the top-level object form, which Perfetto and Chrome
+// both load and which leaves room for metadata.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePID = 1
+
+// lane ids: 1 is the system lane; each app gets a main lane (2+2i) and a
+// memory lane (3+2i) in first-appearance order.
+const systemLane = 1
+
+// ChromeJSON renders the log as Chrome trace-event JSON. A nil log
+// renders an empty (but valid and loadable) trace. Output is a pure
+// function of the event sequence — same log, same bytes.
+func (l *Log) ChromeJSON() ([]byte, error) {
+	var events []Event
+	if l != nil {
+		events = l.events
+	}
+
+	// Assign lanes in first-appearance order.
+	laneOf := map[string]int{"": systemLane}
+	laneName := []string{}
+	mainLane := func(app string) int {
+		id, ok := laneOf[app]
+		if !ok {
+			id = 2 + 2*len(laneName)
+			laneOf[app] = id
+			laneName = append(laneName, app)
+		}
+		return id
+	}
+
+	out := []chromeEvent{{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "fleetsim"},
+	}, {
+		Name: "thread_name", Ph: "M", PID: chromePID, TID: systemLane,
+		Args: map[string]any{"name": "system"},
+	}}
+
+	// lastEnd clamps span starts per lane so spans never overlap.
+	lastEnd := map[int]float64{}
+	for _, e := range events {
+		lane := mainLane(e.App)
+		if e.Kind == KindGC || e.Kind == KindAdvise {
+			lane++ // the app's memory lane
+		}
+		name := string(e.Kind)
+		if e.Detail != "" {
+			name += ":" + e.Detail
+		}
+		args := map[string]any{}
+		if e.N != 0 {
+			args["n"] = e.N
+		}
+		ts := float64(e.At) / 1e3 // ns → µs
+		if e.Dur > 0 {
+			args["dur_ms"] = float64(e.Dur) / 1e6
+			start, end := ts, ts+float64(e.Dur)/1e3
+			if prev := lastEnd[lane]; start < prev {
+				start = prev
+			}
+			if end < start {
+				end = start
+			}
+			lastEnd[lane] = end
+			out = append(out,
+				chromeEvent{Name: name, Ph: "B", TS: start, PID: chromePID, TID: lane, Args: args},
+				chromeEvent{Name: name, Ph: "E", TS: end, PID: chromePID, TID: lane})
+		} else {
+			out = append(out, chromeEvent{Name: name, Ph: "i", TS: ts, PID: chromePID, TID: lane, S: "t", Args: args})
+		}
+	}
+	for i, app := range laneName {
+		out = append(out,
+			chromeEvent{Name: "thread_name", Ph: "M", PID: chromePID, TID: 2 + 2*i,
+				Args: map[string]any{"name": app}},
+			chromeEvent{Name: "thread_name", Ph: "M", PID: chromePID, TID: 3 + 2*i,
+				Args: map[string]any{"name": app + "/mem"}})
+	}
+
+	// Global order: metadata first, then non-decreasing ts. At equal ts an
+	// E sorts before instants and Bs so same-lane adjacency pairs cleanly.
+	rank := func(ph string) int {
+		switch ph {
+		case "M":
+			return -1
+		case "E":
+			return 0
+		case "i":
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ea, eb := out[a], out[b]
+		if ea.Ph == "M" || eb.Ph == "M" {
+			return rank(ea.Ph) < rank(eb.Ph)
+		}
+		if ea.TS != eb.TS {
+			return ea.TS < eb.TS
+		}
+		return rank(ea.Ph) < rank(eb.Ph)
+	})
+	return json.MarshalIndent(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// ValidateChrome structurally checks an exported trace: it must parse as
+// trace-event JSON, timestamps must be non-decreasing, and every lane's
+// B/E duration events must pair up with matching names (properly nested,
+// none left open). Tests and the CI smoke call it on real exports.
+func ValidateChrome(data []byte) error {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("trace: not valid trace-event JSON: %w", err)
+	}
+	last := -1.0
+	type frame struct {
+		name string
+		ts   float64
+	}
+	open := map[int][]frame{}
+	for i, e := range tr.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.TS < last {
+			return fmt.Errorf("trace: event %d (%s %q) ts %v after %v — not monotonic", i, e.Ph, e.Name, e.TS, last)
+		}
+		last = e.TS
+		switch e.Ph {
+		case "B":
+			open[e.TID] = append(open[e.TID], frame{e.Name, e.TS})
+		case "E":
+			stack := open[e.TID]
+			if len(stack) == 0 {
+				return fmt.Errorf("trace: event %d: E %q on tid %d without open B", i, e.Name, e.TID)
+			}
+			top := stack[len(stack)-1]
+			if top.name != e.Name {
+				return fmt.Errorf("trace: event %d: E %q closes B %q on tid %d", i, e.Name, top.name, e.TID)
+			}
+			open[e.TID] = stack[:len(stack)-1]
+		case "i", "X":
+			// instants and complete events carry no pairing obligations
+		default:
+			return fmt.Errorf("trace: event %d: unknown phase %q", i, e.Ph)
+		}
+	}
+	for tid, stack := range open {
+		if len(stack) > 0 {
+			return fmt.Errorf("trace: tid %d: %d B event(s) never closed (first %q)", tid, len(stack), stack[0].name)
+		}
+	}
+	return nil
+}
