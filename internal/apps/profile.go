@@ -9,6 +9,7 @@
 package apps
 
 import (
+	"sync"
 	"time"
 
 	"fleetsim/internal/units"
@@ -193,11 +194,39 @@ func commercialProfile(name, category string, javaMB int64, fracJava float64, ho
 	}
 }
 
+// profileCache shares one immutable profile table per scale divisor.
+// Experiments call CommercialProfiles per measured app and per policy run;
+// sharing keeps that a map lookup instead of rebuilding (and re-allocating)
+// the 18-entry table each time.
+var profileCache struct {
+	sync.Mutex
+	byScale map[int64][]Profile
+}
+
 // CommercialProfiles returns the 18 Table 3 apps at the given scale
 // divisor (1 = full Pixel 3 sizes). Java heap sizes and fractions are
 // chosen so Fig. 13n's range (≈4%–30% Java) and Fig. 2's launch times are
 // covered; hot/cold CPU milliseconds follow Fig. 2's ordering.
+//
+// The returned slice is shared and read-only: all callers for a given
+// scale see the same backing array. Copy a Profile (they are plain values)
+// before customising it — as ProfileByName does.
 func CommercialProfiles(scale int64) []Profile {
+	profileCache.Lock()
+	defer profileCache.Unlock()
+	if t, ok := profileCache.byScale[scale]; ok {
+		return t
+	}
+	t := buildCommercialProfiles(scale)
+	if profileCache.byScale == nil {
+		profileCache.byScale = make(map[int64][]Profile)
+	}
+	profileCache.byScale[scale] = t
+	return t
+}
+
+// buildCommercialProfiles constructs the Table 3 rows for one scale.
+func buildCommercialProfiles(scale int64) []Profile {
 	return []Profile{
 		// Communication.
 		commercialProfile("Twitter", "communication", 60, 0.28, 85, 2390, scale),

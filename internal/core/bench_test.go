@@ -1,0 +1,48 @@
+package core_test
+
+// End-to-end device-tick benchmark: one simulated device per policy,
+// populated with commercial apps, advancing virtual time tick by tick.
+// Unlike the trace microbenches in internal/gc this exercises the whole
+// stack — workload ticks, GC scheduling, the page-state machine and kswapd
+// — so it catches regressions the hot-path benches can't see (it lives in
+// a core_test package because android imports core).
+
+import (
+	"testing"
+	"time"
+
+	"fleetsim/internal/android"
+	"fleetsim/internal/apps"
+)
+
+// benchSystem builds a warmed-up device under the given policy: six
+// commercial apps launched and used long enough that heaps, background
+// working sets and swap state reach steady churn.
+func benchSystem(pol android.PolicyKind) *android.System {
+	cfg := android.DefaultSystemConfig(pol, 64)
+	cfg.Seed = 42
+	sys := android.NewSystem(cfg)
+	for _, pr := range apps.CommercialProfiles(64)[:6] {
+		sys.Launch(pr)
+		sys.Use(2 * time.Second)
+	}
+	return sys
+}
+
+func benchmarkDeviceTick(b *testing.B, pol android.PolicyKind) {
+	sys := benchSystem(pol)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Use(100 * time.Millisecond)
+	}
+}
+
+func BenchmarkDeviceTick(b *testing.B) {
+	for _, pol := range []android.PolicyKind{
+		android.PolicyAndroid, android.PolicyMarvin, android.PolicyFleet,
+	} {
+		b.Run(pol.String(), func(b *testing.B) {
+			benchmarkDeviceTick(b, pol)
+		})
+	}
+}

@@ -276,6 +276,7 @@ func (f *Fleet) RunGrouping(now time.Duration) gc.Result {
 			res.GCThreadCPU += gc.CopyCPU + vmem.DRAMCost(2*int64(o.Size))
 		}
 	}
+	ev.Finish()
 	res.GCFaultStall += ev.Stall
 	if res.Err == nil {
 		res.Err = ev.Err
@@ -429,6 +430,7 @@ func (f *Fleet) RunBGC(now time.Duration) gc.Result {
 			}
 		}
 	}
+	ev.Finish()
 	res.GCFaultStall += ev.Stall
 	if res.Err == nil {
 		res.Err = ev.Err

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"fleetsim/internal/android"
+	"fleetsim/internal/apps"
+	"fleetsim/internal/heap"
+	"fleetsim/internal/snapshot"
+)
+
+// These tests pin the heap's struct-of-arrays rewrite to the legacy
+// per-object edge layout: the CSR edge arena (and the fast mark loop it
+// enables) must be observationally identical to classic []ObjectID slices.
+// Simulation trajectories feed every GC cost into scheduling, so even a
+// one-nanosecond divergence shows up as a digest mismatch within a few
+// ticks.
+
+// withEdgeLayout runs fn with the global default edge layout set to compat
+// (legacy) or CSR, restoring the previous default afterwards.
+func withEdgeLayout(compat bool, fn func()) {
+	prev := heap.CompatEdgesEnabled()
+	heap.SetCompatEdges(compat)
+	defer heap.SetCompatEdges(prev)
+	fn()
+}
+
+// TestEdgeLayoutDigestEquivalence drives one device per policy through a
+// launch/switch/use script and samples snapshot digests at every step,
+// once per edge layout. The digest sequences must match bitwise.
+func TestEdgeLayoutDigestEquivalence(t *testing.T) {
+	run := func(pol android.PolicyKind, seed uint64) []snapshot.SystemDigest {
+		cfg := android.DefaultSystemConfig(pol, 64)
+		cfg.Seed = seed
+		sys := android.NewSystem(cfg)
+		profiles := apps.CommercialProfiles(64)[:4]
+		var digests []snapshot.SystemDigest
+		for _, pr := range profiles {
+			sys.Launch(pr)
+			sys.Use(2 * time.Second)
+			digests = append(digests, snapshot.Capture(sys))
+		}
+		for r := 0; r < 2; r++ {
+			for _, p := range sys.Procs() {
+				_, p = sys.SwitchTo(p)
+				sys.Use(1500 * time.Millisecond)
+				digests = append(digests, snapshot.Capture(sys))
+			}
+		}
+		return digests
+	}
+	seeds := []uint64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, pol := range []android.PolicyKind{android.PolicyAndroid, android.PolicyMarvin, android.PolicyFleet} {
+		for _, seed := range seeds {
+			var csr, compat []snapshot.SystemDigest
+			withEdgeLayout(false, func() { csr = run(pol, seed) })
+			withEdgeLayout(true, func() { compat = run(pol, seed) })
+			if len(csr) != len(compat) {
+				t.Fatalf("%v seed %d: digest count %d (CSR) vs %d (compat)", pol, seed, len(csr), len(compat))
+			}
+			for i := range csr {
+				if csr[i] != compat[i] {
+					t.Errorf("%v seed %d: digest %d diverges\nCSR:    %+v\ncompat: %+v",
+						pol, seed, i, csr[i], compat[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeLayoutExperimentEquivalence sweeps the experiment registry: every
+// registered experiment's formatted output must be byte-identical under
+// both edge layouts. -short runs a representative subset; the full sweep
+// covers every registered experiment.
+func TestEdgeLayoutExperimentEquivalence(t *testing.T) {
+	specs := Registry()
+	if testing.Short() || raceEnabled {
+		var subset []Spec
+		keep := map[string]bool{"fig2": true, "fig11a": true, "fig13": true, "sec74": true, "extzram": true}
+		for _, s := range specs {
+			if keep[s.Name] {
+				subset = append(subset, s)
+			}
+		}
+		specs = subset
+	}
+	p := detParams(7)
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			var csr, compat string
+			withEdgeLayout(false, func() { csr = s.Run(p) })
+			withEdgeLayout(true, func() { compat = s.Run(p) })
+			if csr != compat {
+				t.Errorf("output diverges between edge layouts\nCSR:\n%s\ncompat:\n%s", csr, compat)
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; the edge-layout
+// sweep trims to its -short subset under race to keep CI's race job fast.
+const raceEnabled = false

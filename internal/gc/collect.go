@@ -304,6 +304,7 @@ func evacuate(h *heap.Heap, res *Result, from []*heap.Region, kindOf func(*heap.
 			}
 		}
 	}
+	ev.Finish()
 	res.GCFaultStall += ev.Stall
 	res.noteErr(ev.Err)
 	for _, r := range from {

@@ -35,8 +35,27 @@ const (
 	FinalPause = 400 * time.Microsecond
 )
 
+// visitCostTabSize bounds the memoised visit-cost table: one page. Almost
+// every object in the modelled apps is sub-page, so the hot path is a table
+// load instead of the float divide inside TransferTime.
+const visitCostTabSize = 4096
+
+// visitCostTab caches visitCost for sub-page sizes. Entries are computed
+// with the exact formula the slow path uses, so memoisation cannot perturb
+// simulation results.
+var visitCostTab = func() [visitCostTabSize]time.Duration {
+	var t [visitCostTabSize]time.Duration
+	for i := range t {
+		t[i] = VisitCPU + vmem.DRAMCost(int64(i))
+	}
+	return t
+}()
+
 // visitCost returns CPU time to trace one object of the given size.
 func visitCost(size int32) time.Duration {
+	if uint32(size) < visitCostTabSize {
+		return visitCostTab[size]
+	}
 	return VisitCPU + vmem.DRAMCost(int64(size))
 }
 

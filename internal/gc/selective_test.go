@@ -123,6 +123,7 @@ func TestEvacuatorPinDest(t *testing.T) {
 	ev := h.NewEvacuator()
 	ev.PinDest = true
 	ev.Copy(a, heap.KindNormal)
+	ev.Finish()
 	p := h.AS.PageByIndex(units.PageIndex(h.Object(a).Addr))
 	if p == nil || !p.Pinned {
 		t.Error("destination page not pinned")

@@ -64,9 +64,25 @@ type TraceOpts struct {
 // reentrant for a given heap (one GC thread per runtime, as on the
 // device).
 func Trace(h *heap.Heap, seeds []heap.ObjectID, opts TraceOpts) TraceStats {
+	if opts.ShouldTrace == nil && opts.OnVisit == nil && opts.NoTouch {
+		if v := h.SoAView(); !v.Compat {
+			return traceFast(h, v, seeds, opts.BFS)
+		}
+	}
 	var st TraceStats
 	scratch := h.Scratch()
 	queue := scratch.Queue[:0]
+	// The callback-bearing loop also drives its mark checks through the
+	// dense mark/size table when the CSR layout is active: one 8-byte load
+	// per examined reference (the dead sentinel folds in nil/dead, see
+	// traceFast) instead of loading the ~96-byte Object record per edge.
+	// Callbacks are pure predicates over heap state, so skipping them for
+	// already-marked references (which the table check does first) is
+	// unobservable. No callback allocates, so the view stays valid.
+	v := h.SoAView()
+	const hi32 uint64 = 0xffffffff_00000000
+	ms, gen, gen64 := v.MarkSize, v.Gen, uint64(v.Gen)
+	useSoA := !v.Compat
 	for _, id := range seeds {
 		if id == heap.NilObject || !h.Object(id).Live() {
 			continue
@@ -94,6 +110,23 @@ func Trace(h *heap.Heap, seeds []heap.ObjectID, opts TraceOpts) TraceStats {
 		if opts.OnVisit != nil {
 			opts.OnVisit(it.ID, int(it.Depth))
 		}
+		if useSoA {
+			for _, ref := range o.Refs {
+				w := ms[uint32(ref)]
+				if uint32(w) >= gen {
+					continue // nil, dead or already marked
+				}
+				if opts.ShouldTrace != nil && !opts.ShouldTrace(ref) {
+					// Live by fiat; mark so evacuation sees it, but
+					// never touch or descend.
+					ms[uint32(ref)] = w&hi32 | gen64
+					continue
+				}
+				ms[uint32(ref)] = w&hi32 | gen64
+				queue = append(queue, heap.TraceItem{ID: ref, Depth: it.Depth + 1})
+			}
+			return
+		}
 		for _, ref := range o.Refs {
 			if ref == heap.NilObject {
 				continue
@@ -103,8 +136,6 @@ func Trace(h *heap.Heap, seeds []heap.ObjectID, opts TraceOpts) TraceStats {
 				continue
 			}
 			if opts.ShouldTrace != nil && !opts.ShouldTrace(ref) {
-				// Live by fiat; mark so evacuation sees it, but never
-				// touch or descend.
 				h.Mark(ref)
 				continue
 			}
@@ -129,6 +160,133 @@ func Trace(h *heap.Heap, seeds []heap.ObjectID, opts TraceOpts) TraceStats {
 		}
 	}
 	scratch.Queue = queue[:0] // return the (possibly grown) buffer
+	return st
+}
+
+// traceFast is the cache-linear mark loop for the common pure-marking pass
+// (no callbacks, no page touching): it walks the heap's struct-of-arrays
+// view — dense size/live/mark tables plus the CSR edge arena — so each
+// visit reads a few contiguous bytes per object instead of loading Object
+// records and chasing per-object ref slices.
+//
+// Observable results are identical to the generic loop even though the DFS
+// visit order is not: a pure-marking pass reports only the mark set and
+// commutative integer sums over it (objects, bytes, CPU — visitCost is a
+// pure function of size), so any traversal that marks exactly the
+// reachable set yields bit-identical TraceStats. BFS keeps the generic
+// FIFO order because it additionally reports MaxDepth (depths tracked by
+// level boundary instead of per item).
+// traceLanes is the number of DFS chains the fast mark loop advances in
+// lock-step; see the lane comment in traceFast.
+const traceLanes = 4
+
+func traceFast(h *heap.Heap, v heap.View, seeds []heap.ObjectID, bfs bool) TraceStats {
+	const hi32 uint64 = 0xffffffff_00000000
+	var st TraceStats
+	scratch := h.Scratch()
+	q := scratch.MarkQ[:0]
+	gen := v.Gen
+	gen64 := uint64(gen)
+	ms := v.MarkSize
+	// The mark/size table folds liveness in: dead slots (and NilObject)
+	// hold the dead sentinel in their mark half, which compares above
+	// every generation, and live unmarked slots hold an older generation.
+	// One load and one compare therefore covers nil-reference, dead and
+	// already-marked at once — and its high half is the object's size,
+	// which rides to the visit inside the queue word.
+	for _, id := range seeds {
+		w := ms[id]
+		if uint32(w) >= gen {
+			continue
+		}
+		hiw := w & hi32
+		ms[id] = hiw | gen64
+		q = append(q, hiw|uint64(uint32(id)))
+	}
+	spans, edges := v.EdgeSpans, v.Edges
+	var objects, bytes int64
+	var cpu time.Duration
+	if bfs {
+		depth, levelEnd := 0, len(q)
+		for head := 0; head < len(q); head++ {
+			if head == levelEnd {
+				depth++
+				levelEnd = len(q)
+			}
+			e := q[head]
+			size := int32(e >> 32)
+			objects++
+			bytes += int64(size)
+			cpu += visitCost(size)
+			s := spans[uint32(e)]
+			off := s >> 32
+			for _, ref := range edges[off : off+(s&0xffffffff)] {
+				w := ms[uint32(ref)]
+				if uint32(w) >= gen {
+					continue
+				}
+				hiw := w & hi32
+				ms[uint32(ref)] = hiw | gen64
+				q = append(q, hiw|uint64(uint32(ref)))
+			}
+		}
+		st.MaxDepth = depth
+	} else {
+		// Pure marking reports only order-independent aggregates (the mark
+		// set plus sums over it), so the traversal order is free. Exploit
+		// that by draining a few DFS chains in lock-step: each lane holds
+		// its chain's next entry in a register, so the serial
+		// load-to-load dependency of pointer chasing (span word -> edge ->
+		// mark word -> next span word) overlaps across lanes, while the
+		// lane count stays small enough that the active pages of all
+		// tables fit the TLB (unlike a full-width FIFO sweep).
+		var lanes [traceLanes]uint64
+		for {
+			anyActive := false
+			for i := range lanes {
+				e := lanes[i]
+				if e == 0 {
+					n := len(q)
+					if n == 0 {
+						continue
+					}
+					e = q[n-1]
+					q = q[:n-1]
+				}
+				anyActive = true
+				size := int32(e >> 32)
+				objects++
+				bytes += int64(size)
+				cpu += visitCost(size)
+				s := spans[uint32(e)]
+				off := s >> 32
+				// Keep the newest discovery in the lane and push earlier
+				// ones: a chain advances with no queue traffic. 0 is never
+				// a valid entry (NilObject is never marked).
+				next := uint64(0)
+				for _, ref := range edges[off : off+(s&0xffffffff)] {
+					w := ms[uint32(ref)]
+					if uint32(w) >= gen {
+						continue
+					}
+					hiw := w & hi32
+					ms[uint32(ref)] = hiw | gen64
+					if next != 0 {
+						q = append(q, next)
+					}
+					next = hiw | uint64(uint32(ref))
+				}
+				lanes[i] = next
+			}
+			if !anyActive {
+				break
+			}
+		}
+	}
+	st.ObjectsTraced = objects
+	st.BytesTraced = bytes
+	st.CPU = cpu
+	scratch.MarkQ = q[:0]
 	return st
 }
 

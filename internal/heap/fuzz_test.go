@@ -165,9 +165,122 @@ func collectForFuzz(h *Heap, now time.Duration) {
 			}
 		}
 	}
+	ev.Finish()
 	for _, r := range from {
 		h.FreeRegion(r)
 	}
 	h.NoteGCComplete()
 	_ = now
+}
+
+// TestEdgeArenaCrossCheck drives a reference-heavy random workload against
+// the heap while mirroring every edge mutation into a naive map-of-slices
+// model, then compares each live object's Refs view against the model. It
+// exercises exactly what the CSR arena must get right: append growth
+// (in-place and relocating), set-with-gap-fill, clears, span reuse by the
+// recycled ObjectID's next tenant, compaction, and view re-aliasing when
+// the arena's backing array moves. The same workload also runs under the
+// legacy compat layout, pinning both implementations to the model.
+func TestEdgeArenaCrossCheck(t *testing.T) {
+	for _, compat := range []bool{false, true} {
+		prev := CompatEdgesEnabled()
+		SetCompatEdges(compat)
+		for seed := uint64(1); seed <= 3; seed++ {
+			runEdgeCrossCheck(t, seed, compat)
+		}
+		SetCompatEdges(prev)
+	}
+}
+
+func runEdgeCrossCheck(t *testing.T, seed uint64, compat bool) {
+	r := xrand.New(seed)
+	phys := mem.NewPhysical(128 * units.MiB)
+	vm := vmem.NewManager(phys, vmem.NewSwapDevice(vmem.DefaultSwapConfig()))
+	h := New(mem.NewAddressSpace("edges"), vm)
+
+	model := map[ObjectID][]ObjectID{}
+	root, _, _ := h.Alloc(64, EpochForeground, 0)
+	h.AddRoot(root)
+	model[root] = nil
+	live := []ObjectID{root}
+
+	verify := func(step int) {
+		t.Helper()
+		for _, id := range live {
+			if !h.Object(id).Live() {
+				continue
+			}
+			got := h.Object(id).Refs
+			want := model[id]
+			if len(got) != len(want) {
+				t.Fatalf("compat=%v seed %d step %d obj %d: %d refs, model has %d",
+					compat, seed, step, id, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("compat=%v seed %d step %d obj %d ref %d: got %d want %d",
+						compat, seed, step, id, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	now := time.Duration(0)
+	for step := 0; step < 4000; step++ {
+		now += time.Millisecond
+		switch op := r.Intn(12); {
+		case op < 3: // allocate, usually attached (fresh tenant: empty span)
+			id, _, _ := h.Alloc(int32(16+r.Intn(256)), Epoch(r.Intn(2)), now)
+			model[id] = nil
+			if r.Bool(0.8) {
+				from := live[r.Intn(len(live))]
+				h.AddRef(from, id, now)
+				model[from] = append(model[from], id)
+			}
+			live = append(live, id)
+		case op < 8: // append an edge (drives span growth + relocation)
+			from := live[r.Intn(len(live))]
+			to := live[r.Intn(len(live))]
+			if h.Object(from).Live() && h.Object(to).Live() {
+				h.AddRef(from, to, now)
+				model[from] = append(model[from], to)
+			}
+		case op < 10: // set a slot, gap-filling with NilObject
+			from := live[r.Intn(len(live))]
+			to := live[r.Intn(len(live))]
+			if h.Object(from).Live() && h.Object(to).Live() {
+				i := r.Intn(7)
+				h.SetRef(from, i, to, now)
+				for len(model[from]) <= i {
+					model[from] = append(model[from], NilObject)
+				}
+				model[from][i] = to
+			}
+		case op == 10: // clear (span keeps capacity for reuse)
+			from := live[r.Intn(len(live))]
+			if h.Object(from).Live() && from != root {
+				h.ClearRefs(from, now)
+				model[from] = nil
+			}
+		case op == 11 && step%150 == 149: // collect: kills + ID recycling
+			collectForFuzz(h, now)
+			kept := live[:0]
+			for _, id := range live {
+				if h.Object(id).Live() {
+					kept = append(kept, id)
+				} else {
+					delete(model, id)
+				}
+			}
+			live = kept
+			if len(live) == 0 {
+				live = []ObjectID{root}
+			}
+		}
+		if step%200 == 199 {
+			verify(step)
+		}
+	}
+	verify(-1)
+	heapInvariants(t, h)
 }

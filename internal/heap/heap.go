@@ -62,6 +62,9 @@ const (
 	KindWS
 	// KindCold holds everything else; RGS actively swaps these out.
 	KindCold
+
+	// numRegionKinds sizes dense per-kind tables (Evacuator.to).
+	numRegionKinds = int(KindCold) + 1
 )
 
 func (k RegionKind) String() string {
@@ -79,14 +82,22 @@ func (k RegionKind) String() string {
 	}
 }
 
-// Object is one Java object. The struct is kept lean: simulations hold
-// hundreds of thousands of these per app.
+// Object is one Java object. The struct is the compatibility view over the
+// heap's struct-of-arrays tables (see soa.go): the hot per-object state —
+// size, liveness, mark generation, region index, edge span — also lives in
+// dense ObjectID-indexed slices that collectors walk without loading these
+// ~96-byte records. The duplicated fields here are kept in sync by the
+// heap-internal mutators (Alloc, KillObject, Evacuator.Copy).
 type Object struct {
 	Seq  uint64 // monotonic allocation sequence number ("object ID" in Fig. 4)
 	Size int32  // bytes, including header
 	Addr int64  // current virtual address (changes on evacuation)
 
-	Refs []ObjectID // outgoing references
+	// Refs is the object's outgoing references. The slice is a read-only
+	// alias of the object's span in the heap's shared CSR edge arena; it is
+	// re-pointed by the heap whenever the span moves. Mutate references
+	// only through SetRef/AddRef/ClearRefs.
+	Refs []ObjectID
 
 	Region  int32 // owning region ID
 	Epoch   Epoch
@@ -95,10 +106,6 @@ type Object struct {
 	// LastAccess is the virtual time of the most recent mutator access,
 	// used by the analysis figures and by WS classification.
 	LastAccess time.Duration
-
-	// gcMark is the mark-bit generation; an object is marked in the
-	// current trace iff gcMark == heap.markGen.
-	gcMark uint32
 
 	// Pinned objects are never evacuated (Marvin stubs, class metadata).
 	Pinned bool
@@ -156,6 +163,34 @@ type Heap struct {
 	objects  []Object
 	freeObjs []ObjectID
 
+	// Struct-of-arrays mirrors of the hot object state, indexed by
+	// ObjectID and grown in lockstep with objects. Trace/mark loops read
+	// these dense tables (1–4 bytes per object) instead of the Object
+	// records; marks is the only home of the mark generation, the others
+	// duplicate Object fields and are written by the same heap-internal
+	// mutators. msize packs each object's byte size (high 32 bits) with
+	// its mark generation (low 32): the trace loop's mark check and size
+	// read become one load, and the size travels to the visit through the
+	// mark queue.
+	msize     []uint64
+	liveb     []uint8
+	regionIdx []int32
+
+	// CSR edge arena: every object's outgoing references live in one
+	// shared backing array; object id owns the span
+	// edges[off : off+len] with capacity ecap[id], where off and len are
+	// packed into espan[id] (off<<32 | len) so the trace hot loop reads
+	// one word per object instead of two parallel arrays.
+	// edgeWaste counts orphaned slots left behind by span relocation;
+	// compaction (soa.go) rewrites the arena when it dominates.
+	// compatEdges selects the legacy per-object-slice layout instead
+	// (the digest-equivalence harness runs both and compares).
+	edges       []ObjectID
+	espan       []uint64
+	ecap        []int32
+	edgeWaste   int64
+	compatEdges bool
+
 	regions     []*Region
 	freeRegions []int32
 
@@ -170,6 +205,9 @@ type Heap struct {
 	roots   []ObjectID
 	rootPos []int32
 
+	// evacBatch is the reusable destination-touch batch evacuators borrow
+	// (ApplyBatch resets it; one evacuation at a time per heap).
+	evacBatch vmem.Batch
 	// scratch holds the reusable tracing buffers (work queue, seed list)
 	// shared by every collector running on this heap. A heap is owned by
 	// one simulated runtime, so a single scratch suffices.
@@ -204,12 +242,17 @@ type Heap struct {
 // New creates an empty heap for the given address space.
 func New(as *mem.AddressSpace, vm *vmem.Manager) *Heap {
 	h := &Heap{
-		AS: as,
-		VM: vm,
+		AS:          as,
+		VM:          vm,
+		compatEdges: CompatEdgesEnabled(),
 	}
-	// Reserve slot 0 as NilObject.
+	// Reserve slot 0 as NilObject (never live, so liveb[NilObject] == 0
+	// doubles as the nil-reference check in trace loops, and its deadMark
+	// entry makes the single-compare mark test skip nil references too).
 	h.objects = append(h.objects, Object{})
 	h.rootPos = append(h.rootPos, 0)
+	h.growSoA()
+	h.msize[NilObject] = uint64(deadMark)
 	return h
 }
 
@@ -226,6 +269,11 @@ type TraceItem struct {
 type TraceScratch struct {
 	// Queue is the mark work queue (the paper's mark stack / mark queue).
 	Queue []TraceItem
+	// MarkQ is the work queue of the fast trace path: each entry packs an
+	// object's size (high 32 bits, copied from the mark/size word when the
+	// object was marked) with its id (low 32), so a visit needs no
+	// per-object size load.
+	MarkQ []uint64
 	// Seeds is the seed staging buffer (roots + card-derived seeds).
 	Seeds []ObjectID
 	// Depths is a dense ObjectID-indexed depth table for analysis passes.
@@ -275,7 +323,7 @@ func (h *Heap) LiveObjects() int64 { return h.stats.LiveObjects }
 // sequence.
 func (h *Heap) ForEachLiveObject(fn func(ObjectID, *Object)) {
 	for i := 1; i < len(h.objects); i++ {
-		if h.objects[i].live {
+		if h.liveb[i] != 0 {
 			fn(ObjectID(i), &h.objects[i])
 		}
 	}
@@ -329,9 +377,10 @@ func (h *Heap) RegionAt(addr int64) *Region {
 	return h.regions[addr/units.RegionSize]
 }
 
-// RegionOf returns the region currently holding object id.
+// RegionOf returns the region currently holding object id. It reads the
+// dense region-index table, not the Object record.
 func (h *Heap) RegionOf(id ObjectID) *Region {
-	return h.regions[h.objects[id].Region]
+	return h.regions[h.regionIdx[id]]
 }
 
 // RegionCount returns the number of in-use regions.
@@ -383,10 +432,19 @@ func (h *Heap) Alloc(size int32, epoch Epoch, now time.Duration) (ObjectID, time
 		h.freeObjs = h.freeObjs[:n-1]
 	} else {
 		h.objects = append(h.objects, Object{})
+		h.growSoA()
 		id = ObjectID(len(h.objects) - 1)
 	}
 	h.seq++
 	o := &h.objects[id]
+	refs := o.Refs[:0] // compat layout: reuse slice capacity from the dead tenant
+	if !h.compatEdges {
+		// CSR layout: reuse the dead tenant's arena span (capacity kept,
+		// length reset).
+		h.espan[id] &= spanOffMask
+		off := int32(h.espan[id] >> 32)
+		refs = h.edges[off : off : off+h.ecap[id]]
+	}
 	*o = Object{
 		Seq:        h.seq,
 		Size:       size,
@@ -396,8 +454,11 @@ func (h *Heap) Alloc(size int32, epoch Epoch, now time.Duration) (ObjectID, time
 		AllocGC:    h.stats.GCCount,
 		LastAccess: now,
 		live:       true,
-		Refs:       o.Refs[:0], // reuse slice capacity from the dead tenant
+		Refs:       refs,
 	}
+	h.msize[id] = uint64(uint32(size)) << 32 // mark cleared
+	h.liveb[id] = 1
+	h.regionIdx[id] = r.ID
 	r.Objects = append(r.Objects, id)
 
 	h.stats.Allocated++
@@ -484,10 +545,14 @@ func (h *Heap) SetRef(from ObjectID, i int, to ObjectID, now time.Duration) (tim
 	if !o.live {
 		return 0, fmt.Errorf("%w: SetRef on %d", ErrDeadObject, from)
 	}
-	for len(o.Refs) <= i {
-		o.Refs = append(o.Refs, NilObject)
+	if h.compatEdges {
+		for len(o.Refs) <= i {
+			o.Refs = append(o.Refs, NilObject)
+		}
+		o.Refs[i] = to
+	} else {
+		h.setEdge(from, i, to)
 	}
-	o.Refs[i] = to
 	return h.Access(from, true, now)
 }
 
@@ -497,34 +562,55 @@ func (h *Heap) AddRef(from, to ObjectID, now time.Duration) (time.Duration, erro
 	if !o.live {
 		return 0, fmt.Errorf("%w: AddRef on %d", ErrDeadObject, from)
 	}
-	o.Refs = append(o.Refs, to)
+	if h.compatEdges {
+		o.Refs = append(o.Refs, to)
+	} else {
+		h.appendEdge(from, to)
+	}
 	return h.Access(from, true, now)
 }
 
 // ClearRefs drops all outgoing references of from (the workload's way of
 // making a subgraph unreachable).
 func (h *Heap) ClearRefs(from ObjectID, now time.Duration) (time.Duration, error) {
-	o := &h.objects[from]
-	o.Refs = o.Refs[:0]
+	if h.compatEdges {
+		o := &h.objects[from]
+		o.Refs = o.Refs[:0]
+	} else {
+		h.espan[from] &= spanOffMask
+		h.setRefsView(from)
+	}
 	return h.Access(from, true, now)
 }
 
 // Marked reports whether id is marked in the current trace generation.
-func (h *Heap) Marked(id ObjectID) bool { return h.objects[id].gcMark == h.markGen }
+func (h *Heap) Marked(id ObjectID) bool { return uint32(h.msize[id]) == h.markGen }
 
 // Mark marks id in the current generation; returns true if it was newly
 // marked.
 func (h *Heap) Mark(id ObjectID) bool {
-	o := &h.objects[id]
-	if o.gcMark == h.markGen {
+	w := h.msize[id]
+	if uint32(w) == h.markGen {
 		return false
 	}
-	o.gcMark = h.markGen
+	h.msize[id] = w&spanOffMask | uint64(h.markGen)
 	return true
 }
 
 // BeginTrace starts a new mark generation.
-func (h *Heap) BeginTrace() { h.markGen++ }
+func (h *Heap) BeginTrace() {
+	h.markGen++
+	if h.markGen == deadMark {
+		// Generation wrap (after ~4B traces): stale marks would read as
+		// current or dead. Reset every non-dead slot and restart at 1.
+		for i, w := range h.msize {
+			if uint32(w) != deadMark {
+				h.msize[i] = w & spanOffMask
+			}
+		}
+		h.markGen = 1
+	}
+}
 
 // KillObject frees an object slot (collector-internal).
 func (h *Heap) KillObject(id ObjectID) {
@@ -533,6 +619,8 @@ func (h *Heap) KillObject(id ObjectID) {
 		return
 	}
 	o.live = false
+	h.liveb[id] = 0
+	h.msize[id] = h.msize[id]&spanOffMask | uint64(deadMark)
 	h.stats.LiveObjects--
 	h.stats.LiveBytes -= int64(o.Size)
 	h.freeObjs = append(h.freeObjs, id)
@@ -559,11 +647,18 @@ func (h *Heap) FreeRegion(r *Region) {
 }
 
 // Evacuator bundles the state for copying live objects into typed
-// to-regions during a collection.
+// to-regions during a collection. Destination page touches are batched:
+// Copy only records the written range, and Finish applies the whole
+// event's page transitions through vmem.ApplyBatch in one pass — one LRU
+// update per destination page instead of one per copied object, one
+// kswapd balance check per evacuation instead of one per page. Callers
+// must call Finish after the copy loop, before reading Stall/Err or
+// freeing the from-regions.
 type Evacuator struct {
-	h   *Heap
-	to  map[RegionKind]*Region
-	new []*Region // all to-regions opened this cycle
+	h     *Heap
+	to    [numRegionKinds]*Region // open to-region per kind
+	new   []*Region               // all to-regions opened this cycle
+	batch *vmem.Batch             // heap-owned, reused across cycles
 
 	// PageAlign places every copied object on its own page boundary
 	// (padding the bump pointer), so each object's pages are private.
@@ -580,17 +675,20 @@ type Evacuator struct {
 	CopiedBytes int64
 	// Stall accumulates page-fault time the GC thread paid writing into
 	// to-regions (destination pages are fresh, so normally minor faults).
+	// Populated by Finish.
 	Stall time.Duration
 	// Err latches the first vmem error hit while touching destination
 	// pages. The copy itself always completes — object metadata moves are
 	// free — so heap accounting stays consistent even under OOM; the
-	// collector surfaces Err in its Result.
+	// collector surfaces Err in its Result. Populated by Finish.
 	Err error
 }
 
-// NewEvacuator prepares an evacuation pass.
+// NewEvacuator prepares an evacuation pass. The destination-touch batch is
+// borrowed from the heap (one GC at a time per heap, like TraceScratch),
+// so steady-state evacuation allocates only to-region bookkeeping.
 func (h *Heap) NewEvacuator() *Evacuator {
-	return &Evacuator{h: h, to: make(map[RegionKind]*Region)}
+	return &Evacuator{h: h, batch: &h.evacBatch}
 }
 
 // Copy moves object id into a to-region of the given kind, updating its
@@ -620,15 +718,30 @@ func (ev *Evacuator) Copy(id ObjectID, kind RegionKind) {
 	r.Used += need
 	o.Addr = addr
 	o.Region = r.ID
+	h.regionIdx[id] = r.ID
 	r.Objects = append(r.Objects, id)
 	ev.CopiedBytes += int64(o.Size)
-	stall, err := h.VM.TouchRange(h.AS, addr, int64(o.Size), true)
+	if ev.PinDest {
+		ev.batch.TouchPin(h.AS, addr, int64(o.Size), true)
+	} else {
+		ev.batch.Touch(h.AS, addr, int64(o.Size), true)
+	}
+}
+
+// Finish applies the batched destination page touches (faults, LRU
+// insertions, dirty bits, pins) in one vmem pass and accumulates the
+// resulting stall and first error into Stall/Err. It must run after the
+// copy loop and before the from-regions are freed, so destination pages
+// fault in while the sources still hold their frames — the same pressure
+// ordering as the per-object path it replaces. Idempotent between copies.
+func (ev *Evacuator) Finish() {
+	if ev.batch.Len() == 0 {
+		return
+	}
+	stall, err := ev.h.VM.ApplyBatch(ev.batch)
 	ev.Stall += stall
 	if err != nil && ev.Err == nil {
 		ev.Err = err
-	}
-	if ev.PinDest {
-		h.VM.Pin(h.AS, addr, int64(o.Size))
 	}
 }
 

@@ -189,6 +189,9 @@ func (m *Marvin) SwapOutCold(now time.Duration, budgetBytes int64) (objects int,
 		bytes += int64(o.Size)
 		pause += SwapOutSTWPerObject
 	}
+	// Materialize the copies' pages before advising them out: AdviseCold
+	// only takes resident pages.
+	ev.Finish()
 	moved = ev.ToRegions()
 	// Push every swap region's pages out at object/page granularity.
 	for _, r := range moved {
@@ -264,6 +267,9 @@ func (m *Marvin) RunGC(now time.Duration) gc.Result {
 			}
 		}
 	}
+	// Fault the compacted copies in (pinned as written) before the
+	// from-regions release their frames.
+	ev.Finish()
 	for _, r := range ordinary {
 		h.FreeRegion(r)
 		res.RegionsFreed++
@@ -318,6 +324,7 @@ func (m *Marvin) RunGC(now time.Duration) gc.Result {
 		}
 	}
 
+	ev.Finish()
 	res.GCFaultStall += ev.Stall
 	// The newly compacted resident heap is pinned again (Marvin owns its
 	// residency).

@@ -173,6 +173,18 @@ func (m *Manager) waitSwapOnline() (time.Duration, error) {
 // could not be satisfied; the page and all accounting remain consistent, so
 // the caller can kill the process or retry later.
 func (m *Manager) Touch(p *mem.Page, write bool) (time.Duration, error) {
+	stall, err := m.touchPage(p, write)
+	if err != nil {
+		return stall, err
+	}
+	m.balance()
+	return stall, nil
+}
+
+// touchPage is Touch without the trailing kswapd balance check, so batched
+// appliers (ApplyBatch) can run balance once per event instead of once per
+// page. Direct reclaim via ensureFrame still happens here per fault.
+func (m *Manager) touchPage(p *mem.Page, write bool) (time.Duration, error) {
 	var stall time.Duration
 	switch p.State {
 	case mem.PageResident:
@@ -242,7 +254,6 @@ func (m *Manager) Touch(p *mem.Page, write bool) (time.Duration, error) {
 	if write {
 		p.Dirty = true
 	}
-	m.balance()
 	return stall, nil
 }
 

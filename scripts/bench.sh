@@ -1,15 +1,23 @@
 #!/bin/sh
-# Runs the hot-path micro-benchmarks (GC trace, page-table lookup and the
-# fleetd per-job service overhead) and writes the raw `go test -json`
-# stream to $BENCH_OUT (default BENCH_1.json) at the repo root.
-# Usage: [BENCH_OUT=BENCH_2.json] scripts/bench.sh [extra go-test args]
+# Runs the hot-path micro-benchmarks (GC trace, page-table lookup, fleetd
+# per-job service overhead) plus the end-to-end per-policy device-tick
+# bench, and writes the raw `go test -json` stream to $BENCH_OUT (default
+# BENCH_3.json) at the repo root.
+#
+# Usage: [BENCH_OUT=out.json] [BENCH_COUNT=N] scripts/bench.sh [extra go-test args]
+#
+# BENCH_COUNT repeats every benchmark N times (go test -count); diffing
+# tools average the repetitions, so N>1 smooths scheduler noise.
+# Compare two streams with: go run ./scripts old.json new.json
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_1.json}
-go test -run '^$' -bench 'TraceHotPath|PageLookup|PageRangeWalk|ServiceJob' -benchmem -json \
-	"$@" ./internal/gc ./internal/mem ./internal/service | tee "$out" | \
+out=${BENCH_OUT:-BENCH_3.json}
+count=${BENCH_COUNT:-1}
+go test -run '^$' -bench 'TraceHotPath|PageLookup|PageRangeWalk|ServiceJob|DeviceTick' \
+	-benchmem -count "$count" -json \
+	"$@" ./internal/gc ./internal/mem ./internal/service ./internal/core | tee "$out" | \
 	grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
 
 echo "wrote $out"
