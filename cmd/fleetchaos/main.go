@@ -1,0 +1,506 @@
+// Command fleetchaos is the kill-loop chaos harness: the executable
+// proof of fleetd's crash-only durability contract. It spawns a real
+// fleetd process, drives submission load at it, SIGKILLs the daemon
+// mid-write N times, audits the raw journal between every kill and
+// restart, and finally verifies that every job completed exactly once
+// with results bitwise-identical to an uninterrupted baseline run.
+//
+//	go build -o /tmp/fleetd ./cmd/fleetd
+//	go run ./cmd/fleetchaos -fleetd /tmp/fleetd -iterations 25
+//
+// What it checks, per iteration and at the end:
+//
+//   - exactly-once cells: snapshot.Inspect reads the journal's raw
+//     append history (duplicates preserved); a cell key appearing twice
+//     means a daemon re-executed work the journal already held — FAIL.
+//   - no corruption: a torn trailing record is the expected artifact of
+//     SIGKILL mid-append and is counted, but a mid-file checksum failure
+//     (TailCorrupt) means the recovery path destroyed bytes — FAIL.
+//   - bitwise-identical results: every chaos job's result bytes and
+//     digest must equal the baseline job with the same spec — FAIL on
+//     any divergence.
+//   - nothing lost: every submitted job reaches a terminal "done" state
+//     across restarts — FAIL on failed/lost jobs.
+//
+// Exit status: 0 all checks passed, 1 a durability check failed,
+// 2 usage or environment error.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"fleetsim/internal/buildinfo"
+	"fleetsim/internal/snapshot"
+)
+
+var (
+	fleetdBin   = flag.String("fleetd", "", "path to the fleetd binary (empty = `go build ./cmd/fleetd` into the work dir; requires running from the repo)")
+	addr        = flag.String("addr", "127.0.0.1:8097", "address the spawned daemons listen on")
+	iterations  = flag.Int("iterations", 25, "number of mid-write SIGKILLs")
+	jobs        = flag.Int("jobs", 48, "jobs in the workload (same list for baseline and chaos runs)")
+	cells       = flag.Int("cells", 3, "cells (experiments) per job — more cells = more checkpoint boundaries per job")
+	clients     = flag.Int("clients", 6, "concurrent submitter goroutines")
+	experiments = flag.String("experiments", "fig7", "comma-separated experiment mix, cycled across cells; fig7 quick at scale 16 runs ~160ms/cell, slow enough that the workload outlasts the kill loop and fast enough that cells complete inside kill windows")
+	killMin     = flag.Duration("kill-min", 150*time.Millisecond, "minimum uptime before a SIGKILL (long enough for cells to complete and append mid-window)")
+	killMax     = flag.Duration("kill-max", 700*time.Millisecond, "maximum uptime before a SIGKILL (short enough that the workload outlasts the loop)")
+	seed        = flag.Int64("seed", 1, "kill-timing RNG seed")
+	dir         = flag.String("dir", "", "work directory (empty = temp dir, removed on success)")
+	version     = flag.Bool("version", false, "print the build stamp and exit")
+)
+
+// spec is the wire JobSpec. Seed varies across the list so the digest
+// cross-check covers more than one parameterization, and repeats so
+// identical specs exist to compare.
+type spec struct {
+	Experiments []string `json:"experiments"`
+	Scale       int64    `json:"scale,omitempty"`
+	Seed        uint64   `json:"seed,omitempty"`
+	Quick       bool     `json:"quick,omitempty"`
+}
+
+func (s spec) key() string {
+	return fmt.Sprintf("%s/s%d/seed%d/q%v", strings.Join(s.Experiments, "+"), s.Scale, s.Seed, s.Quick)
+}
+
+type jobView struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	Digest string `json:"digest"`
+	Err    string `json:"err"`
+}
+
+type statsView struct {
+	Stats struct {
+		QuarantinedTail string `json:"quarantinedTail"`
+		Degraded        bool   `json:"degraded"`
+	} `json:"stats"`
+}
+
+// daemon is one spawned fleetd process.
+type daemon struct {
+	cmd *exec.Cmd
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleetchaos: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+var failures int
+
+func failf(format string, args ...any) {
+	failures++
+	fmt.Printf("FAIL: "+format+"\n", args...)
+}
+
+func main() {
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Read().String("fleetchaos"))
+		return
+	}
+	if *killMax < *killMin {
+		fatalf("-kill-max %v < -kill-min %v", *killMax, *killMin)
+	}
+	work := *dir
+	keep := work != ""
+	if work == "" {
+		var err error
+		work, err = os.MkdirTemp("", "fleetchaos-*")
+		if err != nil {
+			fatalf("work dir: %v", err)
+		}
+	} else if err := os.MkdirAll(work, 0o755); err != nil {
+		fatalf("work dir: %v", err)
+	}
+
+	bin := *fleetdBin
+	if bin == "" {
+		bin = filepath.Join(work, "fleetd")
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/fleetd").CombinedOutput()
+		if err != nil {
+			fatalf("building fleetd (pass -fleetd or run from the repo root): %v\n%s", err, out)
+		}
+	}
+
+	mix := strings.Split(*experiments, ",")
+	for i := range mix {
+		mix[i] = strings.TrimSpace(mix[i])
+	}
+	specs := make([]spec, *jobs)
+	for i := range specs {
+		exps := make([]string, *cells)
+		for c := range exps {
+			exps[c] = mix[(i+c)%len(mix)]
+		}
+		specs[i] = spec{
+			Experiments: exps,
+			Scale:       16,
+			Seed:        uint64(1 + i%4),
+			Quick:       true,
+		}
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	rng := rand.New(rand.NewSource(*seed))
+
+	// Phase 1 — baseline: one uninterrupted daemon runs the whole
+	// workload; its per-spec digests and result bytes are the truth the
+	// chaos run must reproduce bitwise.
+	fmt.Printf("fleetchaos: baseline run (%d jobs, %d clients)\n", len(specs), *clients)
+	basePath := filepath.Join(work, "baseline.jsonl")
+	d := startDaemon(bin, basePath, filepath.Join(work, "fleetd-baseline.log"))
+	waitHealthy(client, 10*time.Second)
+	baseIDs := submitAll(client, specs)
+	baseline := awaitAll(client, baseIDs, 120*time.Second)
+	d.terminate()
+	wantDigest := make(map[string]string, len(specs))
+	wantResult := make(map[string]string, len(specs))
+	for i, r := range baseline {
+		if r.Status != "done" {
+			fatalf("baseline job %s (%s): status %s (%s)", r.ID, specs[i].key(), r.Status, r.Err)
+		}
+		k := specs[i].key()
+		if prev, ok := wantDigest[k]; ok && prev != r.Digest {
+			fatalf("baseline is not deterministic: spec %s digests %s and %s", k, prev, r.Digest)
+		}
+		wantDigest[k] = r.Digest
+		wantResult[k] = r.result
+	}
+
+	// Phase 2 — kill loop: one journal across every incarnation; load
+	// flows continuously while the daemon is repeatedly SIGKILLed
+	// mid-write. Between each kill and restart the dead daemon's journal
+	// is audited raw.
+	fmt.Printf("fleetchaos: kill loop (%d SIGKILLs, uptime %v..%v)\n", *iterations, *killMin, *killMax)
+	chaosPath := filepath.Join(work, "chaos.jsonl")
+	logPath := filepath.Join(work, "fleetd-chaos.log")
+	ids := make([]atomic.Value, len(specs)) // spec index → accepted job ID
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	pending := make(chan int, len(specs)*8)
+	for i := range specs {
+		pending <- i
+	}
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			submitLoop(client, specs, ids, pending, &stop)
+		}()
+	}
+
+	tornTails, records, drainedAt := 0, 0, 0
+	for it := 1; it <= *iterations; it++ {
+		d = startDaemon(bin, chaosPath, logPath)
+		waitHealthy(client, 10*time.Second)
+		checkStartupStats(client)
+		time.Sleep(*killMin + time.Duration(rng.Int63n(int64(*killMax-*killMin)+1)))
+		d.kill()
+
+		ins, err := snapshot.Inspect(chaosPath)
+		if err != nil {
+			failf("iteration %d: journal unreadable after SIGKILL: %v", it, err)
+			continue
+		}
+		records = len(ins.Keys)
+		if dups := ins.Duplicates(); len(dups) > 0 {
+			failf("iteration %d: %d duplicate journal key(s) — cells executed twice: %v", it, len(dups), dups)
+		}
+		if ins.TailReason == snapshot.TailCorrupt {
+			failf("iteration %d: corrupt (not torn) journal tail at offset %d", it, ins.TailOffset)
+		}
+		if ins.TailReason == snapshot.TailTorn {
+			tornTails++
+		}
+		if drainedAt == 0 && doneCount(ins.Keys) >= len(specs) {
+			drainedAt = it
+		}
+		fmt.Printf("  kill %2d/%d: %s\n", it, *iterations, ins.String())
+	}
+	if drainedAt > 0 {
+		// Not a durability failure, but kills past this point hit an idle
+		// daemon and prove nothing — the workload should be sized up.
+		fmt.Printf("WARN: workload drained by kill %d/%d; raise -jobs/-cells or use heavier -experiments so kills land mid-work\n",
+			drainedAt, *iterations)
+	}
+
+	// Phase 3 — recovery: a final daemon finishes everything; every job
+	// must come back done with baseline-identical bytes.
+	fmt.Printf("fleetchaos: recovery run (%d records journaled, %d torn tails seen)\n", records, tornTails)
+	d = startDaemon(bin, chaosPath, logPath)
+	waitHealthy(client, 10*time.Second)
+	checkStartupStats(client)
+	deadline := time.Now().Add(120 * time.Second)
+	for !allSubmitted(ids) {
+		if time.Now().After(deadline) {
+			fatalf("submissions did not finish within 120s")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	chaosIDs := make([]string, len(specs))
+	for i := range ids {
+		chaosIDs[i] = ids[i].Load().(string)
+	}
+	results := awaitAll(client, chaosIDs, 120*time.Second)
+
+	for i, r := range results {
+		k := specs[i].key()
+		if r.Status != "done" {
+			failf("job %s (%s) ended %s: %s", r.ID, k, r.Status, r.Err)
+			continue
+		}
+		if r.Digest != wantDigest[k] {
+			failf("job %s (%s) digest %s != baseline %s", r.ID, k, r.Digest, wantDigest[k])
+		}
+		if r.result != wantResult[k] {
+			failf("job %s (%s) result bytes differ from baseline", r.ID, k)
+		}
+	}
+	d.terminate()
+
+	// Final raw audit of the settled journal.
+	ins, err := snapshot.Inspect(chaosPath)
+	if err != nil {
+		failf("final journal audit: %v", err)
+	} else {
+		if dups := ins.Duplicates(); len(dups) > 0 {
+			failf("final journal holds %d duplicate key(s): %v", len(dups), dups)
+		}
+		fmt.Printf("  final audit: %s\n", ins.String())
+	}
+
+	if failures > 0 {
+		fmt.Printf("FAIL: %d durability violation(s) across %d SIGKILLs (work dir kept: %s)\n", failures, *iterations, work)
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: %d jobs exactly-once and bitwise-identical to baseline across %d mid-write SIGKILLs (%d torn tails recovered)\n",
+		len(specs), *iterations, tornTails)
+	if !keep {
+		os.RemoveAll(work)
+	}
+}
+
+// startDaemon spawns fleetd on *addr with the given journal, appending
+// its stderr to logPath.
+func startDaemon(bin, journal, logPath string) *daemon {
+	logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		fatalf("daemon log: %v", err)
+	}
+	cmd := exec.Command(bin,
+		"-addr", *addr, "-journal", journal,
+		"-workers", "2", "-queue", "256", "-log-level", "warn")
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		fatalf("spawn fleetd: %v", err)
+	}
+	logf.Close() // the child holds its own descriptor
+	return &daemon{cmd: cmd}
+}
+
+// kill SIGKILLs the daemon — no drain, no flush, the crash the journal
+// is built for — and reaps it.
+func (d *daemon) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// terminate asks for a graceful drain and falls back to SIGKILL.
+func (d *daemon) terminate() {
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// waitHealthy polls /v1/healthz until the daemon answers 200.
+func waitHealthy(client *http.Client, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get("http://" + *addr + "/v1/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			fatalf("daemon did not become healthy within %v", timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// checkStartupStats fails the run if a restarted daemon reports a
+// corrupt quarantined tail (torn is expected) or comes up degraded.
+func checkStartupStats(client *http.Client) {
+	resp, err := client.Get("http://" + *addr + "/v1/healthz")
+	if err != nil {
+		return // transient; waitHealthy already vouched once
+	}
+	defer resp.Body.Close()
+	var h statsView
+	if json.NewDecoder(resp.Body).Decode(&h) != nil {
+		return
+	}
+	if h.Stats.QuarantinedTail == snapshot.TailCorrupt {
+		failf("restarted daemon quarantined a corrupt (not torn) tail")
+	}
+	if h.Stats.Degraded {
+		failf("restarted daemon came up degraded on a healthy filesystem")
+	}
+}
+
+// submitAll submits every spec sequentially (baseline path, daemon never
+// dies) and returns the accepted job IDs.
+func submitAll(client *http.Client, specs []spec) []string {
+	out := make([]string, len(specs))
+	for i, sp := range specs {
+		id, ok := trySubmit(client, sp)
+		if !ok {
+			fatalf("baseline submit %s failed", sp.key())
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// submitLoop pulls spec indices and submits them against a daemon that
+// keeps dying. A refused connection or daemon-side 5xx just requeues the
+// index — the next incarnation will take it.
+func submitLoop(client *http.Client, specs []spec, ids []atomic.Value, pending chan int, stop *atomic.Bool) {
+	for !stop.Load() {
+		var i int
+		select {
+		case i = <-pending:
+		case <-time.After(50 * time.Millisecond):
+			continue
+		}
+		if id, ok := trySubmit(client, specs[i]); ok {
+			ids[i].Store(id)
+			continue
+		}
+		pending <- i
+		time.Sleep(time.Duration(20+rand.Intn(60)) * time.Millisecond)
+	}
+}
+
+// trySubmit POSTs one job; ok is false on any transport error or
+// non-202 (the caller retries against the next daemon incarnation).
+func trySubmit(client *http.Client, sp spec) (string, bool) {
+	body, _ := json.Marshal(sp)
+	resp, err := client.Post("http://"+*addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		io.Copy(io.Discard, resp.Body)
+		return "", false
+	}
+	var v jobView
+	if json.NewDecoder(resp.Body).Decode(&v) != nil || v.ID == "" {
+		return "", false
+	}
+	return v.ID, true
+}
+
+// doneCount counts terminal-record keys ("job/NNNNNN/done") in a raw
+// key list.
+func doneCount(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		if strings.HasSuffix(k, "/done") {
+			n++
+		}
+	}
+	return n
+}
+
+func allSubmitted(ids []atomic.Value) bool {
+	for i := range ids {
+		if ids[i].Load() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// finalJob is a terminal job view plus its fetched result bytes.
+type finalJob struct {
+	jobView
+	result string
+}
+
+// awaitAll polls every job to a terminal state and fetches its result.
+func awaitAll(client *http.Client, ids []string, timeout time.Duration) []finalJob {
+	deadline := time.Now().Add(timeout)
+	out := make([]finalJob, len(ids))
+	for i, id := range ids {
+		out[i] = await(client, id, deadline)
+		if out[i].Status == "done" {
+			out[i].result = fetchResult(client, id)
+		}
+	}
+	return out
+}
+
+func await(client *http.Client, id string, deadline time.Time) finalJob {
+	for {
+		resp, err := client.Get("http://" + *addr + "/v1/jobs/" + id)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var v jobView
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err == nil && (v.Status == "done" || v.Status == "failed" || v.Status == "cancelled") {
+				return finalJob{jobView: v}
+			}
+		} else if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			fatalf("job %s did not reach a terminal state in time", id)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func fetchResult(client *http.Client, id string) string {
+	for attempt := 0; attempt < 5; attempt++ {
+		resp, err := client.Get("http://" + *addr + "/v1/jobs/" + id + "/result")
+		if err == nil {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && rerr == nil {
+				return string(data)
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	failf("result for %s could not be fetched", id)
+	return ""
+}

@@ -100,6 +100,15 @@ func main() {
 		log.Info("resumed incomplete jobs from journal",
 			"jobs", st.ResumedJobs, "cells", st.ResumedCells)
 	}
+	if st := svc.Stats(); st.Epoch > 0 {
+		log.Info("journal lease acquired", "epoch", st.Epoch)
+		if st.QuarantinedTail != "" {
+			// A torn tail is the normal artifact of a crash mid-append; a
+			// corrupt one means bytes inside the journal failed their
+			// checksum and the preserved .quarantine file deserves a look.
+			log.Warn("journal tail quarantined on replay", "reason", st.QuarantinedTail)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -24,15 +24,18 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"fleetsim/internal/buildinfo"
@@ -52,6 +55,7 @@ var (
 	quick       = flag.Bool("quick", false, "submit jobs with the quick (reduced rounds) flag")
 	stream      = flag.Bool("stream", true, "follow jobs via the NDJSON stream (false: poll status)")
 	pollEvery   = flag.Duration("poll", 50*time.Millisecond, "status poll period when -stream=false")
+	connRetries = flag.Int("conn-retries", 8, "max consecutive connection-refused/reset retries per request (exponential backoff with jitter)")
 	logLevel    = flag.String("log-level", "warn", "minimum log level (debug, info, warn, error)")
 	version     = flag.Bool("version", false, "print the build stamp and exit")
 )
@@ -60,6 +64,39 @@ var (
 // daemon before giving the job up as a transport error: unlike a
 // momentarily full queue, a drain usually ends in the daemon exiting.
 const maxDrainRetries = 20
+
+// Connection-retry backoff bounds: attempt n sleeps a jittered value in
+// [base·2ⁿ/2, base·2ⁿ], capped. The jitter keeps a fleet of clients
+// reconnecting to a restarted daemon (the kill-loop harness does this
+// every iteration) from stampeding it in lockstep.
+const (
+	connBackoffBase = 25 * time.Millisecond
+	connBackoffCap  = 2 * time.Second
+)
+
+// connBackoff returns the sleep before connection retry `attempt`
+// (0-based): capped exponential with full-half jitter.
+func connBackoff(attempt int) time.Duration {
+	d := connBackoffCap
+	if attempt < 20 { // beyond 2^20 the shift alone exceeds any sane cap
+		d = connBackoffBase << uint(attempt)
+		if d > connBackoffCap || d <= 0 {
+			d = connBackoffCap
+		}
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// isConnErr reports whether err is a connection-level failure worth
+// retrying: the daemon is down or mid-restart (refused), or was killed
+// with the connection open (reset / abrupt EOF).
+func isConnErr(err error) bool {
+	return err != nil && (errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF))
+}
 
 // jobSpec mirrors service.JobSpec on the wire.
 type jobSpec struct {
@@ -102,6 +139,7 @@ type tally struct {
 	queueWait  metrics.Sample // server-reported queue wait, ms
 	retries429 int            // shed responses (retried per server backoff, not lost)
 	retries503 int            // draining responses (retried, bounded)
+	retryConn  int            // connection refused/reset (retried with capped backoff)
 	errors     int
 	done       int
 	failed     int
@@ -179,8 +217,8 @@ func main() {
 	lost := total - t.done - t.failed
 	fmt.Printf("fleetload: %d clients, %d jobs in %v (%.1f jobs/s)\n",
 		*clients, total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-	fmt.Printf("  completed %d  failed %d  lost %d  retried(429) %d  retried(503) %d  errors %d\n",
-		t.done, t.failed, lost, t.retries429, t.retries503, t.errors)
+	fmt.Printf("  completed %d  failed %d  lost %d  retried(429) %d  retried(503) %d  retried(conn) %d  errors %d\n",
+		t.done, t.failed, lost, t.retries429, t.retries503, t.retryConn, t.errors)
 	fmt.Printf("  end-to-end ms   p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
 		t.latency.Percentile(50), t.latency.Percentile(95), t.latency.Percentile(99), t.latency.Percentile(100))
 	fmt.Printf("  queue-wait ms   p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
@@ -241,15 +279,27 @@ func runOne(client *http.Client, base, exp string, t *tally) {
 
 	submitted := time.Now()
 	var view jobView
-	drains := 0
+	drains, conns := 0, 0
 	for {
 		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
+			// A refused or reset connection usually means the daemon is
+			// restarting (the kill-loop harness does this on purpose):
+			// back off and retry instead of writing the job off.
+			if isConnErr(err) && conns < *connRetries {
+				t.mu.Lock()
+				t.retryConn++
+				t.mu.Unlock()
+				time.Sleep(connBackoff(conns))
+				conns++
+				continue
+			}
 			t.mu.Lock()
 			t.errors++
 			t.mu.Unlock()
 			return
 		}
+		conns = 0
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 			code := resp.StatusCode
 			delay := retryDelay(resp)
@@ -285,7 +335,7 @@ func runOne(client *http.Client, base, exp string, t *tally) {
 		return // duplicate ID: counted as a failure at report time
 	}
 
-	terminal := follow(client, base, view.ID)
+	terminal := follow(client, base, view.ID, t)
 	latencyMS := float64(time.Since(submitted)) / float64(time.Millisecond)
 
 	t.mu.Lock()
@@ -303,8 +353,11 @@ func runOne(client *http.Client, base, exp string, t *tally) {
 }
 
 // follow waits for the job to reach a terminal state, via the NDJSON
-// stream or by polling, and returns the final status view.
-func follow(client *http.Client, base, id string) jobView {
+// stream or by polling, and returns the final status view. Connection
+// failures while polling back off exponentially (the daemon may be
+// mid-restart) but never give the job up: the journal guarantees its
+// state survives, so the authoritative answer is worth waiting for.
+func follow(client *http.Client, base, id string, t *tally) jobView {
 	if *stream {
 		resp, err := client.Get(base + "/jobs/" + id + "/stream")
 		if err == nil {
@@ -324,6 +377,7 @@ func follow(client *http.Client, base, id string) jobView {
 		// The stream ended (terminal event, drain, or disconnect): the
 		// status endpoint has the authoritative final view.
 	}
+	conns := 0
 	for {
 		resp, err := client.Get(base + "/jobs/" + id)
 		if err == nil && resp.StatusCode == http.StatusOK {
@@ -333,9 +387,18 @@ func follow(client *http.Client, base, id string) jobView {
 			if err == nil && (v.Status == "done" || v.Status == "failed" || v.Status == "cancelled") {
 				return v
 			}
+			conns = 0
 		} else if resp != nil {
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			conns = 0
+		} else if isConnErr(err) {
+			t.mu.Lock()
+			t.retryConn++
+			t.mu.Unlock()
+			time.Sleep(connBackoff(conns))
+			conns++
+			continue
 		}
 		time.Sleep(*pollEvery)
 	}
@@ -344,7 +407,19 @@ func follow(client *http.Client, base, id string) jobView {
 // verifyResult fetches the assembled result and checks it against the
 // advertised digest and against other jobs with the same spec.
 func verifyResult(client *http.Client, base string, v jobView, specKey string, t *tally) {
-	resp, err := client.Get(base + "/jobs/" + v.ID + "/result")
+	var resp *http.Response
+	var err error
+	for conns := 0; ; conns++ {
+		resp, err = client.Get(base + "/jobs/" + v.ID + "/result")
+		if isConnErr(err) && conns < *connRetries {
+			t.mu.Lock()
+			t.retryConn++
+			t.mu.Unlock()
+			time.Sleep(connBackoff(conns))
+			continue
+		}
+		break
+	}
 	if err != nil || resp.StatusCode != http.StatusOK {
 		if resp != nil {
 			io.Copy(io.Discard, resp.Body)

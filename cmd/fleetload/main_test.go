@@ -1,0 +1,66 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestConnBackoffBounds(t *testing.T) {
+	for attempt := 0; attempt < 40; attempt++ {
+		ideal := connBackoffBase << uint(attempt)
+		if attempt >= 20 || ideal > connBackoffCap || ideal <= 0 {
+			ideal = connBackoffCap
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := connBackoff(attempt)
+			if d < ideal/2 || d > ideal {
+				t.Fatalf("connBackoff(%d) = %v, want in [%v, %v]", attempt, d, ideal/2, ideal)
+			}
+			if d > connBackoffCap {
+				t.Fatalf("connBackoff(%d) = %v exceeds cap %v", attempt, d, connBackoffCap)
+			}
+		}
+	}
+}
+
+func TestConnBackoffGrowsThenCaps(t *testing.T) {
+	// The lower bound of each attempt's jitter window doubles until the
+	// cap: attempt 6 (25ms·2⁶ = 1.6s) must always sleep longer than
+	// attempt 0 can, and a deep attempt stays at the cap window.
+	if min6, max0 := connBackoffBase<<6/2, connBackoffBase; min6 <= max0 {
+		t.Fatalf("backoff window does not grow: attempt6 min %v <= attempt0 max %v", min6, max0)
+	}
+	for trial := 0; trial < 20; trial++ {
+		if d := connBackoff(30); d < connBackoffCap/2 {
+			t.Fatalf("deep attempt backoff %v fell below capped window floor %v", d, connBackoffCap/2)
+		}
+	}
+}
+
+func TestIsConnErr(t *testing.T) {
+	refused := &net.OpError{Op: "dial", Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)}
+	reset := &net.OpError{Op: "read", Err: os.NewSyscallError("read", syscall.ECONNRESET)}
+	wrapped := fmt.Errorf("Post %q: %w", "http://x/v1/jobs", refused)
+	for _, err := range []error{refused, reset, wrapped, io.EOF, io.ErrUnexpectedEOF} {
+		if !isConnErr(err) {
+			t.Errorf("isConnErr(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{nil, errors.New("bad spec"), syscall.ENOSPC, context(t)} {
+		if isConnErr(err) {
+			t.Errorf("isConnErr(%v) = true, want false", err)
+		}
+	}
+}
+
+// context builds a non-connection timeout error.
+func context(t *testing.T) error {
+	t.Helper()
+	return fmt.Errorf("deadline exceeded after %v", time.Second)
+}

@@ -77,7 +77,7 @@ func TestCheckPageLRUClasses(t *testing.T) {
 		vm, h := newRig(1024, 512)
 		buildGraph(h, 100)
 		p := pageIn(t, h.AS, mem.PageResident)
-		vm.Release(p) // legitimately unmapped...
+		vm.Release(p)  // legitimately unmapped...
 		p.OnLRU = true // ...then forged back onto a list
 		checkFinds(t, vm, h, "on an LRU list")
 	})

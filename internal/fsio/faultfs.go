@@ -1,0 +1,275 @@
+package fsio
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"fleetsim/internal/xrand"
+)
+
+// Injected fault identities. Callers match with errors.Is; the journal
+// layer propagates them unwrapped so a test can assert exactly which
+// failure a durability path saw.
+var (
+	// ErrInjectedSync is a failed fsync: the kernel refused to promise
+	// durability, and whether earlier writes reached the platter is
+	// unknowable.
+	ErrInjectedSync = errors.New("fsio: injected fsync failure")
+	// ErrNoSpace is an injected ENOSPC after the configured byte budget.
+	ErrNoSpace = errors.New("fsio: injected no space left on device")
+	// ErrCrashed latches after a crash-at-byte-K truncation: the simulated
+	// machine is dead and every subsequent operation fails.
+	ErrCrashed = errors.New("fsio: simulated crash, filesystem halted")
+)
+
+// FaultConfig parameterizes a Faulty filesystem. The zero value injects
+// nothing (a transparent wrapper).
+type FaultConfig struct {
+	// Seed drives every probabilistic decision; equal seeds over equal
+	// operation sequences inject identical faults.
+	Seed uint64
+	// SyncFailProb is the per-Sync probability of ErrInjectedSync.
+	SyncFailProb float64
+	// FailSyncEvery fails every Nth Sync deterministically (0 = off).
+	FailSyncEvery int
+	// FailSyncAfter fails every Sync beyond the first N (0 = off): a
+	// disk that worked at startup and then went bad.
+	FailSyncAfter int
+	// ShortWriteProb is the per-Write probability of a short write: a
+	// seeded prefix lands on disk and io.ErrShortWrite is returned.
+	ShortWriteProb float64
+	// WriteBudget injects ENOSPC once cumulative written bytes would
+	// exceed it (0 = unlimited). The write is torn at the budget edge,
+	// like a real full disk.
+	WriteBudget int64
+	// CrashAtByte halts the filesystem mid-write once cumulative written
+	// bytes reach it (0 = never): the write is truncated at exactly that
+	// byte and every later operation returns ErrCrashed.
+	CrashAtByte int64
+	// Latency is a per-operation slow-disk delay.
+	Latency time.Duration
+}
+
+// FaultStats counts what a Faulty filesystem saw and injected.
+type FaultStats struct {
+	Writes, ShortWrites int
+	Syncs, SyncFailures int
+	BytesWritten        int64
+	ENOSPCs             int
+	Crashed             bool
+}
+
+// Faulty wraps an inner FS and injects deterministic, seeded faults. It
+// is safe for concurrent use; the fault stream is serialized, so
+// determinism holds for any serialized operation sequence.
+type Faulty struct {
+	inner FS
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	rng     *xrand.Rand
+	stats   FaultStats
+	crashed bool
+}
+
+// NewFaulty wraps inner with the given fault configuration.
+func NewFaulty(inner FS, cfg FaultConfig) *Faulty {
+	return &Faulty{inner: inner, cfg: cfg, rng: xrand.New(cfg.Seed)}
+}
+
+// Stats snapshots the fault counters.
+func (f *Faulty) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.stats
+	s.Crashed = f.crashed
+	return s
+}
+
+// Crashed reports whether the crash-at-byte latch has fired.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *Faulty) delay() {
+	if f.cfg.Latency > 0 {
+		time.Sleep(f.cfg.Latency)
+	}
+}
+
+// gate is the common per-operation entry: slow-disk delay plus the
+// crashed latch.
+func (f *Faulty) gate() error {
+	f.delay()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// ReadFile implements FS.
+func (f *Faulty) ReadFile(path string) ([]byte, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+// Create implements FS.
+func (f *Faulty) Create(path string) (File, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+// OpenAppend implements FS.
+func (f *Faulty) OpenAppend(path string) (File, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+// Rename implements FS.
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(path string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// MkdirAll implements FS.
+func (f *Faulty) MkdirAll(path string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path)
+}
+
+// SyncDir implements FS. Directory syncs share the fsync fault stream.
+func (f *Faulty) SyncDir(dir string) error {
+	f.delay()
+	if err := f.syncFault(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// syncFault draws one decision from the fsync fault stream.
+func (f *Faulty) syncFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.stats.Syncs++
+	if f.cfg.FailSyncEvery > 0 && f.stats.Syncs%f.cfg.FailSyncEvery == 0 {
+		f.stats.SyncFailures++
+		return ErrInjectedSync
+	}
+	if f.cfg.FailSyncAfter > 0 && f.stats.Syncs > f.cfg.FailSyncAfter {
+		f.stats.SyncFailures++
+		return ErrInjectedSync
+	}
+	if f.cfg.SyncFailProb > 0 && f.rng.Bool(f.cfg.SyncFailProb) {
+		f.stats.SyncFailures++
+		return ErrInjectedSync
+	}
+	return nil
+}
+
+// faultyFile threads every write and sync through the shared fault state
+// so budgets and crash offsets span all files on the filesystem.
+type faultyFile struct {
+	fs    *Faulty
+	inner File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	ff.fs.delay()
+	ff.fs.mu.Lock()
+	if ff.fs.crashed {
+		ff.fs.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	ff.fs.stats.Writes++
+	n := len(p)
+	var ierr error
+	cfg := &ff.fs.cfg
+	switch {
+	case cfg.CrashAtByte > 0 && ff.fs.stats.BytesWritten+int64(n) >= cfg.CrashAtByte:
+		n = int(cfg.CrashAtByte - ff.fs.stats.BytesWritten)
+		if n < 0 {
+			n = 0
+		}
+		ff.fs.crashed = true
+		ierr = ErrCrashed
+	case cfg.WriteBudget > 0 && ff.fs.stats.BytesWritten+int64(n) > cfg.WriteBudget:
+		n = int(cfg.WriteBudget - ff.fs.stats.BytesWritten)
+		if n < 0 {
+			n = 0
+		}
+		ff.fs.stats.ENOSPCs++
+		ierr = ErrNoSpace
+	case cfg.ShortWriteProb > 0 && ff.fs.rng.Bool(cfg.ShortWriteProb):
+		n = ff.fs.rng.Intn(len(p) + 1)
+		if n == len(p) && n > 0 {
+			n--
+		}
+		ff.fs.stats.ShortWrites++
+		ierr = io.ErrShortWrite
+	}
+	ff.fs.stats.BytesWritten += int64(n)
+	ff.fs.mu.Unlock()
+
+	if n > 0 {
+		wn, werr := ff.inner.Write(p[:n])
+		if werr != nil {
+			return wn, werr
+		}
+	}
+	if ierr != nil {
+		return n, ierr
+	}
+	return n, nil
+}
+
+func (ff *faultyFile) Sync() error {
+	ff.fs.delay()
+	if err := ff.fs.syncFault(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Close() error {
+	// Close always reaches the inner file so handles are not leaked even
+	// on a crashed filesystem.
+	return ff.inner.Close()
+}
+
+var _ FS = OS{}
+var _ FS = (*Faulty)(nil)

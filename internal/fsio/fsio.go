@@ -1,0 +1,136 @@
+// Package fsio is the filesystem seam of the durability layer. Everything
+// that must survive a crash — the checkpoint journal, the lease file, the
+// atomic rewrite dance — goes through the small FS interface instead of
+// calling the os package directly, so every failure a real disk can
+// produce (failed fsync, short write, ENOSPC, a process dying mid-write)
+// becomes an injectable, deterministic test input rather than an untested
+// comment. OS is the production implementation; Faulty (faultfs.go) is
+// the seeded fault injector the recovery tests drive.
+package fsio
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is a writable file handle. Write appends (or extends) at the
+// current offset; Sync must not return until the data is durable.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the filesystem operations the durability layer needs. All
+// paths are interpreted as the host os package would.
+type FS interface {
+	// ReadFile returns the full contents of path (fs.ErrNotExist when
+	// absent).
+	ReadFile(path string) ([]byte, error)
+	// Create truncate-creates path for writing (rewrite temp files).
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path (no error if absent).
+	Remove(path string) error
+	// MkdirAll creates the directory path and any missing parents.
+	MkdirAll(path string) error
+	// SyncDir fsyncs the directory itself, making a preceding Rename or
+	// Create durable against power loss.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS backed by the os package.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+// ReadFile implements FS.
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error {
+	err := os.Remove(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// SyncDir implements FS. Directory fsync is advisory on platforms that do
+// not support it; open errors are ignored so the common path stays
+// portable.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// WriteSync writes data to path durably: the file is created, written,
+// fsynced and closed, and the containing directory is fsynced so the
+// entry itself survives power loss. It is NOT atomic against readers —
+// use Replace for read-modify-write cycles.
+func WriteSync(fsys FS, path string, data []byte) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// Replace atomically replaces path with data: write to path+".tmp",
+// fsync, rename over path, fsync the directory. A crash at any byte
+// leaves either the old complete file or the new complete file — never a
+// torn mixture.
+func Replace(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := WriteSync(fsys, tmp, data); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

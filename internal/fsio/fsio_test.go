@@ -1,0 +1,208 @@
+package fsio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a", "file.bin")
+	var fsys FS = OS{}
+	if err := fsys.MkdirAll(filepath.Dir(path)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSync(fsys, path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte(" world"))
+	f.Sync()
+	f.Close()
+	got, _ = fsys.ReadFile(path)
+	if string(got) != "hello world" {
+		t.Fatalf("after append: %q", got)
+	}
+	if err := Replace(fsys, path, []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fsys.ReadFile(path)
+	if string(got) != "replaced" {
+		t.Fatalf("after replace: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	if err := fsys.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(path); err != nil {
+		t.Fatalf("Remove of absent file should be nil, got %v", err)
+	}
+}
+
+// Same seed over the same operation sequence must inject the same faults.
+func TestFaultyDeterministic(t *testing.T) {
+	run := func() []string {
+		dir := t.TempDir()
+		ff := NewFaulty(OS{}, FaultConfig{Seed: 42, SyncFailProb: 0.5, ShortWriteProb: 0.5})
+		var log []string
+		f, _ := ff.Create(filepath.Join(dir, "f"))
+		for i := 0; i < 64; i++ {
+			if _, err := f.Write([]byte("0123456789")); err != nil {
+				log = append(log, "w:"+err.Error())
+			} else {
+				log = append(log, "w:ok")
+			}
+			if err := f.Sync(); err != nil {
+				log = append(log, "s:"+err.Error())
+			} else {
+				log = append(log, "s:ok")
+			}
+		}
+		f.Close()
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault stream diverged at op %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFaultyEverySync(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaulty(OS{}, FaultConfig{FailSyncEvery: 3})
+	f, _ := ff.Create(filepath.Join(dir, "f"))
+	defer f.Close()
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if err := f.Sync(); err != nil {
+			if !errors.Is(err, ErrInjectedSync) {
+				t.Fatalf("sync error = %v, want ErrInjectedSync", err)
+			}
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("9 syncs with FailSyncEvery=3: %d failures, want 3", fails)
+	}
+}
+
+func TestFaultyENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	ff := NewFaulty(OS{}, FaultConfig{WriteBudget: 15})
+	f, _ := ff.Create(path)
+	if n, err := f.Write([]byte("0123456789")); n != 10 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("second write err = %v, want ErrNoSpace", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn ENOSPC write landed %d bytes, want 5", n)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if len(got) != 15 {
+		t.Fatalf("on-disk size %d, want 15 (budget edge)", len(got))
+	}
+	if ff.Stats().ENOSPCs != 1 {
+		t.Fatalf("ENOSPCs = %d, want 1", ff.Stats().ENOSPCs)
+	}
+}
+
+// Crash-at-byte-K must truncate the in-flight write at exactly K and
+// latch: every later operation fails with ErrCrashed.
+func TestFaultyCrashAtByte(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	ff := NewFaulty(OS{}, FaultConfig{CrashAtByte: 13})
+	f, _ := ff.Create(path)
+	f.Write([]byte("0123456789")) // 10 bytes, below K
+	if _, err := f.Write([]byte("abcdefghij")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write err = %v, want ErrCrashed", err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "0123456789abc" {
+		t.Fatalf("on-disk after crash = %q, want truncation at byte 13", got)
+	}
+	if !ff.Crashed() {
+		t.Fatal("crash latch did not fire")
+	}
+	if _, err := ff.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash ReadFile err = %v, want ErrCrashed", err)
+	}
+	if _, err := ff.Create(path + "2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Create err = %v, want ErrCrashed", err)
+	}
+	if err := ff.Rename(path, path+"3"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Rename err = %v, want ErrCrashed", err)
+	}
+}
+
+func TestFaultyShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := NewFaulty(OS{}, FaultConfig{Seed: 7, ShortWriteProb: 1})
+	f, _ := ff.Create(filepath.Join(dir, "f"))
+	defer f.Close()
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if n >= 10 {
+		t.Fatalf("short write landed %d of 10 bytes", n)
+	}
+}
+
+// A zero FaultConfig must be a transparent wrapper.
+func TestFaultyZeroConfigTransparent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	ff := NewFaulty(OS{}, FaultConfig{})
+	if err := Replace(ff, path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ff.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+}
+
+func TestFaultyFailSyncAfter(t *testing.T) {
+	f := NewFaulty(OS{}, FaultConfig{FailSyncAfter: 2})
+	file, err := f.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	// The first N syncs succeed — the disk works at startup…
+	for i := 0; i < 2; i++ {
+		if err := file.Sync(); err != nil {
+			t.Fatalf("sync %d: %v, want success within FailSyncAfter", i+1, err)
+		}
+	}
+	// …then every later sync fails.
+	for i := 0; i < 3; i++ {
+		if err := file.Sync(); !errors.Is(err, ErrInjectedSync) {
+			t.Fatalf("sync after budget: %v, want ErrInjectedSync", err)
+		}
+	}
+	if s := f.Stats(); s.SyncFailures != 3 {
+		t.Fatalf("SyncFailures = %d, want 3", s.SyncFailures)
+	}
+}

@@ -1,0 +1,262 @@
+// Durability failure drills: every test here injects a filesystem fault
+// through fsio.Faulty and asserts the daemon's crash-only contract — a
+// write the journal cannot persist is never acked, the daemon flips to
+// degraded read-only mode, and a fenced (superseded) daemon stands down.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fleetsim/internal/experiments"
+	"fleetsim/internal/fsio"
+	"fleetsim/internal/telemetry"
+)
+
+// startupSyncs measures how many fsyncs a fresh daemon issues before it
+// serves traffic (journal create + lease acquire), by dry-running New
+// over a transparent Faulty. FailSyncAfter set to exactly this count
+// makes the *first journal append* the first fsync to fail.
+func startupSyncs(t *testing.T) int {
+	t.Helper()
+	faulty := fsio.NewFaulty(fsio.OS{}, fsio.FaultConfig{})
+	s, err := New(Config{
+		Workers:     1,
+		JournalPath: filepath.Join(t.TempDir(), "dry.jsonl"),
+		FS:          faulty,
+		Lookup:      fakeLookup(map[string]func(experiments.Params) string{"a": instant("A")}),
+		Telemetry:   telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := faulty.Stats().Syncs
+	s.Close()
+	if n == 0 {
+		t.Fatal("startup issued zero fsyncs; journal create or lease acquire lost its durability barrier")
+	}
+	return n
+}
+
+// degradedService builds a daemon whose journal fsyncs start failing
+// after the first `after` syncs.
+func degradedService(t *testing.T, after int) (*Service, *fsio.Faulty) {
+	t.Helper()
+	faulty := fsio.NewFaulty(fsio.OS{}, fsio.FaultConfig{FailSyncAfter: after})
+	s, err := New(Config{
+		Workers:     1,
+		JournalPath: filepath.Join(t.TempDir(), "fleetd.jsonl"),
+		FS:          faulty,
+		Lookup:      fakeLookup(map[string]func(experiments.Params) string{"a": instant("A")}),
+		Telemetry:   telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, faulty
+}
+
+// TestSpecAppendFailureRefusesSubmission: the very first journal append
+// (the job spec) hits a failed fsync. The submission must be refused —
+// not acked into a queue the next daemon would never learn about — and
+// the daemon must go degraded read-only.
+func TestSpecAppendFailureRefusesSubmission(t *testing.T) {
+	s, _ := degradedService(t, startupSyncs(t))
+
+	_, err := s.Submit(JobSpec{Experiments: []string{"a"}})
+	if !errors.Is(err, ErrJournalFailing) {
+		t.Fatalf("Submit with failing fsync: err = %v, want ErrJournalFailing", err)
+	}
+	st := s.Stats()
+	if !st.Degraded {
+		t.Fatal("service not degraded after refused spec append")
+	}
+	if st.DegradedReason == "" {
+		t.Fatal("degraded with no reason recorded")
+	}
+	if st.JournalErrors < 1 {
+		t.Fatalf("JournalErrors = %d, want >= 1", st.JournalErrors)
+	}
+	// The un-admitted job must not exist anywhere.
+	if jobs := s.Jobs(); len(jobs) != 0 {
+		t.Fatalf("refused submission left %d job(s) behind: %+v", len(jobs), jobs)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("refused submission left queue depth %d", st.QueueDepth)
+	}
+	// Degraded mode is sticky: the next submission is refused up front.
+	if _, err := s.Submit(JobSpec{Experiments: []string{"a"}}); !errors.Is(err, ErrJournalFailing) {
+		t.Fatalf("Submit while degraded: err = %v, want ErrJournalFailing", err)
+	}
+}
+
+// TestCellAppendFailureFailsJob: the spec journals fine, then the disk
+// goes bad before the first cell record lands. The cell ran but its
+// result cannot be made durable — the job must fail honestly (no
+// phantom success the next daemon would re-execute) and the daemon must
+// go degraded.
+func TestCellAppendFailureFailsJob(t *testing.T) {
+	s, _ := degradedService(t, startupSyncs(t)+1)
+
+	v, err := s.Submit(JobSpec{Experiments: []string{"a"}})
+	if err != nil {
+		t.Fatalf("Submit (spec append should still succeed): %v", err)
+	}
+	fv := await(t, s, v.ID)
+	if fv.Status != StatusFailed {
+		t.Fatalf("job with unjournalable cell: status = %s, want failed", fv.Status)
+	}
+	if !strings.Contains(fv.Err, "journal append refused") {
+		t.Fatalf("failure reason %q does not name the refused append", fv.Err)
+	}
+	st := s.Stats()
+	if !st.Degraded {
+		t.Fatal("service not degraded after refused cell append")
+	}
+	if _, err := s.Submit(JobSpec{Experiments: []string{"a"}}); !errors.Is(err, ErrJournalFailing) {
+		t.Fatalf("Submit while degraded: err = %v, want ErrJournalFailing", err)
+	}
+	// Existing state stays readable in degraded mode.
+	if _, ok := s.Job(v.ID); !ok {
+		t.Fatal("degraded daemon lost read access to its jobs")
+	}
+}
+
+// TestFencedDaemonStandsDown: two daemons over one journal. The second
+// acquires a newer lease epoch; the first's next append must be refused
+// by the fencing token and flip it into degraded mode, while the second
+// (current owner) keeps running jobs normally.
+func TestFencedDaemonStandsDown(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shared.jsonl")
+	lookup := fakeLookup(map[string]func(experiments.Params) string{"a": instant("A")})
+
+	s1, err := New(Config{Workers: 1, JournalPath: path, Lookup: lookup, Telemetry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := New(Config{Workers: 1, JournalPath: path, Lookup: lookup, Telemetry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	st1, st2 := s1.Stats(), s2.Stats()
+	if st2.Epoch != st1.Epoch+1 {
+		t.Fatalf("epochs = %d then %d, want monotonic +1", st1.Epoch, st2.Epoch)
+	}
+
+	// The stale daemon's next append hits the fence.
+	_, err = s1.Submit(JobSpec{Experiments: []string{"a"}})
+	if !errors.Is(err, ErrJournalFailing) {
+		t.Fatalf("stale daemon Submit: err = %v, want ErrJournalFailing", err)
+	}
+	st1 = s1.Stats()
+	if !st1.Degraded {
+		t.Fatal("fenced daemon not degraded")
+	}
+	if !strings.Contains(st1.DegradedReason, "fenced") {
+		t.Fatalf("degraded reason %q does not mention fencing", st1.DegradedReason)
+	}
+
+	// The current lease holder is unaffected.
+	v, err := s2.Submit(JobSpec{Experiments: []string{"a"}})
+	if err != nil {
+		t.Fatalf("current daemon Submit: %v", err)
+	}
+	if fv := await(t, s2, v.ID); fv.Status != StatusDone {
+		t.Fatalf("current daemon job: %s (%s)", fv.Status, fv.Err)
+	}
+}
+
+// TestDegradedHTTPSurface drives the full HTTP contract of degraded
+// mode: submit → 503 with the typed journal_failing envelope (and no
+// Retry-After — a failing disk does not heal on a timer), healthz → 503
+// "degraded", and fleetd_journal_errors_total visible on /metrics.
+func TestDegradedHTTPSurface(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	faulty := fsio.NewFaulty(fsio.OS{}, fsio.FaultConfig{FailSyncAfter: startupSyncs(t)})
+	s, err := New(Config{
+		Workers:     1,
+		JournalPath: filepath.Join(t.TempDir(), "fleetd.jsonl"),
+		FS:          faulty,
+		Lookup:      fakeLookup(map[string]func(experiments.Params) string{"a": instant("A")}),
+		Telemetry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(JobSpec{Experiments: []string{"a"}})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded submit status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		t.Fatalf("degraded submit advertised Retry-After %q; a failing disk does not heal on a timer", ra)
+	}
+	var envelope struct {
+		Error APIError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != CodeJournalFailing {
+		t.Fatalf("error code = %q, want %q", envelope.Error.Code, CodeJournalFailing)
+	}
+	if envelope.Error.Message == "" {
+		t.Fatal("journal_failing envelope has no message")
+	}
+
+	hresp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz status = %d, want 503", hresp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("healthz status = %q, want degraded", h.Status)
+	}
+	if !h.Stats.Degraded || h.Stats.DegradedReason == "" {
+		t.Fatalf("healthz stats do not surface degraded mode: %+v", h.Stats)
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition := string(text)
+	if !strings.Contains(exposition, `fleetd_journal_errors_total{reason="append"} 1`) {
+		t.Fatalf("/metrics missing fleetd_journal_errors_total append count:\n%s", exposition)
+	}
+	if !strings.Contains(exposition, "fleetd_journal_degraded 1") {
+		t.Fatalf("/metrics missing fleetd_journal_degraded gauge:\n%s", exposition)
+	}
+}

@@ -54,6 +54,11 @@ const (
 	// CodeDraining means the daemon is shutting down (503; resubmit to
 	// its successor or honor retry_after_ms).
 	CodeDraining ErrorCode = "draining"
+	// CodeJournalFailing means the daemon is in degraded read-only mode:
+	// its journal stopped accepting durable appends (failed fsync,
+	// ENOSPC, or it was fenced by a newer daemon), so it refuses work it
+	// could not persist (503; submit to a healthy daemon).
+	CodeJournalFailing ErrorCode = "journal_failing"
 	// CodeNotDone means the requested artifact needs a done job (409).
 	CodeNotDone ErrorCode = "not_done"
 	// CodeTerminal means the action is void on a finished job (409).
@@ -149,6 +154,10 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, APIError{Code: CodeQueueFull, Message: err.Error(), RetryAfterMS: retryMS})
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, APIError{Code: CodeDraining, Message: err.Error(), RetryAfterMS: retryMS})
+	case errors.Is(err, ErrJournalFailing):
+		// No Retry-After: a failing disk does not heal on a timer; the
+		// client should go elsewhere.
+		writeError(w, http.StatusServiceUnavailable, APIError{Code: CodeJournalFailing, Message: err.Error()})
 	case err != nil:
 		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: err.Error()})
 	default:
@@ -260,6 +269,10 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	code := http.StatusOK
 	if h.Stats.Draining {
 		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	if h.Stats.Degraded {
+		h.Status = "degraded"
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)

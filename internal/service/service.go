@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"fleetsim/internal/experiments"
+	"fleetsim/internal/fsio"
 	"fleetsim/internal/metrics"
 	"fleetsim/internal/runner"
 	"fleetsim/internal/snapshot"
@@ -46,12 +48,19 @@ const Campaign = "fleetd/v1"
 const MaxCells = 64
 
 // Submission errors. The HTTP layer maps these onto status codes
-// (ErrQueueFull → 429 with Retry-After, ErrDraining → 503).
+// (ErrQueueFull → 429 with Retry-After, ErrDraining and
+// ErrJournalFailing → 503).
 var (
 	ErrQueueFull = errors.New("service: queue full")
 	ErrDraining  = errors.New("service: draining, not admitting jobs")
 	ErrUnknown   = errors.New("service: no such job")
 	ErrNotDone   = errors.New("service: job not done")
+	// ErrJournalFailing means the daemon is in degraded read-only mode:
+	// the journal stopped accepting durable appends (failed fsync,
+	// ENOSPC, or a newer daemon fenced this one off), so admitting work
+	// would mean acking writes that cannot be persisted. Existing state
+	// stays readable; submissions are refused.
+	ErrJournalFailing = errors.New("service: journal failing, daemon is read-only")
 )
 
 // Status is a job's lifecycle state.
@@ -149,6 +158,18 @@ type Stats struct {
 	Workers      int  `json:"workers"`
 	QueueCap     int  `json:"queueCap"`
 	Draining     bool `json:"draining"`
+	// Degraded reports journal-failure read-only mode; DegradedReason
+	// carries the first append error that flipped it.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degradedReason,omitempty"`
+	// Epoch is the journal lease fencing token this daemon holds
+	// (0 = journal-less).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// JournalErrors counts refused journal appends since startup.
+	JournalErrors int `json:"journalErrors,omitempty"`
+	// QuarantinedTail names the tail classification ("torn"/"corrupt")
+	// when startup replay had to quarantine undecodable journal bytes.
+	QuarantinedTail string `json:"quarantinedTail,omitempty"`
 
 	CellP50MS      float64 `json:"cellP50ms"`
 	CellP95MS      float64 `json:"cellP95ms"`
@@ -189,6 +210,10 @@ type Config struct {
 	// into (served on GET /metrics). Nil: telemetry.Default(), the
 	// process-wide registry.
 	Telemetry *telemetry.Registry
+	// FS is the filesystem the journal lives on. Nil: the real
+	// filesystem (fsio.OS). Durability tests inject an fsio.Faulty here
+	// to drive the fsync/ENOSPC/crash failure paths.
+	FS fsio.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +234,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.Default()
+	}
+	if c.FS == nil {
+		c.FS = fsio.OS{}
 	}
 	return c
 }
@@ -287,6 +315,17 @@ type Service struct {
 	stopping  bool
 	stopped   bool
 	startedAt time.Time
+	// degraded flips on the first refused journal append (fsync/ENOSPC
+	// failure or lease fencing): the daemon goes read-only — submissions
+	// are refused with ErrJournalFailing — because acking a write the
+	// journal cannot persist would break the exactly-once contract.
+	degraded    bool
+	degradedErr string
+	journalErrs int
+	// epoch is the lease fencing token acquired at startup.
+	epoch uint64
+	// quarantine is the startup-replay tail classification, if any.
+	quarantine string
 
 	// Counters and live latency samples.
 	submitted, completed, failed, cancelled, shed int
@@ -311,11 +350,23 @@ func New(cfg Config) (*Service, error) {
 	s.eventCond = sync.NewCond(&s.mu)
 	s.inst = newInstruments(cfg.Telemetry, s)
 	if cfg.JournalPath != "" {
-		st, err := snapshot.Open(cfg.JournalPath, Campaign)
+		st, err := snapshot.OpenFS(cfg.FS, cfg.JournalPath, Campaign)
 		if err != nil {
 			return nil, err
 		}
 		s.store = st
+		if q, ok := st.Quarantined(); ok {
+			s.quarantine = q.Reason
+		}
+		// Take the journal lease: this daemon's fencing token is newer
+		// than any previous holder's, so a stale process still writing to
+		// the same journal is fenced off at its next append.
+		epoch, err := st.AcquireLease(fmt.Sprintf("fleetd/pid%d", os.Getpid()))
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("service: acquire journal lease: %w", err)
+		}
+		s.epoch = epoch
 		if err := s.replay(); err != nil {
 			st.Close()
 			return nil, err
@@ -470,6 +521,11 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		s.mu.Unlock()
 		return JobView{}, ErrDraining
 	}
+	if s.degraded {
+		reason := s.degradedErr
+		s.mu.Unlock()
+		return JobView{}, fmt.Errorf("%w: %s", ErrJournalFailing, reason)
+	}
 	if len(s.queue)+s.reserved >= s.cfg.QueueCap {
 		s.shed++
 		s.mu.Unlock()
@@ -494,11 +550,21 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	s.inst.submitted.Inc()
 
 	// Journal the spec before the job becomes runnable, so a crash can
-	// never leave cell records without the spec that owns them.
+	// never leave cell records without the spec that owns them. A spec
+	// that cannot be persisted is a job that was never admitted: the
+	// submission is refused rather than acked into a queue the next
+	// daemon will not know about.
 	if s.store != nil {
-		s.put(specKey(seq), specRecord{
+		if err := s.put(specKey(seq), specRecord{
 			ID: j.id, Seq: seq, Spec: spec, Params: j.params, SubmittedAt: j.submitted,
-		})
+		}); err != nil {
+			s.mu.Lock()
+			s.reserved--
+			delete(s.jobs, j.id)
+			reason := s.degradedErr
+			s.mu.Unlock()
+			return JobView{}, fmt.Errorf("%w: %s", ErrJournalFailing, reason)
+		}
 	}
 
 	s.mu.Lock()
@@ -610,7 +676,19 @@ func (s *Service) runJob(j *job) {
 			}
 			cr = cellRecord{Experiment: name, Output: outs[0], Digest: digestOf(outs[0])}
 			if s.store != nil {
-				s.put(cellKey(j.seq, i), cr)
+				if err := s.put(cellKey(j.seq, i), cr); err != nil {
+					// The cell ran but its record could not be made
+					// durable. Acking it anyway would hand the client a
+					// result the next daemon would re-execute; fail the
+					// job honestly instead (the daemon is now degraded
+					// and read-only — see put).
+					s.mu.Lock()
+					s.finishLocked(j, StatusFailed,
+						fmt.Sprintf("cell %d (%s): journal append refused: %v", i, name, err))
+					s.mu.Unlock()
+					s.putDone(j)
+					return
+				}
 			}
 		}
 		ms := float64(time.Since(start)) / float64(time.Millisecond)
@@ -642,7 +720,10 @@ func (s *Service) runJob(j *job) {
 // re-writes an identical terminal record.
 func (s *Service) putDone(j *job) {
 	if s.store != nil {
-		s.put(doneKey(j.seq), doneRecord{Status: j.status, Digest: j.digest, Err: j.errMsg})
+		// A refused terminal append already degraded the daemon inside
+		// put; the in-memory terminal state stands and the next daemon
+		// reconstructs an identical record from the journaled cells.
+		_ = s.put(doneKey(j.seq), doneRecord{Status: j.status, Digest: j.digest, Err: j.errMsg})
 	}
 }
 
@@ -810,6 +891,12 @@ func (s *Service) Stats() Stats {
 		Workers:      s.cfg.Workers,
 		QueueCap:     s.cfg.QueueCap,
 		Draining:     s.draining,
+
+		Degraded:        s.degraded,
+		DegradedReason:  s.degradedErr,
+		Epoch:           s.epoch,
+		JournalErrors:   s.journalErrs,
+		QuarantinedTail: s.quarantine,
 
 		CellP50MS:      s.cellDur.Percentile(50),
 		CellP95MS:      s.cellDur.Percentile(95),

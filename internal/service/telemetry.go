@@ -8,8 +8,10 @@
 package service
 
 import (
+	"errors"
 	"time"
 
+	"fleetsim/internal/snapshot"
 	"fleetsim/internal/telemetry"
 )
 
@@ -26,6 +28,9 @@ type instruments struct {
 	cellRun   *telemetry.Histogram // fleetd_cell_run_ms
 	jobRun    *telemetry.Histogram // fleetd_job_run_ms
 	fsync     *telemetry.Histogram // fleetd_journal_fsync_ms
+
+	journalErrAppend *telemetry.Counter // fleetd_journal_errors_total{reason="append"}
+	journalErrFenced *telemetry.Counter // fleetd_journal_errors_total{reason="fenced"}
 }
 
 // fsyncBuckets resolve journal appends, which are usually sub-millisecond.
@@ -49,6 +54,14 @@ func newInstruments(reg *telemetry.Registry, s *Service) *instruments {
 	reg.GaugeFunc("fleetd_workers", "Worker-pool size.", func() float64 {
 		return float64(workers)
 	})
+	reg.GaugeFunc("fleetd_journal_degraded", "1 while the daemon is in journal-failure read-only mode.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.degraded {
+			return 1
+		}
+		return 0
+	})
 	return &instruments{
 		submitted: reg.Counter("fleetd_jobs_submitted_total", "Jobs admitted into the queue."),
 		shed:      reg.Counter("fleetd_jobs_shed_total", "Submissions refused because the queue was full."),
@@ -60,13 +73,35 @@ func newInstruments(reg *telemetry.Registry, s *Service) *instruments {
 		cellRun:   reg.Histogram("fleetd_cell_run_ms", "Execution time of one experiment cell.", telemetry.LatencyBuckets),
 		jobRun:    reg.Histogram("fleetd_job_run_ms", "Execution time of one whole job.", telemetry.LatencyBuckets),
 		fsync:     reg.Histogram("fleetd_journal_fsync_ms", "Latency of journal appends (marshal + write + fsync).", fsyncBuckets),
+
+		journalErrAppend: reg.Counter("fleetd_journal_errors_total", "Journal appends refused, by reason.", "reason", "append"),
+		journalErrFenced: reg.Counter("fleetd_journal_errors_total", "Journal appends refused, by reason.", "reason", "fenced"),
 	}
 }
 
-// put journals one record and times the append (the store fsyncs every
-// Put, so this histogram is the durability cost the API pays).
-func (s *Service) put(key string, v any) {
+// put journals one record through the lease fence and times the append
+// (the store fsyncs every Put, so this histogram is the durability cost
+// the API pays). Any refusal — failed fsync, ENOSPC, short write, or a
+// newer daemon's fencing token — flips the service into degraded
+// read-only mode and is counted in fleetd_journal_errors_total; the
+// error is returned so the caller can refuse to ack the write.
+func (s *Service) put(key string, v any) error {
 	start := time.Now()
-	s.store.Put(key, v)
+	err := s.store.PutFenced(key, v)
 	s.inst.fsync.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if err != nil {
+		if errors.Is(err, snapshot.ErrFenced) {
+			s.inst.journalErrFenced.Inc()
+		} else {
+			s.inst.journalErrAppend.Inc()
+		}
+		s.mu.Lock()
+		s.journalErrs++
+		if !s.degraded {
+			s.degraded = true
+			s.degradedErr = err.Error()
+		}
+		s.mu.Unlock()
+	}
+	return err
 }

@@ -1,0 +1,104 @@
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"fleetsim/internal/fsio"
+)
+
+// Lease-based journal ownership with monotonic fencing tokens.
+//
+// A daemon (or, per the sharding roadmap, a shard worker) acquires the
+// journal's lease at startup: the epoch in path+".lease" is read,
+// incremented, and written back atomically. The epoch is the fencing
+// token. Every fenced append re-verifies the on-disk epoch first, so a
+// stale process — one that lost the journal to a restarted successor —
+// can never commit a cell or terminal record behind the new owner's
+// back: its appends fail with ErrFenced and it must stand down. This is
+// the standard fencing-token construction (the token is presented with
+// the write, and the resource rejects tokens older than the newest it
+// has seen); the lease file is the single-machine stand-in for the lock
+// service a multi-node deployment would use.
+//
+// The lease file is replaced atomically (temp + fsync + rename + dir
+// fsync), so a crash mid-acquire leaves the previous lease intact and
+// the next acquirer simply fences it.
+
+// ErrFenced rejects an append whose holder's lease epoch is no longer
+// the newest. The holder must stop writing; a newer owner has the
+// journal.
+var ErrFenced = errors.New("snapshot: journal fenced by a newer lease epoch")
+
+// leaseRecord is the JSON content of path+".lease".
+type leaseRecord struct {
+	Epoch      uint64    `json:"epoch"`
+	Owner      string    `json:"owner"`
+	AcquiredAt time.Time `json:"acquiredAt"`
+}
+
+func (st *Store) leasePath() string { return st.path + ".lease" }
+
+// readLease returns the current on-disk lease epoch (0 when the lease
+// file is absent or unreadable — an unreadable lease is treated as "no
+// owner yet", which is safe: acquisition only ever moves the epoch up).
+func (st *Store) readLease() leaseRecord {
+	data, err := st.fs.ReadFile(st.leasePath())
+	if err != nil {
+		return leaseRecord{}
+	}
+	var lr leaseRecord
+	if json.Unmarshal(data, &lr) != nil {
+		return leaseRecord{}
+	}
+	return lr
+}
+
+// AcquireLease takes ownership of the journal: it bumps the on-disk
+// epoch, durably records owner as the holder, and arms fenced appends.
+// The returned epoch is this Store's fencing token; it is strictly
+// greater than every epoch any previous holder ever presented.
+func (st *Store) AcquireLease(owner string) (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	prev := st.readLease()
+	next := leaseRecord{Epoch: prev.Epoch + 1, Owner: owner, AcquiredAt: time.Now().UTC()}
+	data, err := json.Marshal(next)
+	if err != nil {
+		return 0, err
+	}
+	if err := fsio.Replace(st.fs, st.leasePath(), data); err != nil {
+		return 0, fmt.Errorf("snapshot: acquire lease: %w", err)
+	}
+	st.epoch = next.Epoch
+	return next.Epoch, nil
+}
+
+// Epoch returns the fencing token held since AcquireLease (0 = none).
+func (st *Store) Epoch() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.epoch
+}
+
+// checkLeaseLocked verifies this Store still holds the newest epoch.
+// Caller holds mu.
+func (st *Store) checkLeaseLocked() error {
+	cur := st.readLease()
+	if cur.Epoch != st.epoch {
+		return fmt.Errorf("%w (held %d, current %d owned by %q)",
+			ErrFenced, st.epoch, cur.Epoch, cur.Owner)
+	}
+	return nil
+}
+
+// PutFenced is Put guarded by the lease: the on-disk epoch is re-read
+// and must equal this Store's token, otherwise the append is refused
+// with ErrFenced and nothing is written. Without an acquired lease
+// (epoch 0) it behaves exactly like Put — campaign sweeps that never
+// call AcquireLease pay nothing.
+func (st *Store) PutFenced(cell string, v any) error {
+	return st.put(cell, v, true)
+}
