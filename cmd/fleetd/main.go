@@ -44,19 +44,25 @@ import (
 )
 
 var (
-	addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-	workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-	queueCap  = flag.Int("queue", 64, "queued-job admission bound (full queue sheds with 429)")
-	journal   = flag.String("journal", "", "checkpoint journal path (empty = no durability)")
-	scale     = flag.Int64("scale", 32, "default device scale divisor for jobs that do not override it")
-	rounds    = flag.Int("rounds", 10, "default launch rounds")
-	seed      = flag.Uint64("seed", 1, "default simulation seed")
-	deadline  = flag.Duration("timeout", 0, "wall-clock deadline per job cell (0 = none)")
-	retries   = flag.Int("retries", 1, "retry budget per transiently-failed cell")
-	pidfile   = flag.String("pidfile", "", "write the daemon pid to this file once listening")
-	logLevel  = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
-	debugAddr = flag.String("debug-addr", "", "private debug listener serving net/http/pprof and /metrics (empty = off)")
-	version   = flag.Bool("version", false, "print the build stamp and exit")
+	addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers       = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queueCap      = flag.Int("queue", 64, "queued-job admission bound (full queue sheds with 429)")
+	journal       = flag.String("journal", "", "checkpoint journal path (empty = no durability)")
+	scale         = flag.Int64("scale", 32, "default device scale divisor for jobs that do not override it")
+	rounds        = flag.Int("rounds", 10, "default launch rounds")
+	seed          = flag.Uint64("seed", 1, "default simulation seed")
+	deadline      = flag.Duration("timeout", 0, "wall-clock deadline per job cell (0 = none)")
+	retries       = flag.Int("retries", 1, "retry budget per transiently-failed cell")
+	tenantWeights = flag.String("tenant-weights", "",
+		"per-tenant fair-share weights as name=weight,... (weight 0 refuses the tenant at submit)")
+	defaultTenantWeight = flag.Int("default-tenant-weight", 1, "fair-share weight for tenants not named in -tenant-weights")
+	codelTarget         = flag.Duration("codel-target", 100*time.Millisecond,
+		"queue-delay target of the overload controller; background is shed after delay holds above it for -codel-interval")
+	codelInterval = flag.Duration("codel-interval", 0, "how long queue delay must stay above target before shedding (0 = 5x target)")
+	pidfile       = flag.String("pidfile", "", "write the daemon pid to this file once listening")
+	logLevel      = flag.String("log-level", "info", "minimum log level (debug, info, warn, error)")
+	debugAddr     = flag.String("debug-addr", "", "private debug listener serving net/http/pprof and /metrics (empty = off)")
+	version       = flag.Bool("version", false, "print the build stamp and exit")
 )
 
 func main() {
@@ -76,6 +82,12 @@ func main() {
 	p.Rounds = *rounds
 	p.Seed = *seed
 
+	weights, err := service.ParseTenantWeights(*tenantWeights)
+	if err != nil {
+		log.Error("bad -tenant-weights", "err", err)
+		os.Exit(2)
+	}
+
 	// One process-wide registry: the service publishes its queue/worker/
 	// journal instruments into it, and the sim bridge routes per-policy
 	// simulation metrics (GC pauses, swap traffic, launches) into the
@@ -84,13 +96,17 @@ func main() {
 	telemetry.SetSimRegistry(reg)
 
 	svc, err := service.New(service.Config{
-		Workers:     *workers,
-		QueueCap:    *queueCap,
-		JournalPath: *journal,
-		Params:      p,
-		Deadline:    *deadline,
-		Retries:     *retries,
-		Telemetry:   reg,
+		Workers:             *workers,
+		QueueCap:            *queueCap,
+		JournalPath:         *journal,
+		Params:              p,
+		Deadline:            *deadline,
+		Retries:             *retries,
+		Telemetry:           reg,
+		TenantWeights:       weights,
+		DefaultTenantWeight: *defaultTenantWeight,
+		CoDelTarget:         *codelTarget,
+		CoDelInterval:       *codelInterval,
 	})
 	if err != nil {
 		log.Error("startup failed", "err", err)

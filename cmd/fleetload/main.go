@@ -58,6 +58,18 @@ var (
 	connRetries = flag.Int("conn-retries", 8, "max consecutive connection-refused/reset retries per request (exponential backoff with jitter)")
 	logLevel    = flag.String("log-level", "warn", "minimum log level (debug, info, warn, error)")
 	version     = flag.Bool("version", false, "print the build stamp and exit")
+
+	tenant      = flag.String("tenant", "", "tenant name stamped on every job (empty = daemon default)")
+	class       = flag.String("class", "", "job class: foreground or background (empty = foreground)")
+	jobDeadline = flag.Duration("job-deadline", 0, "per-job end-to-end deadline sent as deadline_ms (0 = none)")
+
+	overload       = flag.Bool("overload", false, "run the saturation harness instead of the normal closed loop (see overload.go)")
+	overloadFactor = flag.Float64("overload-factor", 4, "background flood concurrency as a multiple of the daemon's worker count")
+	overloadRamp   = flag.Duration("overload-ramp", 10*time.Second, "how long the overload phase offers saturating load")
+	tenantsFlag    = flag.String("tenants", "gold=4,bronze=1", "tenant=weight pairs the overload harness floods (weights must match the daemon's -tenant-weights)")
+	fgP99Max       = flag.Duration("fg-p99-max", 5*time.Second, "overload assertion: max allowed foreground p99 queue wait")
+	shareTolerance = flag.Float64("share-tolerance", 0.15, "overload assertion: allowed absolute deviation of background completion shares from the weight ratio")
+	inspectJournal = flag.String("inspect-journal", "", "after the overload run, audit this fleetd journal for duplicate cell commits")
 )
 
 // maxDrainRetries bounds how long a client waits out a draining (503)
@@ -100,20 +112,27 @@ func isConnErr(err error) bool {
 
 // jobSpec mirrors service.JobSpec on the wire.
 type jobSpec struct {
-	Experiments []string `json:"experiments"`
-	Scale       int64    `json:"scale,omitempty"`
-	Rounds      int      `json:"rounds,omitempty"`
-	Seed        uint64   `json:"seed,omitempty"`
-	Quick       bool     `json:"quick,omitempty"`
+	Experiments    []string `json:"experiments"`
+	Scale          int64    `json:"scale,omitempty"`
+	Rounds         int      `json:"rounds,omitempty"`
+	Seed           uint64   `json:"seed,omitempty"`
+	Quick          bool     `json:"quick,omitempty"`
+	Tenant         string   `json:"tenant,omitempty"`
+	Class          string   `json:"class,omitempty"`
+	DeadlineMS     int64    `json:"deadline_ms,omitempty"`
+	IdempotencyKey string   `json:"idempotency_key,omitempty"`
 }
 
 // jobView mirrors the fields of service.JobView fleetload reads.
 type jobView struct {
-	ID          string  `json:"id"`
-	Status      string  `json:"status"`
-	QueueWaitMS float64 `json:"queueWaitMs"`
-	Digest      string  `json:"digest"`
-	Err         string  `json:"err"`
+	ID          string     `json:"id"`
+	Status      string     `json:"status"`
+	QueueWaitMS float64    `json:"queueWaitMs"`
+	Digest      string     `json:"digest"`
+	Err         string     `json:"err"`
+	ErrCode     string     `json:"errCode"`
+	Tenant      string     `json:"tenant"`
+	StartedAt   *time.Time `json:"startedAt"`
 }
 
 // event mirrors the fields of service.Event fleetload reads.
@@ -186,6 +205,9 @@ func main() {
 		total = 4 * *clients
 	}
 	base := "http://" + *addr + "/v1"
+	if *overload {
+		os.Exit(runOverload(base, mix))
+	}
 
 	t := &tally{ids: map[string]int{}, digests: map[string]string{}}
 	var next atomic.Int64
@@ -252,34 +274,62 @@ func main() {
 	fmt.Printf("PASS: all %d jobs completed exactly once, digests consistent across identical specs\n", t.done)
 }
 
+// Shed-retry fallback bounds: when a 429/503 arrives with no advertised
+// backoff at all, retry `attempt` (0-based) sleeps a jittered value in
+// [base·2ⁿ/2, base·2ⁿ], capped — a client must never hot-loop on a
+// server that forgot to say when to come back.
+const (
+	shedBackoffBase = 100 * time.Millisecond
+	shedBackoffCap  = 5 * time.Second
+)
+
+// shedBackoff is the capped exponential fallback for unadvertised shed
+// retries, with full-half jitter so a fleet of clients desynchronizes.
+func shedBackoff(attempt int) time.Duration {
+	d := shedBackoffCap
+	if attempt < 20 {
+		d = shedBackoffBase << uint(attempt)
+		if d > shedBackoffCap || d <= 0 {
+			d = shedBackoffCap
+		}
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
 // retryDelay extracts the server-advertised backoff from a 429/503
 // response: the error envelope's retry_after_ms when present, else the
-// Retry-After header (whole seconds), else one second. It consumes and
-// closes the body.
-func retryDelay(resp *http.Response) time.Duration {
+// Retry-After header (whole seconds). advertised is false when the
+// response carried neither — the caller must fall back to its own
+// capped, jittered backoff (shedBackoff) instead of assuming a delay.
+// It consumes and closes the body.
+func retryDelay(resp *http.Response) (delay time.Duration, advertised bool) {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 	resp.Body.Close()
 	var env apiError
 	if json.Unmarshal(body, &env) == nil && env.Error.RetryAfterMS > 0 {
-		return time.Duration(env.Error.RetryAfterMS * float64(time.Millisecond))
+		return time.Duration(env.Error.RetryAfterMS * float64(time.Millisecond)), true
 	}
 	if after, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && after > 0 {
-		return time.Duration(after) * time.Second
+		return time.Duration(after) * time.Second, true
 	}
-	return time.Second
+	return 0, false
 }
 
 // runOne submits one job (retrying shed and draining submissions per the
 // server's advertised backoff), follows it to a terminal state, fetches
 // the result and folds the measurements into the tally.
 func runOne(client *http.Client, base, exp string, t *tally) {
-	spec := jobSpec{Experiments: []string{exp}, Scale: *scale, Rounds: *rounds, Seed: *seed, Quick: *quick}
+	spec := jobSpec{
+		Experiments: []string{exp}, Scale: *scale, Rounds: *rounds, Seed: *seed, Quick: *quick,
+		Tenant: *tenant, Class: *class, DeadlineMS: int64(*jobDeadline / time.Millisecond),
+	}
 	specKey := fmt.Sprintf("%s/s%d/r%d/seed%d/q%v", exp, *scale, *rounds, *seed, *quick)
 	body, _ := json.Marshal(spec)
 
 	submitted := time.Now()
 	var view jobView
-	drains, conns := 0, 0
+	drains, conns, sheds := 0, 0, 0
 	for {
 		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -302,7 +352,11 @@ func runOne(client *http.Client, base, exp string, t *tally) {
 		conns = 0
 		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 			code := resp.StatusCode
-			delay := retryDelay(resp)
+			delay, advertised := retryDelay(resp)
+			if !advertised {
+				delay = shedBackoff(sheds)
+			}
+			sheds++
 			t.mu.Lock()
 			if code == http.StatusTooManyRequests {
 				t.retries429++

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"syscall"
 	"testing"
@@ -63,4 +65,72 @@ func TestIsConnErr(t *testing.T) {
 func context(t *testing.T) error {
 	t.Helper()
 	return fmt.Errorf("deadline exceeded after %v", time.Second)
+}
+
+// TestShedBackoffBounds: the fallback shed backoff must grow, jitter
+// within [ceiling/2, ceiling], and never return zero (the hot-loop bug
+// this guards against: a 429 with no advertised delay must not be
+// retried immediately).
+func TestShedBackoffBounds(t *testing.T) {
+	for attempt := 0; attempt < 64; attempt++ {
+		ceil := shedBackoffBase << uint(attempt)
+		if attempt >= 20 || ceil > shedBackoffCap || ceil <= 0 {
+			ceil = shedBackoffCap
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := shedBackoff(attempt)
+			if d <= 0 {
+				t.Fatalf("shedBackoff(%d) = %v, want > 0", attempt, d)
+			}
+			if d < ceil/2 || d > ceil {
+				t.Fatalf("shedBackoff(%d) = %v, want in [%v, %v]", attempt, d, ceil/2, ceil)
+			}
+		}
+	}
+}
+
+// TestRetryDelayAdvertised covers the three 429 response shapes: envelope
+// field, Retry-After header fallback, and neither — where the caller must
+// fall back to its own capped backoff instead of a made-up constant.
+func TestRetryDelayAdvertised(t *testing.T) {
+	mk := func(body, header string) *http.Response {
+		rec := httptest.NewRecorder()
+		if header != "" {
+			rec.Header().Set("Retry-After", header)
+		}
+		rec.WriteHeader(http.StatusTooManyRequests)
+		rec.Body.WriteString(body)
+		return rec.Result()
+	}
+	if d, ok := retryDelay(mk(`{"error":{"code":"queue_full","retry_after_ms":1500}}`, "9")); !ok || d != 1500*time.Millisecond {
+		t.Fatalf("envelope case = %v, %v; want 1.5s advertised", d, ok)
+	}
+	if d, ok := retryDelay(mk(`{"error":{"code":"queue_full"}}`, "2")); !ok || d != 2*time.Second {
+		t.Fatalf("header case = %v, %v; want 2s advertised", d, ok)
+	}
+	if d, ok := retryDelay(mk(`{"error":{"code":"queue_full"}}`, "")); ok || d != 0 {
+		t.Fatalf("bare case = %v, %v; want unadvertised", d, ok)
+	}
+	if d, ok := retryDelay(mk("not json at all", "")); ok || d != 0 {
+		t.Fatalf("garbage case = %v, %v; want unadvertised", d, ok)
+	}
+}
+
+// TestParseTenants covers the overload harness's -tenants flag.
+func TestParseTenants(t *testing.T) {
+	names, weights, err := parseTenants("gold=4, bronze=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "gold" || names[1] != "bronze" {
+		t.Fatalf("names = %v", names)
+	}
+	if weights["gold"] != 4 || weights["bronze"] != 1 {
+		t.Fatalf("weights = %v", weights)
+	}
+	for _, bad := range []string{"", "solo=1", "a=4,a=1", "a=0,b=1", "a=x,b=1", "justaname,b=1", "a=-2,b=1"} {
+		if _, _, err := parseTenants(bad); err == nil {
+			t.Fatalf("parseTenants(%q) accepted", bad)
+		}
+	}
 }

@@ -1,0 +1,484 @@
+// The -overload saturation harness: drive fleetd well past capacity and
+// assert the admission-control invariants the scheduler promises —
+//
+//  1. no foreground starvation: every foreground probe completes and its
+//     p99 queue wait stays under -fg-p99-max even while background floods;
+//  2. weighted fairness: while every tenant is backlogged, background
+//     service shares track the configured weights within -share-tolerance;
+//  3. exactly-once under retry storms: every idempotency key maps to one
+//     job ID (each admission is deliberately resubmitted), and with
+//     -inspect-journal no cell was committed twice;
+//  4. clean convergence: once the flood stops, the daemon drains to an
+//     idle queue.
+//
+// The run is three phases. FILL interleaves a fixed backlog of background
+// jobs across the tenants, so the weighted-share measurement starts from
+// symmetric queues. FLOOD holds saturating closed-loop background load
+// per tenant (driving the CoDel shedder) while foreground probes measure
+// interactive latency. DRAIN stops submitting and waits for /v1/stats to
+// report an idle daemon. Shares are computed from the server's own
+// startedAt timestamps: the first ~5K/4 background starts (K = fill per
+// tenant) are slots served while both tenants provably had backlog.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fleetsim/internal/metrics"
+	"fleetsim/internal/snapshot"
+)
+
+// olFillPerTenant is the FILL-phase backlog per tenant (bounded below by
+// the daemon's queue capacity at runtime).
+const olFillPerTenant = 24
+
+// olStats mirrors the /v1/stats fields the harness reads.
+type olStats struct {
+	QueueDepth       int  `json:"queueDepth"`
+	Running          int  `json:"running"`
+	Workers          int  `json:"workers"`
+	QueueCap         int  `json:"queueCap"`
+	ShedOverload     int  `json:"shedOverload"`
+	OverloadShedding bool `json:"overloadShedding"`
+	DeadlineExceeded int  `json:"deadlineExceeded"`
+	IdemReplays      int  `json:"idemReplays"`
+}
+
+func getStats(client *http.Client, base string) (olStats, error) {
+	var st olStats
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return st, fmt.Errorf("stats: HTTP %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// parseTenants parses "name=weight,..." preserving order.
+func parseTenants(s string) (names []string, weights map[string]int, err error) {
+	weights = map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("tenant %q: want name=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w <= 0 {
+			return nil, nil, fmt.Errorf("tenant %q: weight must be a positive integer", part)
+		}
+		name = strings.TrimSpace(name)
+		if _, dup := weights[name]; dup {
+			return nil, nil, fmt.Errorf("tenant %q listed twice", name)
+		}
+		names = append(names, name)
+		weights[name] = w
+	}
+	if len(names) < 2 {
+		return nil, nil, fmt.Errorf("-tenants needs at least two name=weight pairs, got %q", s)
+	}
+	return names, weights, nil
+}
+
+// olDone is one admitted job followed to its terminal state.
+type olDone struct {
+	tenant  string
+	status  string
+	started *time.Time
+	waitMS  float64
+}
+
+// olState is the harness's shared tally.
+type olState struct {
+	mu         sync.Mutex
+	bg         []olDone       // every admitted background job
+	fgWait     metrics.Sample // foreground queue wait, ms
+	fgDone     int
+	fgFailed   int
+	errors     int
+	retries429 int
+	keyIDs     map[string]string // idempotency key → job ID
+	dupKeys    []string          // keys that resolved to more than one ID
+}
+
+func (o *olState) fail(format string, a ...any) {
+	o.mu.Lock()
+	o.errors++
+	o.mu.Unlock()
+	fmt.Printf("overload: "+format+"\n", a...)
+}
+
+// olSubmit posts spec under key until admitted or give-up, honoring the
+// server's advertised backoff (falling back to shedBackoff), then
+// immediately resubmits the same key and records any ID mismatch — the
+// deliberate retry storm behind invariant 3. Returns the admitted view
+// and false when submission was abandoned (deadline passed while shed).
+func olSubmit(client *http.Client, base string, spec jobSpec, key string, giveUp time.Time, o *olState) (jobView, bool) {
+	spec.IdempotencyKey = key
+	body, _ := json.Marshal(spec)
+	post := func() (*http.Response, error) {
+		return client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	}
+	var view jobView
+	conns, sheds := 0, 0
+	for {
+		resp, err := post()
+		if err != nil {
+			if isConnErr(err) && conns < *connRetries {
+				conns++
+				time.Sleep(connBackoff(conns - 1))
+				continue
+			}
+			o.fail("submit %s: %v", key, err)
+			return view, false
+		}
+		conns = 0
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			delay, advertised := retryDelay(resp)
+			if !advertised || delay > 2*time.Second {
+				// The advertised delay scales with standing queue delay;
+				// under a deliberate flood that would have us give up on
+				// measuring. Cap our politeness at the fallback curve.
+				delay = shedBackoff(sheds)
+			}
+			sheds++
+			o.mu.Lock()
+			o.retries429++
+			o.mu.Unlock()
+			if time.Now().After(giveUp) {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				return view, false
+			}
+			time.Sleep(delay)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil || (resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK) || view.ID == "" {
+			o.fail("submit %s: HTTP %d (%v)", key, resp.StatusCode, err)
+			return view, false
+		}
+		break
+	}
+	// Record the key→ID binding and storm the daemon with a duplicate.
+	o.mu.Lock()
+	if prev, ok := o.keyIDs[key]; ok && prev != view.ID {
+		o.dupKeys = append(o.dupKeys, key)
+	}
+	o.keyIDs[key] = view.ID
+	o.mu.Unlock()
+	if resp2, err := post(); err == nil {
+		var dup jobView
+		derr := json.NewDecoder(resp2.Body).Decode(&dup)
+		code := resp2.StatusCode
+		resp2.Body.Close()
+		if derr == nil && (code == http.StatusOK || code == http.StatusAccepted) && dup.ID != view.ID {
+			o.mu.Lock()
+			o.dupKeys = append(o.dupKeys, key)
+			o.mu.Unlock()
+		}
+	}
+	return view, true
+}
+
+// olFollow waits out one admitted job and folds it into the tally.
+func olFollow(client *http.Client, base string, v jobView, tenantName string, fg bool, o *olState) {
+	t := &tally{ids: map[string]int{}, digests: map[string]string{}}
+	final := follow(client, base, v.ID, t)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if fg {
+		o.fgWait.Add(final.QueueWaitMS)
+		if final.Status == "done" {
+			o.fgDone++
+		} else {
+			o.fgFailed++
+		}
+		return
+	}
+	o.bg = append(o.bg, olDone{tenant: tenantName, status: final.Status, started: final.StartedAt, waitMS: final.QueueWaitMS})
+}
+
+func runOverload(base string, mix []string) int {
+	names, weights, err := parseTenants(*tenantsFlag)
+	if err != nil {
+		fmt.Printf("overload: %v\n", err)
+		return 2
+	}
+	client := &http.Client{}
+	st, err := getStats(client, base)
+	if err != nil {
+		fmt.Printf("overload: cannot reach %s: %v\n", base, err)
+		return 2
+	}
+	workers := st.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	// Uniform 1-cell jobs keep DRR cost identical across tenants, so job
+	// counts measure service shares directly. The default experiment is
+	// fig7 (a few hundred ms per quick job): heavy enough that a flood
+	// builds standing queue delay past any sane CoDel target, light
+	// enough that the drain phase converges in seconds. The table
+	// experiments finish in ~1ms and cannot saturate a daemon.
+	exp := "fig7"
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "experiments" {
+			exp = mix[0]
+		}
+	})
+	fill := olFillPerTenant
+	if room := (st.QueueCap - workers - 4) / len(names); room > 0 && room < fill {
+		fill = room
+	}
+	if fill < 4 {
+		fill = 4
+	}
+	fgClients := (workers + 1) / 2
+	bgClients := int(float64(workers) * *overloadFactor / float64(len(names)))
+	if bgClients < 2 {
+		bgClients = 2
+	}
+	fmt.Printf("overload: workers=%d queueCap=%d tenants=%v fill=%d/tenant flood=%d clients/tenant fg=%d probes ramp=%v\n",
+		workers, st.QueueCap, names, fill, bgClients, fgClients, *overloadRamp)
+
+	o := &olState{keyIDs: map[string]string{}}
+	bgSpec := func(t string) jobSpec {
+		return jobSpec{Experiments: []string{exp}, Quick: true, Tenant: t, Class: "background"}
+	}
+	var wg sync.WaitGroup
+
+	// FILL: build a symmetric backlog across tenants so the share window
+	// opens with every tenant provably backlogged. Fills run in parallel
+	// with a short give-up — once the shedder engages, further fills are
+	// pointless and must not stall the harness — and the share window is
+	// later derived from what was actually admitted per tenant.
+	admitted := map[string]int{}
+	var fillMu sync.Mutex
+	fillGiveUp := time.Now().Add(3 * time.Second)
+	var fillWG sync.WaitGroup
+	for n := 0; n < fill; n++ {
+		for _, name := range names {
+			fillWG.Add(1)
+			go func(name string, n int) {
+				defer fillWG.Done()
+				cl := &http.Client{}
+				v, ok := olSubmit(cl, base, bgSpec(name), fmt.Sprintf("ol-fill-%s-%d", name, n), fillGiveUp, o)
+				if !ok {
+					return // shed away: the flood phase keeps the backlog topped up
+				}
+				fillMu.Lock()
+				admitted[name]++
+				fillMu.Unlock()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					olFollow(cl, base, v, name, false, o)
+				}()
+			}(name, n)
+		}
+	}
+	fillWG.Wait()
+	fillDone := time.Now()
+	deadline := fillDone.Add(*overloadRamp)
+
+	// FLOOD + PROBES for the ramp duration.
+	for _, name := range names {
+		for c := 0; c < bgClients; c++ {
+			wg.Add(1)
+			go func(name string, c int) {
+				defer wg.Done()
+				cl := &http.Client{}
+				for n := 0; time.Now().Before(deadline); n++ {
+					v, ok := olSubmit(cl, base, bgSpec(name), fmt.Sprintf("ol-bg-%s-%d-%d", name, c, n), deadline, o)
+					if !ok {
+						continue // shed past the ramp end: not admitted, not followed
+					}
+					olFollow(cl, base, v, name, false, o)
+				}
+			}(name, c)
+		}
+	}
+	for c := 0; c < fgClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := &http.Client{}
+			for n := 0; time.Now().Before(deadline); n++ {
+				spec := jobSpec{Experiments: []string{exp}, Quick: true, Class: "foreground"}
+				v, ok := olSubmit(cl, base, spec, fmt.Sprintf("ol-fg-%d-%d", c, n), deadline, o)
+				if !ok {
+					// Abandoned at ramp end (hard cap sheds all classes);
+					// transport errors were already counted in olSubmit.
+					return
+				}
+				olFollow(cl, base, v, "", true, o)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// DRAIN: the daemon must converge to idle now that the flood stopped.
+	converged := false
+	for waited := time.Duration(0); waited < 2*time.Minute; waited += 250 * time.Millisecond {
+		st, err = getStats(client, base)
+		if err == nil && st.QueueDepth == 0 && st.Running == 0 {
+			converged = true
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	return olReport(o, st, names, weights, admitted, fillDone, converged)
+}
+
+// olReport prints the harness report and evaluates the four invariants.
+// admitted is the FILL-phase backlog per tenant; the share window opens
+// at fillDone (when every tenant's backlog was in place) and spans the
+// service slots the heaviest tenant's remaining fills are guaranteed to
+// cover.
+func olReport(o *olState, st olStats, names []string, weights map[string]int, admitted map[string]int, fillDone time.Time, converged bool) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ok := true
+	fails := func(format string, a ...any) {
+		fmt.Printf("FAIL: "+format+"\n", a...)
+		ok = false
+	}
+
+	// Invariant 1: foreground never starves.
+	p99 := o.fgWait.Percentile(99)
+	fmt.Printf("  foreground: %d done  %d failed  queue-wait ms p50 %.1f p99 %.1f max %.1f\n",
+		o.fgDone, o.fgFailed, o.fgWait.Percentile(50), p99, o.fgWait.Percentile(100))
+	if o.fgFailed > 0 || o.fgDone == 0 {
+		fails("foreground probes: %d failed, %d done", o.fgFailed, o.fgDone)
+	}
+	if max := float64(*fgP99Max) / float64(time.Millisecond); p99 > max {
+		fails("foreground p99 queue wait %.1fms exceeds %.1fms: background flood starved the interactive class", p99, max)
+	}
+
+	// Invariant 2: weighted shares, measured only over service slots where
+	// every tenant provably had backlog. The window opens at fillDone —
+	// jobs started earlier were served before the queues were symmetric —
+	// and each tenant's remaining backlog at that instant is its admitted
+	// fills minus the ones the workers already consumed.
+	started := make([]olDone, 0, len(o.bg))
+	consumedEarly := map[string]int{}
+	bgFailed := 0
+	for _, d := range o.bg {
+		if d.status != "done" {
+			bgFailed++
+		}
+		if d.started == nil {
+			continue
+		}
+		if d.started.Before(fillDone) {
+			consumedEarly[d.tenant]++
+			continue
+		}
+		started = append(started, d)
+	}
+	sort.Slice(started, func(i, j int) bool { return started[i].started.Before(*started[j].started) })
+	kEff := 1 << 30
+	for _, name := range names {
+		if rem := admitted[name] - consumedEarly[name]; rem < kEff {
+			kEff = rem
+		}
+	}
+	// The heaviest tenant (share w_max/Σw) exhausts a kEff-deep backlog
+	// after kEff·Σw/w_max service slots; until then every tenant still
+	// has fills queued, so those slots measure pure DRR shares.
+	totalW, maxW := 0, 1
+	for _, w := range weights {
+		totalW += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	window := kEff * totalW / maxW
+	if window > len(started) {
+		window = len(started)
+	}
+	if window < 0 {
+		window = 0
+	}
+	counts := map[string]int{}
+	for _, d := range started[:window] {
+		counts[d.tenant]++
+	}
+	fmt.Printf("  background: %d admitted  %d failed  %d retries(429)  share window %d starts (backlog depth %d)\n",
+		len(o.bg), bgFailed, o.retries429, window, kEff)
+	if kEff < 8 {
+		fails("only %d backlogged fill jobs per tenant at flood start: too few to judge fairness (raise -queue on fleetd or -codel-interval)", kEff)
+	}
+	for _, name := range names {
+		want := float64(weights[name]) / float64(totalW)
+		got := 0.0
+		if window > 0 {
+			got = float64(counts[name]) / float64(window)
+		}
+		fmt.Printf("    tenant %-10s weight %d  served %3d  share %.2f (want %.2f ±%.2f)\n",
+			name, weights[name], counts[name], got, want, *shareTolerance)
+		if diff := got - want; diff > *shareTolerance || diff < -*shareTolerance {
+			fails("tenant %s served share %.2f, want %.2f ±%.2f", name, got, want, *shareTolerance)
+		}
+	}
+	if bgFailed > 0 {
+		fails("%d background jobs failed", bgFailed)
+	}
+
+	// Invariant 3: exactly-once under the deliberate retry storm.
+	fmt.Printf("  idempotency: %d keys  %d server replays  %d key(s) with multiple IDs\n",
+		len(o.keyIDs), st.IdemReplays, len(o.dupKeys))
+	if len(o.dupKeys) > 0 {
+		fails("idempotency keys mapped to more than one job ID: %v", o.dupKeys)
+	}
+	if *inspectJournal != "" {
+		res, err := snapshot.Inspect(*inspectJournal)
+		if err != nil {
+			fails("journal inspect %s: %v", *inspectJournal, err)
+		} else {
+			dups := res.DuplicateCells()
+			fmt.Printf("  journal: %s\n", res.String())
+			if len(dups) > 0 {
+				fails("journal holds %d duplicate cell commit(s): %v", len(dups), dups)
+			}
+		}
+	}
+
+	// Invariant 4: convergence, and the overload machinery actually fired.
+	fmt.Printf("  daemon: shedOverload=%d shedding=%v queueDepth=%d running=%d converged=%v\n",
+		st.ShedOverload, st.OverloadShedding, st.QueueDepth, st.Running, converged)
+	if !converged {
+		fails("daemon did not drain to idle within 2m of the flood ending")
+	}
+	if st.ShedOverload == 0 {
+		fails("the overload shedder never fired: the flood did not saturate the daemon (raise -overload-factor or lower -codel-target)")
+	}
+	if o.errors > 0 {
+		fails("%d harness errors (see lines above)", o.errors)
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Printf("PASS: foreground served under flood, shares match weights, retries admitted exactly once, daemon converged\n")
+	return 0
+}

@@ -1,0 +1,438 @@
+// Admission-control contract tests: deadline propagation, cancellation
+// releasing its slot, idempotent resubmission, zero-weight tenants, and
+// the CoDel background shedder — the service-level guarantees the
+// overload harness (cmd/fleetload -overload) later checks end to end.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fleetsim/internal/experiments"
+	"fleetsim/internal/telemetry"
+)
+
+// TestDeadlineExpiredJobNeverRuns proves an expired queued job is failed
+// with the typed code at dequeue — its cells never execute.
+func TestDeadlineExpiredJobNeverRuns(t *testing.T) {
+	block, started, release := blocker()
+	var ran atomic.Int64
+	s, err := New(Config{
+		Workers: 1,
+		Lookup: fakeLookup(map[string]func(experiments.Params) string{
+			"block": block,
+			"mark": func(experiments.Params) string {
+				ran.Add(1)
+				return "marked\n"
+			},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Occupy the only worker, then queue a job whose deadline lapses
+	// while it waits.
+	bv, err := s.Submit(JobSpec{Experiments: []string{"block"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	dv, err := s.Submit(JobSpec{Experiments: []string{"mark"}, DeadlineMS: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // deadline lapses while queued
+	close(release)
+
+	fv := await(t, s, dv.ID)
+	if fv.Status != StatusFailed {
+		t.Fatalf("expired job status = %s, want failed", fv.Status)
+	}
+	if fv.ErrCode != string(CodeDeadlineExceeded) {
+		t.Fatalf("errCode = %q, want %q", fv.ErrCode, CodeDeadlineExceeded)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("expired job executed %d cells, want 0", n)
+	}
+	if st := s.Stats(); st.DeadlineExceeded != 1 {
+		t.Fatalf("DeadlineExceeded = %d, want 1", st.DeadlineExceeded)
+	}
+	// The blocking job itself finishes normally.
+	if fv := await(t, s, bv.ID); fv.Status != StatusDone {
+		t.Fatalf("blocker job: %s", fv.Status)
+	}
+	// The terminal event carries the code for Watch consumers too.
+	var code string
+	s.Watch(context.Background(), dv.ID, func(ev Event) error {
+		if ev.Phase == "failed" {
+			code = ev.ErrCode
+		}
+		return nil
+	})
+	if code != string(CodeDeadlineExceeded) {
+		t.Fatalf("failed event errCode = %q, want %q", code, CodeDeadlineExceeded)
+	}
+}
+
+// TestDeadlineViewExposed: DeadlineAt is surfaced on the job view.
+func TestDeadlineViewExposed(t *testing.T) {
+	block, started, release := blocker()
+	s, err := New(Config{
+		Workers: 1,
+		Lookup:  fakeLookup(map[string]func(experiments.Params) string{"block": block}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer close(release)
+	v, err := s.Submit(JobSpec{Experiments: []string{"block"}, DeadlineMS: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	jv, _ := s.Job(v.ID)
+	if jv.DeadlineAt == nil {
+		t.Fatal("DeadlineAt nil for a job submitted with deadline_ms")
+	}
+	if got := time.Until(*jv.DeadlineAt); got < 50*time.Second || got > 61*time.Second {
+		t.Fatalf("DeadlineAt %v from now, want ~60s", got)
+	}
+}
+
+// TestCancelQueuedReleasesSlot is the regression for the cancellation
+// leak: fill the queue, cancel the queued job, and the freed slot must
+// admit a resubmission immediately.
+func TestCancelQueuedReleasesSlot(t *testing.T) {
+	block, started, release := blocker()
+	s, err := New(Config{
+		Workers:  1,
+		QueueCap: 1,
+		Lookup:   fakeLookup(map[string]func(experiments.Params) string{"block": block, "a": instant("A")}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer close(release)
+
+	if _, err := s.Submit(JobSpec{Experiments: []string{"block"}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := s.Submit(JobSpec{Experiments: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(JobSpec{Experiments: []string{"a"}}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue should be full, got err = %v", err)
+	}
+	cv, ok := s.Cancel(queued.ID)
+	if !ok || cv.Status != StatusCancelled {
+		t.Fatalf("Cancel: ok=%v status=%s", ok, cv.Status)
+	}
+	// The slot is free the moment Cancel returns — no tombstone waiting
+	// for a worker dequeue.
+	resub, err := s.Submit(JobSpec{Experiments: []string{"a"}})
+	if err != nil {
+		t.Fatalf("resubmit after cancel: %v, want admission into the freed slot", err)
+	}
+	if resub.Status != StatusQueued {
+		t.Fatalf("resubmitted job status = %s", resub.Status)
+	}
+}
+
+// TestIdempotentResubmit: the same key replays the original admission —
+// while queued, while terminal, and never as a duplicate enqueue.
+func TestIdempotentResubmit(t *testing.T) {
+	block, started, release := blocker()
+	s, err := New(Config{
+		Workers: 1,
+		Lookup:  fakeLookup(map[string]func(experiments.Params) string{"block": block, "a": instant("A")}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.Submit(JobSpec{Experiments: []string{"block"}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	spec := JobSpec{Experiments: []string{"a"}, Seed: 5, IdempotencyKey: "retry-1"}
+	first, replayed, err := s.SubmitIdem(spec)
+	if err != nil || replayed {
+		t.Fatalf("first submit: replayed=%v err=%v", replayed, err)
+	}
+	second, replayed, err := s.SubmitIdem(spec)
+	if err != nil || !replayed {
+		t.Fatalf("retry: replayed=%v err=%v", replayed, err)
+	}
+	if second.ID != first.ID {
+		t.Fatalf("retry returned job %s, want original %s", second.ID, first.ID)
+	}
+	// A different spec under the same key is a client bug, not a replay.
+	bad := spec
+	bad.Seed = 6
+	if _, _, err := s.SubmitIdem(bad); !errors.Is(err, ErrIdempotencyMismatch) {
+		t.Fatalf("mismatched spec: err = %v, want ErrIdempotencyMismatch", err)
+	}
+	if st := s.Stats(); st.IdemReplays != 1 || st.Submitted != 2 {
+		t.Fatalf("stats = replays %d submitted %d, want 1 / 2", st.IdemReplays, st.Submitted)
+	}
+
+	close(release)
+	await(t, s, first.ID)
+	// Replay still answers after the job is terminal.
+	third, replayed, err := s.SubmitIdem(spec)
+	if err != nil || !replayed || third.ID != first.ID {
+		t.Fatalf("terminal replay: id=%s replayed=%v err=%v", third.ID, replayed, err)
+	}
+	if third.Status != StatusDone {
+		t.Fatalf("terminal replay status = %s", third.Status)
+	}
+}
+
+// TestIdempotencyKeySurvivesRestart: keys are rebuilt from the journaled
+// specs, so a retry that lands on the restarted daemon still replays.
+func TestIdempotencyKeySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	lookup := fakeLookup(map[string]func(experiments.Params) string{"a": instant("A")})
+	spec := JobSpec{Experiments: []string{"a"}, IdempotencyKey: "boot-1", Tenant: "gold", Class: "background"}
+
+	s1, err := New(Config{Workers: 1, JournalPath: path, Lookup: lookup, Telemetry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	await(t, s1, v.ID)
+	s1.Close()
+
+	s2, err := New(Config{Workers: 1, JournalPath: path, Lookup: lookup, Telemetry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rv, replayed, err := s2.SubmitIdem(spec)
+	if err != nil || !replayed {
+		t.Fatalf("post-restart retry: replayed=%v err=%v", replayed, err)
+	}
+	if rv.ID != v.ID {
+		t.Fatalf("post-restart retry returned %s, want original %s", rv.ID, v.ID)
+	}
+	if rv.Tenant != "gold" || rv.Class != ClassBackground {
+		t.Fatalf("replayed view tenant/class = %s/%s", rv.Tenant, rv.Class)
+	}
+}
+
+// TestZeroWeightTenantRejected: weight 0 means "no service share", so
+// submissions are refused at the door rather than queued forever.
+func TestZeroWeightTenantRejected(t *testing.T) {
+	s, srv := newAPI(t, Config{Workers: 1, TenantWeights: map[string]int{"banned": 0, "gold": 4}})
+	if _, err := s.Submit(JobSpec{Experiments: []string{"a"}, Tenant: "banned"}); !errors.Is(err, ErrZeroWeight) {
+		t.Fatalf("zero-weight submit: err = %v, want ErrZeroWeight", err)
+	}
+	if _, err := s.Submit(JobSpec{Experiments: []string{"a"}, Tenant: "gold"}); err != nil {
+		t.Fatalf("weighted tenant refused: %v", err)
+	}
+	// Same contract over HTTP: 400 with the typed code.
+	body, _ := json.Marshal(JobSpec{Experiments: []string{"a"}, Tenant: "banned"})
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var envelope errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != CodeInvalidTenant {
+		t.Fatalf("code = %q, want %q", envelope.Error.Code, CodeInvalidTenant)
+	}
+}
+
+// shedNow drives the service's CoDel controller into the shedding state:
+// one worker blocked, a queued job aging past target, and two probe
+// submissions separated by more than the interval.
+func shedNow(t *testing.T, s *Service) {
+	t.Helper()
+	if _, err := s.Submit(JobSpec{Experiments: []string{"a"}, Class: "background", Tenant: "filler"}); err != nil {
+		t.Fatalf("filler submit: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Stats().OverloadShedding {
+		if time.Now().After(deadline) {
+			t.Fatal("controller never entered shedding")
+		}
+		time.Sleep(15 * time.Millisecond)
+		// Each probe feeds the controller the oldest head's age; once the
+		// streak exceeds the interval it starts refusing background.
+		_, err := s.Submit(JobSpec{Experiments: []string{"a"}, Class: "background", Tenant: "probe"})
+		if err != nil && !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("probe submit: %v", err)
+		}
+	}
+}
+
+// TestOverloadShedsBackgroundOnly: with a standing queue past the CoDel
+// target, background is refused with ErrOverloaded while foreground is
+// still admitted; an idle daemon exits the shedding state.
+func TestOverloadShedsBackgroundOnly(t *testing.T) {
+	block, started, release := blocker()
+	s, err := New(Config{
+		Workers:       1,
+		QueueCap:      64,
+		CoDelTarget:   5 * time.Millisecond,
+		CoDelInterval: 10 * time.Millisecond,
+		Lookup:        fakeLookup(map[string]func(experiments.Params) string{"block": block, "a": instant("A")}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if _, err := s.Submit(JobSpec{Experiments: []string{"block"}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	shedNow(t, s)
+
+	// Background is shed with the typed error…
+	if _, err := s.Submit(JobSpec{Experiments: []string{"a"}, Class: "background"}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("background under overload: err = %v, want ErrOverloaded", err)
+	}
+	// …with a Retry-After scaled to at least the configured base…
+	if ra := s.ShedRetryAfter(); ra < s.RetryAfter() {
+		t.Fatalf("ShedRetryAfter = %v < base %v", ra, s.RetryAfter())
+	}
+	// …while foreground still gets in.
+	fg, err := s.Submit(JobSpec{Experiments: []string{"a"}, Class: "foreground"})
+	if err != nil {
+		t.Fatalf("foreground under overload: %v, want admission", err)
+	}
+	st := s.Stats()
+	if !st.OverloadShedding || st.ShedOverload == 0 {
+		t.Fatalf("stats = shedding %v shedOverload %d", st.OverloadShedding, st.ShedOverload)
+	}
+	if st.QueueDepthFG == 0 {
+		t.Fatalf("QueueDepthFG = 0 with a queued foreground job (stats %+v)", st)
+	}
+
+	// Drain everything; once idle, the next submission observes an empty
+	// queue and the controller stops shedding.
+	close(release)
+	await(t, s, fg.ID)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if st.QueueDepth == 0 && st.Running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never drained: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := s.Submit(JobSpec{Experiments: []string{"a"}, Class: "background"}); err != nil {
+		t.Fatalf("background after recovery: %v, want admission", err)
+	}
+	if st := s.Stats(); st.OverloadShedding {
+		t.Fatal("still shedding after the queue drained")
+	}
+}
+
+// TestOverloadHTTPContract: the background 429 carries code
+// overload_shed and a positive retry_after_ms; idempotent resubmission
+// answers 200 with the replay header and the original job ID.
+func TestOverloadHTTPContract(t *testing.T) {
+	block, started, release := blocker()
+	s, srv := newAPI(t, Config{
+		Workers:       1,
+		QueueCap:      64,
+		CoDelTarget:   5 * time.Millisecond,
+		CoDelInterval: 10 * time.Millisecond,
+		Lookup:        fakeLookup(map[string]func(experiments.Params) string{"block": block, "a": instant("A")}),
+	})
+	defer close(release)
+
+	if _, err := s.Submit(JobSpec{Experiments: []string{"block"}}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// First submit with an idempotency key, before overload sets in.
+	post := func(spec JobSpec) (*http.Response, JobView) {
+		t.Helper()
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		resp.Body.Close()
+		return resp, v
+	}
+	keyed := JobSpec{Experiments: []string{"a"}, Class: "background", IdempotencyKey: "http-1"}
+	resp, orig := post(keyed)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("keyed submit: %d", resp.StatusCode)
+	}
+
+	shedNow(t, s)
+
+	// A fresh background submit is shed with the typed envelope.
+	body, _ := json.Marshal(JobSpec{Experiments: []string{"a"}, Class: "background"})
+	shedResp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shedResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429", shedResp.StatusCode)
+	}
+	if ra := shedResp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want positive seconds", ra)
+	}
+	var envelope errorBody
+	if err := json.NewDecoder(shedResp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	shedResp.Body.Close()
+	if envelope.Error.Code != CodeOverloadShed || envelope.Error.RetryAfterMS <= 0 {
+		t.Fatalf("envelope = %+v, want overload_shed with retry_after_ms", envelope.Error)
+	}
+
+	// The keyed retry replays through the shedder: 200, replay header,
+	// original ID — a retry storm cannot double-enqueue.
+	retryResp, rv := post(keyed)
+	if retryResp.StatusCode != http.StatusOK {
+		t.Fatalf("keyed retry under overload: %d, want 200", retryResp.StatusCode)
+	}
+	if retryResp.Header.Get("X-Fleetd-Idempotent-Replay") != "true" {
+		t.Fatal("keyed retry missing X-Fleetd-Idempotent-Replay header")
+	}
+	if rv.ID != orig.ID {
+		t.Fatalf("keyed retry returned %s, want %s", rv.ID, orig.ID)
+	}
+}

@@ -18,8 +18,14 @@
 //
 // Every error is a JSON envelope {"error":{"code","message",…}} with a
 // typed code (see ErrorCode). Admission control stays visible on submit:
-// a full queue sheds with 429 plus Retry-After (header and
-// retry_after_ms), and a draining daemon refuses with 503.
+// a full queue sheds with 429 queue_full plus Retry-After (header and
+// retry_after_ms), an overloaded daemon sheds *background* submissions
+// with 429 overload_shed (Retry-After scaled by the measured queue
+// delay), and a draining daemon refuses with 503. Submits may carry
+// tenant/class fair-queueing identity, a deadline_ms queue expiry, and
+// an idempotency key (spec field or Idempotency-Key header) — a replayed
+// key returns the original job with 200 + X-Fleetd-Idempotent-Replay
+// instead of a duplicate 202.
 package service
 
 import (
@@ -49,8 +55,25 @@ type ErrorCode string
 const (
 	// CodeBadRequest is a malformed or invalid request body/parameter.
 	CodeBadRequest ErrorCode = "bad_request"
-	// CodeQueueFull means admission was shed (429; honor retry_after_ms).
+	// CodeQueueFull means admission was shed on the hard queue bound —
+	// the whole daemon is saturated (429; honor retry_after_ms).
 	CodeQueueFull ErrorCode = "queue_full"
+	// CodeOverloadShed means a background submission was shed by the
+	// CoDel controller: queue delay has been above target for a full
+	// interval, and background absorbs the squeeze first (429;
+	// retry_after_ms scales with the measured delay). Foreground
+	// submissions never receive this code.
+	CodeOverloadShed ErrorCode = "overload_shed"
+	// CodeInvalidTenant means the tenant is configured with weight zero:
+	// the scheduler would never serve it (400).
+	CodeInvalidTenant ErrorCode = "invalid_tenant"
+	// CodeIdempotencyMismatch means the idempotency key was already used
+	// with a different spec (409).
+	CodeIdempotencyMismatch ErrorCode = "idempotency_mismatch"
+	// CodeDeadlineExceeded is the typed failure code of jobs whose
+	// client deadline lapsed before they could run — it appears in
+	// JobView.errCode and terminal events, not as a submit error.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
 	// CodeDraining means the daemon is shutting down (503; resubmit to
 	// its successor or honor retry_after_ms).
 	CodeDraining ErrorCode = "draining"
@@ -147,19 +170,37 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: fmt.Sprintf("bad job spec: %v", err)})
 		return
 	}
-	view, err := s.Submit(spec)
+	// The standard Idempotency-Key header is an alias for the spec field.
+	if spec.IdempotencyKey == "" {
+		spec.IdempotencyKey = r.Header.Get("Idempotency-Key")
+	}
+	view, replayed, err := s.SubmitIdem(spec)
 	retryMS := int64(s.RetryAfter() / time.Millisecond)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, APIError{Code: CodeQueueFull, Message: err.Error(), RetryAfterMS: retryMS})
+	case errors.Is(err, ErrOverloaded):
+		// Retry-After scales with the measured standing delay: the
+		// deeper the queue, the longer background clients stay away.
+		shedMS := int64(s.ShedRetryAfter() / time.Millisecond)
+		writeError(w, http.StatusTooManyRequests, APIError{Code: CodeOverloadShed, Message: err.Error(), RetryAfterMS: shedMS})
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, APIError{Code: CodeDraining, Message: err.Error(), RetryAfterMS: retryMS})
 	case errors.Is(err, ErrJournalFailing):
 		// No Retry-After: a failing disk does not heal on a timer; the
 		// client should go elsewhere.
 		writeError(w, http.StatusServiceUnavailable, APIError{Code: CodeJournalFailing, Message: err.Error()})
+	case errors.Is(err, ErrZeroWeight):
+		writeError(w, http.StatusBadRequest, APIError{Code: CodeInvalidTenant, Message: err.Error()})
+	case errors.Is(err, ErrIdempotencyMismatch):
+		writeError(w, http.StatusConflict, APIError{Code: CodeIdempotencyMismatch, Message: err.Error()})
 	case err != nil:
 		writeError(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Message: err.Error()})
+	case replayed:
+		// The admission already happened; tell the client it is looking
+		// at the original job, not a new one.
+		w.Header().Set("X-Fleetd-Idempotent-Replay", "true")
+		writeJSON(w, http.StatusOK, view)
 	default:
 		writeJSON(w, http.StatusAccepted, view)
 	}

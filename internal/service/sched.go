@@ -1,0 +1,345 @@
+// Two-class, per-tenant weighted-fair admission scheduling.
+//
+// The daemon applies the paper's fore/background asymmetry to CPU and
+// queue pressure: jobs are classed foreground (interactive — a client is
+// waiting on the result) or background (batch campaigns that can absorb
+// delay), and within each class every tenant owns a deficit-round-robin
+// virtual queue whose service share follows its configured weight.
+// Dequeue order is strict: foreground tenants are served before any
+// background job, and a CoDel-style controller sheds *background*
+// admissions first when measured queue delay stays above target —
+// foreground is only refused when the whole daemon is saturated (the
+// hard QueueCap).
+//
+// The scheduler is not concurrency-safe on its own; every method is
+// called under Service.mu, which also makes the dequeue order
+// deterministic for the fairness tests.
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Class separates interactive from batch work.
+type Class string
+
+const (
+	// ClassForeground is the interactive path: served first, shed last.
+	ClassForeground Class = "foreground"
+	// ClassBackground is batch work: absorbs queue pressure and is shed
+	// first under overload.
+	ClassBackground Class = "background"
+)
+
+// DefaultTenant is the tenant jobs land in when the spec names none.
+const DefaultTenant = "default"
+
+// ParseClass normalizes the wire value of a job class. Empty means
+// foreground: existing clients predate the field and were interactive.
+func ParseClass(s string) (Class, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "fg", "foreground", "interactive":
+		return ClassForeground, nil
+	case "bg", "background", "batch":
+		return ClassBackground, nil
+	}
+	return "", fmt.Errorf("unknown class %q (want foreground or background)", s)
+}
+
+// ParseTenantWeights parses a "name=weight,name=weight" flag value.
+func ParseTenantWeights(s string) (map[string]int, error) {
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("tenant weight %q: want name=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("tenant weight %q: weight must be a non-negative integer", part)
+		}
+		out[strings.TrimSpace(name)] = w
+	}
+	return out, nil
+}
+
+// tenantQueue is one tenant's FIFO within one class, with its DRR
+// deficit counter. Cost is measured in cells, so a 3-cell job spends
+// three times the deficit of a 1-cell job.
+type tenantQueue struct {
+	tenant  string
+	jobs    []*job
+	deficit int64
+	// earned marks that this tenant already received its quantum for the
+	// current round-robin visit; it earns again only after yielding the
+	// turn, which is what bounds any tenant's share to quantum·weight per
+	// round.
+	earned bool
+}
+
+// classRing is the active-tenant round-robin of one class.
+type classRing struct {
+	active   []*tenantQueue
+	byTenant map[string]*tenantQueue
+	next     int // active index served next
+	size     int // queued jobs across all tenants
+}
+
+func newClassRing() *classRing {
+	return &classRing{byTenant: map[string]*tenantQueue{}}
+}
+
+func (r *classRing) push(j *job) {
+	tq := r.byTenant[j.tenant]
+	if tq == nil {
+		tq = &tenantQueue{tenant: j.tenant}
+		r.byTenant[j.tenant] = tq
+	}
+	if len(tq.jobs) == 0 {
+		r.active = append(r.active, tq)
+	}
+	tq.jobs = append(tq.jobs, j)
+	r.size++
+}
+
+// removeActive drops active[i], keeping next pointed at the tenant that
+// would have been served after it. A tenant leaving the ring forfeits its
+// accumulated deficit (standard DRR: deficits only persist across rounds
+// while backlogged, so an idle tenant cannot bank service time).
+func (r *classRing) removeActive(i int) {
+	tq := r.active[i]
+	tq.deficit = 0
+	tq.earned = false
+	delete(r.byTenant, tq.tenant)
+	r.active = append(r.active[:i], r.active[i+1:]...)
+	if i < r.next {
+		r.next--
+	}
+	if len(r.active) > 0 {
+		r.next %= len(r.active)
+	} else {
+		r.next = 0
+	}
+}
+
+// pop serves the next job per DRR: when the turn arrives at a tenant it
+// earns quantum·weight once, then keeps serving while the deficit covers
+// the head job's cost; when it no longer does, the turn passes on and
+// the tenant will earn again on its next visit. Every full lap around
+// the ring strictly grows some deficit, so the loop always terminates in
+// a pop while the ring is non-empty.
+func (r *classRing) pop(weight func(string) int64, quantum int64) *job {
+	for r.size > 0 {
+		tq := r.active[r.next]
+		if len(tq.jobs) == 0 { // defensive: empty tenants leave the ring eagerly
+			r.removeActive(r.next)
+			continue
+		}
+		if !tq.earned {
+			tq.deficit += quantum * weight(tq.tenant)
+			tq.earned = true
+		}
+		cost := jobCost(tq.jobs[0])
+		if tq.deficit < cost {
+			tq.earned = false // yield: earn a fresh quantum next visit
+			r.next = (r.next + 1) % len(r.active)
+			continue
+		}
+		tq.deficit -= cost
+		j := tq.jobs[0]
+		tq.jobs = tq.jobs[1:]
+		r.size--
+		if len(tq.jobs) == 0 {
+			// tq went idle mid-visit; it is still active[next].
+			r.removeActive(r.next)
+		}
+		return j
+	}
+	return nil
+}
+
+// remove deletes a still-queued job (cancellation), releasing its
+// admission slot immediately rather than leaving a tombstone for a
+// worker to dequeue.
+func (r *classRing) remove(j *job) bool {
+	tq := r.byTenant[j.tenant]
+	if tq == nil {
+		return false
+	}
+	for i, q := range tq.jobs {
+		if q == j {
+			tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+			r.size--
+			if len(tq.jobs) == 0 {
+				for ai, a := range r.active {
+					if a == tq {
+						r.removeActive(ai)
+						break
+					}
+				}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// jobCost is the DRR cost of a job in quantum units: its cell count.
+func jobCost(j *job) int64 {
+	if n := int64(len(j.cells)); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// scheduler is the two-class admission queue: a foreground ring served
+// strictly before a background ring, both DRR-fair across tenants.
+type scheduler struct {
+	fg, bg *classRing
+	weight func(string) int64
+}
+
+func newScheduler(weights map[string]int, defaultWeight int) *scheduler {
+	if defaultWeight <= 0 {
+		defaultWeight = 1
+	}
+	w := make(map[string]int64, len(weights))
+	for k, v := range weights {
+		w[k] = int64(v)
+	}
+	return &scheduler{
+		fg: newClassRing(),
+		bg: newClassRing(),
+		weight: func(tenant string) int64 {
+			if v, ok := w[tenant]; ok {
+				if v <= 0 {
+					return 1 // zero-weight tenants are rejected at submit; never divide service by 0
+				}
+				return v
+			}
+			return int64(defaultWeight)
+		},
+	}
+}
+
+func (s *scheduler) ring(c Class) *classRing {
+	if c == ClassBackground {
+		return s.bg
+	}
+	return s.fg
+}
+
+func (s *scheduler) push(j *job) { s.ring(j.class).push(j) }
+
+func (s *scheduler) pop() *job {
+	if j := s.fg.pop(s.weight, 1); j != nil {
+		return j
+	}
+	return s.bg.pop(s.weight, 1)
+}
+
+func (s *scheduler) remove(j *job) bool { return s.ring(j.class).remove(j) }
+
+func (s *scheduler) len() int { return s.fg.size + s.bg.size }
+func (s *scheduler) lenClass(c Class) int {
+	return s.ring(c).size
+}
+
+// pos is the job's 1-based position within its own tenant+class virtual
+// queue (0 if not queued). With per-tenant fair queueing there is no
+// single global order, so this is the honest progress indicator.
+func (s *scheduler) pos(j *job) int {
+	tq := s.ring(j.class).byTenant[j.tenant]
+	if tq == nil {
+		return 0
+	}
+	for i, q := range tq.jobs {
+		if q == j {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// oldestHead returns the earliest submission time among the head jobs of
+// the class's tenant queues — the submit-time estimate of that class's
+// current queue delay. ok is false when nothing of the class is queued.
+// The overload controller feeds on the background class only: foreground
+// rides the strict-priority fast path, so its near-zero sojourns say
+// nothing about the standing queue the controller exists to detect (and
+// would reset the above-target streak every time a probe lands).
+func (s *scheduler) oldestHead(c Class) (t time.Time, ok bool) {
+	for _, tq := range s.ring(c).active {
+		if len(tq.jobs) == 0 {
+			continue
+		}
+		if h := tq.jobs[0].submitted; !ok || h.Before(t) {
+			t, ok = h, true
+		}
+	}
+	return t, ok
+}
+
+// codel is the CoDel-style overload controller: when the measured
+// *background* queue sojourn time stays above target for a full
+// interval, the daemon starts shedding background admissions (429 +
+// Retry-After scaled by the measured delay). Any measurement back under
+// target exits the shedding state — the controller reacts to standing
+// queues, not bursts. Callers must feed it background-class delay only.
+type codel struct {
+	target   time.Duration
+	interval time.Duration
+
+	aboveSince time.Time     // first measurement of the current above-target streak
+	lastDelay  time.Duration // latest measured sojourn/age
+	shedding   bool
+}
+
+func newCodel(target, interval time.Duration) *codel {
+	if target <= 0 {
+		target = 100 * time.Millisecond
+	}
+	if interval <= 0 {
+		interval = 5 * target
+	}
+	return &codel{target: target, interval: interval}
+}
+
+// observe folds one queue-delay measurement in: sojourn time of a job at
+// dequeue, or the age of the oldest queued job at submit.
+func (c *codel) observe(delay time.Duration, now time.Time) {
+	c.lastDelay = delay
+	if delay < c.target {
+		c.aboveSince = time.Time{}
+		c.shedding = false
+		return
+	}
+	if c.aboveSince.IsZero() {
+		c.aboveSince = now
+	}
+	if now.Sub(c.aboveSince) >= c.interval {
+		c.shedding = true
+	}
+}
+
+// retryAfter scales the advertised client backoff by the measured
+// standing delay: a queue 2s deep tells clients to come back in ~2s, not
+// in a fixed second that would have them hammering a still-full queue.
+func (c *codel) retryAfter(base time.Duration) time.Duration {
+	d := base
+	if c.lastDelay > d {
+		d = c.lastDelay
+	}
+	const limit = 30 * time.Second
+	if d > limit {
+		d = limit
+	}
+	return d
+}

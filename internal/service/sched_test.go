@@ -1,0 +1,293 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// mkJob builds a bare queued job for scheduler-level tests.
+func mkJob(id int, tenant string, class Class, cells int) *job {
+	return &job{
+		id:        fmt.Sprintf("t%04d", id),
+		tenant:    tenant,
+		class:     class,
+		status:    StatusQueued,
+		cells:     make([]cellRecord, cells),
+		submitted: time.Unix(int64(id), 0),
+	}
+}
+
+// drain pops every job and returns the tenant of each pop in order.
+func drainTenants(s *scheduler) []string {
+	var out []string
+	for {
+		j := s.pop()
+		if j == nil {
+			return out
+		}
+		out = append(out, j.tenant)
+	}
+}
+
+// countByTenant tallies how many of the first n pops went to each tenant.
+func countByTenant(order []string, n int) map[string]int {
+	if n > len(order) {
+		n = len(order)
+	}
+	m := map[string]int{}
+	for _, t := range order[:n] {
+		m[t]++
+	}
+	return m
+}
+
+// TestSchedulerFairness is the starvation/fairness table: adversarial
+// floods, weighted shares, class priority, and multi-cell job costs.
+func TestSchedulerFairness(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights map[string]int
+		// load: tenant → (class, jobs, cellsPerJob)
+		setup func(s *scheduler)
+		check func(t *testing.T, s *scheduler)
+	}{
+		{
+			name: "adversarial flood cannot starve a light tenant",
+			setup: func(s *scheduler) {
+				// Tenant "flood" enqueues 100 background jobs before "meek"
+				// enqueues 5. Equal weights: meek must be served
+				// round-robin, not after the flood.
+				for i := 0; i < 100; i++ {
+					s.push(mkJob(i, "flood", ClassBackground, 1))
+				}
+				for i := 0; i < 5; i++ {
+					s.push(mkJob(100+i, "meek", ClassBackground, 1))
+				}
+			},
+			check: func(t *testing.T, s *scheduler) {
+				order := drainTenants(s)
+				// All 5 meek jobs must land within the first 10 pops: DRR
+				// alternates tenants with equal weight.
+				got := countByTenant(order, 10)
+				if got["meek"] != 5 {
+					t.Fatalf("first 10 pops served meek %d times, want 5 (order head: %v)", got["meek"], order[:10])
+				}
+			},
+		},
+		{
+			name:    "weights 1:4 yield a 1:4 service share",
+			weights: map[string]int{"gold": 4, "bronze": 1},
+			setup: func(s *scheduler) {
+				for i := 0; i < 80; i++ {
+					s.push(mkJob(i, "gold", ClassBackground, 1))
+					s.push(mkJob(1000+i, "bronze", ClassBackground, 1))
+				}
+			},
+			check: func(t *testing.T, s *scheduler) {
+				order := drainTenants(s)
+				// While both are backlogged (first 50 pops), gold must get
+				// ~4/5 of the service.
+				got := countByTenant(order, 50)
+				if got["gold"] < 36 || got["gold"] > 44 {
+					t.Fatalf("gold share of first 50 pops = %d, want 40±4", got["gold"])
+				}
+			},
+		},
+		{
+			name: "foreground strictly precedes background",
+			setup: func(s *scheduler) {
+				for i := 0; i < 20; i++ {
+					s.push(mkJob(i, "batch", ClassBackground, 1))
+				}
+				for i := 0; i < 3; i++ {
+					s.push(mkJob(100+i, "ui", ClassForeground, 1))
+				}
+			},
+			check: func(t *testing.T, s *scheduler) {
+				order := drainTenants(s)
+				for i := 0; i < 3; i++ {
+					if order[i] != "ui" {
+						t.Fatalf("pop %d = %s, want ui (foreground first); order %v", i, order[i], order)
+					}
+				}
+			},
+		},
+		{
+			name: "multi-cell jobs cost proportionally more deficit",
+			setup: func(s *scheduler) {
+				// heavy submits 4-cell jobs, light 1-cell jobs, equal
+				// weights: light should pop ~4 jobs per heavy job.
+				for i := 0; i < 10; i++ {
+					s.push(mkJob(i, "heavy", ClassBackground, 4))
+				}
+				for i := 0; i < 40; i++ {
+					s.push(mkJob(100+i, "light", ClassBackground, 1))
+				}
+			},
+			check: func(t *testing.T, s *scheduler) {
+				order := drainTenants(s)
+				got := countByTenant(order, 25)
+				// In cell units service is equal, so in job units light
+				// gets ~4× the pops: ≥15 of the first 25.
+				if got["light"] < 15 {
+					t.Fatalf("light pops in first 25 = %d, want ≥15 (cost-proportional DRR); order %v", got["light"], order[:25])
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newScheduler(tc.weights, 1)
+			tc.setup(s)
+			before := s.len()
+			order := make([]string, 0)
+			_ = order
+			tc.check(t, s)
+			if s.len() != 0 {
+				t.Fatalf("scheduler not drained: %d of %d left", s.len(), before)
+			}
+		})
+	}
+}
+
+// TestSchedulerRemoveReleasesSlot checks cancellation bookkeeping at the
+// scheduler level: removing a queued job shrinks len immediately and the
+// remaining jobs still drain in order.
+func TestSchedulerRemoveReleasesSlot(t *testing.T) {
+	s := newScheduler(nil, 1)
+	a := mkJob(1, "t", ClassForeground, 1)
+	b := mkJob(2, "t", ClassForeground, 1)
+	c := mkJob(3, "u", ClassBackground, 1)
+	s.push(a)
+	s.push(b)
+	s.push(c)
+	if s.len() != 3 || s.lenClass(ClassForeground) != 2 {
+		t.Fatalf("len = %d fg = %d, want 3/2", s.len(), s.lenClass(ClassForeground))
+	}
+	if !s.remove(b) {
+		t.Fatal("remove(b) = false")
+	}
+	if s.remove(b) {
+		t.Fatal("second remove(b) = true, want false")
+	}
+	if s.len() != 2 {
+		t.Fatalf("len after remove = %d, want 2", s.len())
+	}
+	if j := s.pop(); j != a {
+		t.Fatalf("pop = %v, want a", j.id)
+	}
+	if j := s.pop(); j != c {
+		t.Fatalf("pop = %v, want c", j.id)
+	}
+	if s.pop() != nil {
+		t.Fatal("pop on empty scheduler != nil")
+	}
+}
+
+// TestSchedulerOldestHead checks the submit-side queue-delay estimate,
+// and that it is class-scoped: the shedder reads background heads only,
+// so a fast-path foreground job must never show up in that estimate.
+func TestSchedulerOldestHead(t *testing.T) {
+	s := newScheduler(nil, 1)
+	if _, ok := s.oldestHead(ClassBackground); ok {
+		t.Fatal("oldestHead on empty scheduler reported ok")
+	}
+	late := mkJob(100, "a", ClassForeground, 1)
+	early := mkJob(1, "b", ClassBackground, 1)
+	recent := mkJob(50, "c", ClassBackground, 1)
+	s.push(late)
+	s.push(early)
+	s.push(recent)
+	head, ok := s.oldestHead(ClassBackground)
+	if !ok || !head.Equal(early.submitted) {
+		t.Fatalf("oldestHead(bg) = %v ok=%v, want %v", head, ok, early.submitted)
+	}
+	fgHead, ok := s.oldestHead(ClassForeground)
+	if !ok || !fgHead.Equal(late.submitted) {
+		t.Fatalf("oldestHead(fg) = %v ok=%v, want %v", fgHead, ok, late.submitted)
+	}
+	s.remove(late)
+	if _, ok := s.oldestHead(ClassForeground); ok {
+		t.Fatal("oldestHead(fg) after removing the only fg job reported ok")
+	}
+}
+
+// TestCodelController drives the shedding state machine directly.
+func TestCodelController(t *testing.T) {
+	c := newCodel(100*time.Millisecond, 500*time.Millisecond)
+	t0 := time.Unix(1000, 0)
+
+	c.observe(50*time.Millisecond, t0)
+	if c.shedding {
+		t.Fatal("shedding after one below-target measurement")
+	}
+	// Above target, but not yet for a full interval.
+	c.observe(200*time.Millisecond, t0)
+	c.observe(200*time.Millisecond, t0.Add(300*time.Millisecond))
+	if c.shedding {
+		t.Fatal("shedding before the interval elapsed")
+	}
+	// Still above target after the interval: shed.
+	c.observe(200*time.Millisecond, t0.Add(600*time.Millisecond))
+	if !c.shedding {
+		t.Fatal("not shedding after a full above-target interval")
+	}
+	// Retry-After scales with the measured delay, never below base.
+	if got := c.retryAfter(time.Second); got != time.Second {
+		t.Fatalf("retryAfter small delay = %v, want base 1s", got)
+	}
+	c.lastDelay = 7 * time.Second
+	if got := c.retryAfter(time.Second); got != 7*time.Second {
+		t.Fatalf("retryAfter = %v, want scaled 7s", got)
+	}
+	c.lastDelay = 5 * time.Minute
+	if got := c.retryAfter(time.Second); got != 30*time.Second {
+		t.Fatalf("retryAfter = %v, want 30s cap", got)
+	}
+	// One below-target measurement exits shedding.
+	c.observe(10*time.Millisecond, t0.Add(700*time.Millisecond))
+	if c.shedding {
+		t.Fatal("still shedding after delay dropped below target")
+	}
+}
+
+// TestParseTenantWeights covers the flag syntax.
+func TestParseTenantWeights(t *testing.T) {
+	got, err := ParseTenantWeights(" gold=4, bronze=1 ,zero=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["gold"] != 4 || got["bronze"] != 1 || got["zero"] != 0 {
+		t.Fatalf("parsed = %v", got)
+	}
+	if _, err := ParseTenantWeights("gold"); err == nil {
+		t.Fatal("missing '=' accepted")
+	}
+	if _, err := ParseTenantWeights("gold=-1"); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := ParseTenantWeights("gold=x"); err == nil {
+		t.Fatal("non-integer weight accepted")
+	}
+	if got, err := ParseTenantWeights(""); err != nil || len(got) != 0 {
+		t.Fatalf("empty flag: %v %v", got, err)
+	}
+}
+
+// TestParseClass covers the wire aliases and the foreground default.
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]Class{
+		"": ClassForeground, "fg": ClassForeground, "foreground": ClassForeground,
+		"Interactive": ClassForeground,
+		"bg":          ClassBackground, "background": ClassBackground, "Batch": ClassBackground,
+	} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseClass(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseClass("sideground"); err == nil {
+		t.Fatal("bogus class accepted")
+	}
+}

@@ -22,6 +22,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -55,6 +56,17 @@ var (
 	ErrDraining  = errors.New("service: draining, not admitting jobs")
 	ErrUnknown   = errors.New("service: no such job")
 	ErrNotDone   = errors.New("service: job not done")
+	// ErrOverloaded means the CoDel controller is shedding background
+	// admissions: queue delay has been above target for a full interval.
+	// Foreground submissions are never refused with this error — they
+	// shed only on the hard QueueCap (ErrQueueFull).
+	ErrOverloaded = errors.New("service: overloaded, shedding background work")
+	// ErrZeroWeight refuses tenants explicitly configured with weight 0:
+	// admitting them would queue work the scheduler never serves.
+	ErrZeroWeight = errors.New("service: tenant has zero weight")
+	// ErrIdempotencyMismatch means an idempotency key was reused with a
+	// different spec — replaying either answer would be wrong.
+	ErrIdempotencyMismatch = errors.New("service: idempotency key reused with a different spec")
 	// ErrJournalFailing means the daemon is in degraded read-only mode:
 	// the journal stopped accepting durable appends (failed fsync,
 	// ENOSPC, or a newer daemon fenced this one off), so admitting work
@@ -91,6 +103,23 @@ type JobSpec struct {
 	Seed        uint64   `json:"seed,omitempty"`
 	// Quick applies Params.Quick() after the overrides (reduced rounds).
 	Quick bool `json:"quick,omitempty"`
+	// Tenant names the fair-queueing tenant ("" = "default"). Each
+	// tenant's service share follows its configured weight.
+	Tenant string `json:"tenant,omitempty"`
+	// Class is "foreground" (interactive: served first, shed last) or
+	// "background" (batch: absorbs queue pressure, shed first under
+	// overload). Empty means foreground.
+	Class string `json:"class,omitempty"`
+	// DeadlineMS is the client's end-to-end deadline relative to
+	// submission. A job still queued (or between cells) past its deadline
+	// fails with the typed deadline_exceeded code instead of running
+	// stale; the remaining budget also bounds each cell's wall clock.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// IdempotencyKey makes retries safe: a resubmission carrying a key
+	// the daemon has already admitted returns the existing job (same ID,
+	// same journal entry) instead of double-enqueueing. Keys survive
+	// restarts via the journaled spec.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // Event is one progress record of a job's lifetime, streamed to
@@ -118,6 +147,9 @@ type Event struct {
 	CellP50MS float64 `json:"cellP50ms,omitempty"`
 	CellP95MS float64 `json:"cellP95ms,omitempty"`
 	Err       string  `json:"err,omitempty"`
+	// ErrCode is the typed failure code when one applies (currently
+	// "deadline_exceeded").
+	ErrCode string `json:"errCode,omitempty"`
 }
 
 // JobView is the exported snapshot of one job, served by the status API.
@@ -141,6 +173,15 @@ type JobView struct {
 	// daemon process.
 	ResumedCells int    `json:"resumedCells,omitempty"`
 	Err          string `json:"err,omitempty"`
+	// ErrCode is the typed failure code ("deadline_exceeded") when one
+	// applies; clients switch on it, not on Err text.
+	ErrCode string `json:"errCode,omitempty"`
+	// Tenant and Class echo the admission identity the job runs under.
+	Tenant string `json:"tenant,omitempty"`
+	Class  Class  `json:"class,omitempty"`
+	// DeadlineAt is the absolute queue-expiry instant (set when the spec
+	// carried deadline_ms).
+	DeadlineAt *time.Time `json:"deadlineAt,omitempty"`
 }
 
 // Stats is the service-wide counter and latency snapshot served by
@@ -158,6 +199,24 @@ type Stats struct {
 	Workers      int  `json:"workers"`
 	QueueCap     int  `json:"queueCap"`
 	Draining     bool `json:"draining"`
+	// QueueDepthFG/QueueDepthBG split QueueDepth by class.
+	QueueDepthFG int `json:"queueDepthFg"`
+	QueueDepthBG int `json:"queueDepthBg"`
+	// ShedOverload counts background submissions refused by the CoDel
+	// controller (subset of neither Shed nor each other: Shed is the hard
+	// QueueCap count, ShedOverload the delay-triggered background count).
+	ShedOverload int `json:"shedOverload"`
+	// OverloadShedding reports whether the controller is currently
+	// refusing background admissions; OverloadDelayMS is its latest
+	// queue-delay measurement.
+	OverloadShedding bool    `json:"overloadShedding"`
+	OverloadDelayMS  float64 `json:"overloadDelayMs"`
+	// DeadlineExceeded counts jobs failed for expiring in (or re-entering)
+	// the queue past their client deadline.
+	DeadlineExceeded int `json:"deadlineExceeded"`
+	// IdemReplays counts submissions answered from an existing job via
+	// idempotency key instead of enqueueing a duplicate.
+	IdemReplays int `json:"idemReplays"`
 	// Degraded reports journal-failure read-only mode; DegradedReason
 	// carries the first append error that flipped it.
 	Degraded       bool   `json:"degraded"`
@@ -200,8 +259,22 @@ type Config struct {
 	// Retries is the per-cell transient-failure retry budget.
 	Retries int
 	// RetryAfter is the client backoff advertised on queue-full shed
-	// responses (0: 1s).
+	// responses (0: 1s). Overload sheds scale it up by the measured
+	// queue delay.
 	RetryAfter time.Duration
+	// TenantWeights maps tenant names to DRR service weights. A tenant
+	// explicitly configured with weight 0 is refused at submit; tenants
+	// not named here get DefaultTenantWeight.
+	TenantWeights map[string]int
+	// DefaultTenantWeight is the weight of unconfigured tenants (<=0: 1).
+	DefaultTenantWeight int
+	// CoDelTarget is the acceptable standing queue delay; when the
+	// measured delay stays above it for CoDelInterval, background
+	// admissions shed (0: 100ms).
+	CoDelTarget time.Duration
+	// CoDelInterval is how long delay must stay above target before
+	// shedding begins (0: 5×target).
+	CoDelInterval time.Duration
 	// Lookup resolves experiment names to runners. Nil:
 	// experiments.LookupRun (the shared registry). Tests inject
 	// synthetic experiments here.
@@ -264,15 +337,32 @@ type doneRecord struct {
 	Status Status `json:"status"`
 	Digest string `json:"digest,omitempty"`
 	Err    string `json:"err,omitempty"`
+	// Code is the typed failure code ("deadline_exceeded"), replayed
+	// verbatim on resume.
+	Code string `json:"code,omitempty"`
+}
+
+// tenantOf resolves a spec's tenant name.
+func tenantOf(spec JobSpec) string {
+	if t := strings.TrimSpace(spec.Tenant); t != "" {
+		return t
+	}
+	return DefaultTenant
 }
 
 // job is the internal job state. All fields are guarded by Service.mu
-// except immutable identity (id, seq, spec, params).
+// except immutable identity (id, seq, spec, params, tenant, class,
+// expires).
 type job struct {
 	id     string
 	seq    int
 	spec   JobSpec
 	params experiments.Params
+	tenant string
+	class  Class
+	// expires is the absolute client deadline (zero = none): a job still
+	// queued past it fails with deadline_exceeded instead of running.
+	expires time.Time
 
 	status    Status
 	cells     []cellRecord // cells[0:done] are complete
@@ -285,6 +375,7 @@ type job struct {
 	result    string
 	digest    string
 	errMsg    string
+	errCode   string
 	events    []Event
 	// traces caches lazily generated Chrome trace exports per policy
 	// name; traces are deterministic in (params, policy), so the cache is
@@ -304,7 +395,12 @@ type Service struct {
 	workCond  *sync.Cond // queue became non-empty or service stopping
 	eventCond *sync.Cond // an event was emitted somewhere, or stopping
 	jobs      map[string]*job
-	queue     []*job
+	sched     *scheduler
+	codel     *codel
+	// idem maps idempotency keys to their jobs so client retries after a
+	// 429/timeout replay the existing admission instead of enqueueing a
+	// duplicate. Rebuilt from journaled specs on restart.
+	idem map[string]*job
 	// reserved counts admitted jobs journaling their spec before they
 	// enter the queue, so QueueCap stays a hard bound under concurrent
 	// submission.
@@ -329,6 +425,7 @@ type Service struct {
 
 	// Counters and live latency samples.
 	submitted, completed, failed, cancelled, shed int
+	shedOverload, deadlineExceeded, idemReplays   int
 	resumedJobs, resumedCells                     int
 	cellDur, jobDur, queueWait                    metrics.Sample
 
@@ -343,6 +440,9 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:       cfg,
 		jobs:      make(map[string]*job),
+		idem:      make(map[string]*job),
+		sched:     newScheduler(cfg.TenantWeights, cfg.DefaultTenantWeight),
+		codel:     newCodel(cfg.CoDelTarget, cfg.CoDelInterval),
 		nextSeq:   1,
 		startedAt: time.Now(),
 	}
@@ -415,14 +515,29 @@ func (s *Service) replay() error {
 		if !s.store.Get(specKey(seq), &sr) {
 			continue
 		}
+		class, cerr := ParseClass(sr.Spec.Class)
+		if cerr != nil {
+			class = ClassForeground // journal from a newer daemon; serve, don't starve
+		}
 		j := &job{
 			id:        sr.ID,
 			seq:       seq,
 			spec:      sr.Spec,
 			params:    sr.Params,
+			tenant:    tenantOf(sr.Spec),
+			class:     class,
 			status:    StatusQueued,
 			cells:     make([]cellRecord, len(sr.Spec.Experiments)),
 			submitted: sr.SubmittedAt,
+		}
+		if sr.Spec.DeadlineMS > 0 {
+			// The deadline is relative to the original submission, so a
+			// job that expired while the daemon was down fails at dequeue
+			// instead of running stale after the restart.
+			j.expires = sr.SubmittedAt.Add(time.Duration(sr.Spec.DeadlineMS) * time.Millisecond)
+		}
+		if sr.Spec.IdempotencyKey != "" {
+			s.idem[sr.Spec.IdempotencyKey] = j
 		}
 		for i := range j.cells {
 			var cr cellRecord
@@ -438,6 +553,7 @@ func (s *Service) replay() error {
 			j.status = dr.Status
 			j.digest = dr.Digest
 			j.errMsg = dr.Err
+			j.errCode = dr.Code
 			j.finished = sr.SubmittedAt // true finish time was not journaled
 			if dr.Status == StatusDone {
 				j.assemble()
@@ -445,12 +561,12 @@ func (s *Service) replay() error {
 					return fmt.Errorf("service: journal corrupt: job %s digest %s != journaled %s", j.id, j.digest, dr.Digest)
 				}
 			}
-			s.emitLocked(j, Event{Phase: string(dr.Status), Digest: dr.Digest, Err: dr.Err})
+			s.emitLocked(j, Event{Phase: string(dr.Status), Digest: dr.Digest, Err: dr.Err, ErrCode: dr.Code})
 		} else {
 			s.resumedJobs++
 			s.resumedCells += j.done
-			s.queue = append(s.queue, j)
-			s.emitLocked(j, Event{Phase: "queued", Cells: len(j.cells), QueueDepth: len(s.queue)})
+			s.sched.push(j)
+			s.emitLocked(j, Event{Phase: "queued", Cells: len(j.cells), QueueDepth: s.sched.len()})
 		}
 		s.jobs[j.id] = j
 		if seq >= s.nextSeq {
@@ -500,6 +616,15 @@ func (s *Service) Validate(spec JobSpec) error {
 	if spec.Scale < 0 || spec.Rounds < 0 {
 		return fmt.Errorf("service: negative scale/rounds")
 	}
+	if spec.DeadlineMS < 0 {
+		return fmt.Errorf("service: negative deadline_ms")
+	}
+	if _, err := ParseClass(spec.Class); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if w, ok := s.cfg.TenantWeights[tenantOf(spec)]; ok && w <= 0 {
+		return fmt.Errorf("%w: %q", ErrZeroWeight, tenantOf(spec))
+	}
 	for _, name := range spec.Experiments {
 		if _, ok := s.cfg.Lookup(name); !ok {
 			return fmt.Errorf("service: unknown experiment %q (valid: %s)",
@@ -509,28 +634,83 @@ func (s *Service) Validate(spec JobSpec) error {
 	return nil
 }
 
+// specFingerprint canonicalizes a spec for idempotency-key comparison.
+func specFingerprint(spec JobSpec) string {
+	b, _ := json.Marshal(spec)
+	return digestOf(string(b))
+}
+
 // Submit validates and admits a job. It returns ErrDraining once a drain
-// has begun and ErrQueueFull when the bounded queue is at capacity — the
-// HTTP layer turns the latter into 429 + Retry-After.
+// has begun, ErrQueueFull when the bounded queue is at capacity, and
+// ErrOverloaded when the CoDel controller is shedding background work —
+// the HTTP layer turns the latter two into 429 + Retry-After.
 func (s *Service) Submit(spec JobSpec) (JobView, error) {
+	v, _, err := s.SubmitIdem(spec)
+	return v, err
+}
+
+// SubmitIdem is Submit plus the idempotency verdict: replayed is true
+// when the spec's idempotency key matched an already-admitted job and
+// that job's view was returned instead of enqueueing a duplicate.
+func (s *Service) SubmitIdem(spec JobSpec) (JobView, bool, error) {
 	if err := s.Validate(spec); err != nil {
-		return JobView{}, err
+		return JobView{}, false, err
 	}
+	class, _ := ParseClass(spec.Class) // validated above
+	now := time.Now()
 	s.mu.Lock()
+	// Idempotent replay runs before every admission gate: the job
+	// already holds a slot (or finished), so a retry storm must get the
+	// original answer even from a draining or overloaded daemon.
+	if spec.IdempotencyKey != "" {
+		if prev, ok := s.idem[spec.IdempotencyKey]; ok {
+			if specFingerprint(prev.spec) != specFingerprint(spec) {
+				s.mu.Unlock()
+				return JobView{}, false, fmt.Errorf("%w: key %q", ErrIdempotencyMismatch, spec.IdempotencyKey)
+			}
+			s.idemReplays++
+			view := s.viewLocked(prev)
+			s.mu.Unlock()
+			s.inst.idemReplay.Inc()
+			return view, true, nil
+		}
+	}
 	if s.draining || s.stopping {
 		s.mu.Unlock()
-		return JobView{}, ErrDraining
+		return JobView{}, false, ErrDraining
 	}
 	if s.degraded {
 		reason := s.degradedErr
 		s.mu.Unlock()
-		return JobView{}, fmt.Errorf("%w: %s", ErrJournalFailing, reason)
+		return JobView{}, false, fmt.Errorf("%w: %s", ErrJournalFailing, reason)
 	}
-	if len(s.queue)+s.reserved >= s.cfg.QueueCap {
+	// Feed the overload controller the age of the oldest queued
+	// *background* job — the submit-side delay estimate that keeps
+	// working when saturated workers stop producing dequeue
+	// measurements. Foreground delay is deliberately excluded: strict
+	// priority keeps fg sojourns near zero even when the bg queue is
+	// seconds deep, and folding them in would reset the above-target
+	// streak on every fg arrival. An empty bg queue is a zero-delay
+	// observation — no standing queue means nothing to shed.
+	if head, ok := s.sched.oldestHead(ClassBackground); ok {
+		s.codel.observe(now.Sub(head), now)
+	} else {
+		s.codel.observe(0, now)
+	}
+	// The hard cap sheds every class — a daemon that cannot queue more
+	// work is saturated, full stop. Below the cap, only background pays
+	// for a standing queue.
+	if s.sched.len()+s.reserved >= s.cfg.QueueCap {
 		s.shed++
 		s.mu.Unlock()
 		s.inst.shed.Inc()
-		return JobView{}, ErrQueueFull
+		return JobView{}, false, ErrQueueFull
+	}
+	if class == ClassBackground && s.codel.shedding {
+		s.shedOverload++
+		s.mu.Unlock()
+		s.inst.shedOverload.Inc()
+		return JobView{}, false, ErrOverloaded
 	}
 	seq := s.nextSeq
 	s.nextSeq++
@@ -539,11 +719,22 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 		seq:       seq,
 		spec:      spec,
 		params:    s.paramsFor(spec),
+		tenant:    tenantOf(spec),
+		class:     class,
 		status:    StatusQueued,
 		cells:     make([]cellRecord, len(spec.Experiments)),
-		submitted: time.Now(),
+		submitted: now,
+	}
+	if spec.DeadlineMS > 0 {
+		j.expires = now.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
 	}
 	s.jobs[j.id] = j
+	// Register the idempotency key before releasing the lock: a
+	// concurrent retry with the same key must replay this admission, not
+	// race past the map check into a duplicate enqueue.
+	if spec.IdempotencyKey != "" {
+		s.idem[spec.IdempotencyKey] = j
+	}
 	s.reserved++
 	s.submitted++
 	s.mu.Unlock()
@@ -561,9 +752,12 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 			s.mu.Lock()
 			s.reserved--
 			delete(s.jobs, j.id)
+			if spec.IdempotencyKey != "" && s.idem[spec.IdempotencyKey] == j {
+				delete(s.idem, spec.IdempotencyKey)
+			}
 			reason := s.degradedErr
 			s.mu.Unlock()
-			return JobView{}, fmt.Errorf("%w: %s", ErrJournalFailing, reason)
+			return JobView{}, false, fmt.Errorf("%w: %s", ErrJournalFailing, reason)
 		}
 	}
 
@@ -573,36 +767,50 @@ func (s *Service) Submit(spec JobSpec) (JobView, error) {
 	// job: it was admitted first, stays journaled, and the next daemon
 	// resumes it. A concurrent Cancel may already have finished it.
 	if j.status == StatusQueued {
-		s.queue = append(s.queue, j)
-		s.emitLocked(j, Event{Phase: "queued", Cells: len(j.cells), QueueDepth: len(s.queue)})
+		s.sched.push(j)
+		s.emitLocked(j, Event{Phase: "queued", Cells: len(j.cells), QueueDepth: s.sched.len()})
 		s.workCond.Signal()
 	}
 	view := s.viewLocked(j)
 	s.mu.Unlock()
-	return view, nil
+	return view, false, nil
 }
 
-// worker pulls queued jobs until the service stops.
+// worker pulls jobs off the fair scheduler until the service stops.
 func (s *Service) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.queue) == 0 && !s.stopping {
+		for s.sched.len() == 0 && !s.stopping {
 			s.workCond.Wait()
 		}
 		if s.stopping {
 			s.mu.Unlock()
 			return
 		}
-		j := s.queue[0]
-		s.queue = s.queue[1:]
-		if j.status != StatusQueued { // cancelled while queued
+		j := s.sched.pop()
+		if j == nil || j.status != StatusQueued { // cancelled while queued
 			s.mu.Unlock()
 			continue
 		}
+		now := time.Now()
+		// Deadline propagation, queue stage: a job whose client deadline
+		// lapsed while queued fails typed instead of running stale.
+		if !j.expires.IsZero() && now.After(j.expires) {
+			j.started = now
+			s.running++ // finishLocked undoes this; keeps the gauge honest
+			s.expireLocked(j)
+			s.mu.Unlock()
+			s.putDone(j)
+			continue
+		}
 		j.status = StatusRunning
-		j.started = time.Now()
+		j.started = now
 		wait := j.started.Sub(j.submitted)
+		if j.class == ClassBackground {
+			// Only background sojourns feed the shedder; see SubmitIdem.
+			s.codel.observe(wait, now)
+		}
 		s.queueWait.Add(float64(wait) / float64(time.Millisecond))
 		s.inst.queueWait.Observe(float64(wait) / float64(time.Millisecond))
 		s.running++
@@ -612,6 +820,19 @@ func (s *Service) worker() {
 	}
 }
 
+// expireLocked fails a job with the typed deadline_exceeded code. Caller
+// holds mu, has accounted the job as running, and calls putDone after
+// unlocking.
+func (s *Service) expireLocked(j *job) {
+	j.errCode = string(CodeDeadlineExceeded)
+	s.deadlineExceeded++
+	s.inst.deadlineExceeded.Inc()
+	s.finishLocked(j, StatusFailed, fmt.Sprintf(
+		"deadline exceeded: client deadline %s lapsed %s before the job could run",
+		time.Duration(j.spec.DeadlineMS)*time.Millisecond,
+		time.Since(j.expires).Round(time.Millisecond)))
+}
+
 // runJob executes (or resumes) one job cell by cell. Each cell runs under
 // the campaign supervisor — a panicking experiment fails the job with its
 // stack attached instead of killing the daemon, a cell exceeding
@@ -619,11 +840,19 @@ func (s *Service) worker() {
 // cfg.Retries. Completed cells journal immediately; between cells the
 // worker honours cancellation and drain.
 func (s *Service) runJob(j *job) {
-	pol := runner.Policy{Deadline: s.cfg.Deadline, Retries: s.cfg.Retries}
+	basePol := runner.Policy{Deadline: s.cfg.Deadline, Retries: s.cfg.Retries}
 	for {
 		s.mu.Lock()
 		if j.cancel {
 			s.finishLocked(j, StatusCancelled, "cancelled by client")
+			s.mu.Unlock()
+			s.putDone(j)
+			return
+		}
+		// Deadline propagation, run stage: the deadline is end-to-end, so
+		// a multi-cell job re-checks at every cell boundary.
+		if !j.expires.IsZero() && time.Now().After(j.expires) && j.done < len(j.cells) {
+			s.expireLocked(j)
 			s.mu.Unlock()
 			s.putDone(j)
 			return
@@ -649,6 +878,19 @@ func (s *Service) runJob(j *job) {
 
 		name := j.spec.Experiments[i]
 		start := time.Now()
+		// The remaining client budget bounds the cell's wall clock too
+		// (worker-context cancellation via the supervisor's watchdog), so
+		// one wedged cell cannot run past the job's deadline.
+		pol := basePol
+		if !j.expires.IsZero() {
+			remaining := time.Until(j.expires)
+			if remaining < time.Millisecond {
+				remaining = time.Millisecond // expiry raced the boundary check; let the watchdog fire
+			}
+			if pol.Deadline == 0 || remaining < pol.Deadline {
+				pol.Deadline = remaining
+			}
+		}
 		var cr cellRecord
 		cached := s.store != nil && s.store.Get(cellKey(j.seq, i), &cr)
 		if !cached {
@@ -723,7 +965,7 @@ func (s *Service) putDone(j *job) {
 		// A refused terminal append already degraded the daemon inside
 		// put; the in-memory terminal state stands and the next daemon
 		// reconstructs an identical record from the journaled cells.
-		_ = s.put(doneKey(j.seq), doneRecord{Status: j.status, Digest: j.digest, Err: j.errMsg})
+		_ = s.put(doneKey(j.seq), doneRecord{Status: j.status, Digest: j.digest, Err: j.errMsg, Code: j.errCode})
 	}
 }
 
@@ -747,6 +989,7 @@ func (s *Service) finishLocked(j *job, st Status, errMsg string) {
 		s.failed++
 		s.inst.failed.Inc()
 		ev.Err = errMsg
+		ev.ErrCode = j.errCode
 	case StatusCancelled:
 		s.cancelled++
 		s.inst.cancelled.Inc()
@@ -779,12 +1022,10 @@ func (s *Service) Cancel(id string) (JobView, bool) {
 	journal := false
 	switch j.status {
 	case StatusQueued:
-		for qi, qj := range s.queue {
-			if qj == j {
-				s.queue = append(s.queue[:qi], s.queue[qi+1:]...)
-				break
-			}
-		}
+		// Removing the job from its virtual queue releases the admission
+		// slot immediately — a client that fills the queue, cancels, and
+		// resubmits must not be shed on a slot held by a tombstone.
+		s.sched.remove(j)
 		j.cancel = true
 		j.status = StatusCancelled
 		j.errMsg = "cancelled by client"
@@ -850,6 +1091,13 @@ func (s *Service) viewLocked(j *job) JobView {
 		Digest:       j.digest,
 		ResumedCells: j.resumed,
 		Err:          j.errMsg,
+		ErrCode:      j.errCode,
+		Tenant:       j.tenant,
+		Class:        j.class,
+	}
+	if !j.expires.IsZero() {
+		t := j.expires
+		v.DeadlineAt = &t
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -864,12 +1112,7 @@ func (s *Service) viewLocked(j *job) JobView {
 		}
 	}
 	if j.status == StatusQueued {
-		for qi, qj := range s.queue {
-			if qj == j {
-				v.QueuePos = qi + 1
-				break
-			}
-		}
+		v.QueuePos = s.sched.pos(j)
 	}
 	return v
 }
@@ -886,11 +1129,19 @@ func (s *Service) Stats() Stats {
 		Shed:         s.shed,
 		ResumedJobs:  s.resumedJobs,
 		ResumedCells: s.resumedCells,
-		QueueDepth:   len(s.queue),
+		QueueDepth:   s.sched.len(),
 		Running:      s.running,
 		Workers:      s.cfg.Workers,
 		QueueCap:     s.cfg.QueueCap,
 		Draining:     s.draining,
+
+		QueueDepthFG:     s.sched.lenClass(ClassForeground),
+		QueueDepthBG:     s.sched.lenClass(ClassBackground),
+		ShedOverload:     s.shedOverload,
+		OverloadShedding: s.codel.shedding,
+		OverloadDelayMS:  float64(s.codel.lastDelay) / float64(time.Millisecond),
+		DeadlineExceeded: s.deadlineExceeded,
+		IdemReplays:      s.idemReplays,
 
 		Degraded:        s.degraded,
 		DegradedReason:  s.degradedErr,
@@ -911,6 +1162,15 @@ func (s *Service) Stats() Stats {
 
 // RetryAfter is the backoff the HTTP layer advertises on shed responses.
 func (s *Service) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+// ShedRetryAfter is the overload-shed backoff: the configured base
+// scaled up to the measured standing queue delay, so clients back off in
+// proportion to how far behind the daemon actually is.
+func (s *Service) ShedRetryAfter() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.codel.retryAfter(s.cfg.RetryAfter)
+}
 
 // Draining reports whether a drain has begun.
 func (s *Service) Draining() bool {

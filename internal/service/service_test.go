@@ -363,9 +363,11 @@ func TestKillRestartBitwiseIdentical(t *testing.T) {
 	lookup := map[string]func(experiments.Params) string{
 		"x": instant("X"), "y": instant("Y"), "z": instant("Z"),
 	}
+	// The specs carry the scheduling fields so this test also proves the
+	// journal schema stays replay-compatible with them present.
 	specs := []JobSpec{
-		{Experiments: []string{"x", "y", "z"}, Seed: 11},
-		{Experiments: []string{"y"}, Seed: 12, Quick: true},
+		{Experiments: []string{"x", "y", "z"}, Seed: 11, Tenant: "gold", Class: "foreground", IdempotencyKey: "kr-1"},
+		{Experiments: []string{"y"}, Seed: 12, Quick: true, Tenant: "bronze", Class: "background", DeadlineMS: 600_000},
 		{Experiments: []string{"z", "x"}, Scale: 16},
 	}
 

@@ -17,12 +17,15 @@ import (
 
 // instruments bundles the service's registered metrics.
 type instruments struct {
-	submitted *telemetry.Counter // fleetd_jobs_submitted_total
-	shed      *telemetry.Counter // fleetd_jobs_shed_total
-	done      *telemetry.Counter // fleetd_jobs_total{state="done"}
-	failed    *telemetry.Counter // fleetd_jobs_total{state="failed"}
-	cancelled *telemetry.Counter // fleetd_jobs_total{state="cancelled"}
-	busyMS    *telemetry.Counter // fleetd_worker_busy_ms_total
+	submitted        *telemetry.Counter // fleetd_jobs_submitted_total
+	shed             *telemetry.Counter // fleetd_jobs_shed_total (hard QueueCap)
+	shedOverload     *telemetry.Counter // fleetd_jobs_overload_shed_total (CoDel, background only)
+	deadlineExceeded *telemetry.Counter // fleetd_jobs_deadline_exceeded_total
+	idemReplay       *telemetry.Counter // fleetd_idempotent_replays_total
+	done             *telemetry.Counter // fleetd_jobs_total{state="done"}
+	failed           *telemetry.Counter // fleetd_jobs_total{state="failed"}
+	cancelled        *telemetry.Counter // fleetd_jobs_total{state="cancelled"}
+	busyMS           *telemetry.Counter // fleetd_worker_busy_ms_total
 
 	queueWait *telemetry.Histogram // fleetd_queue_wait_ms
 	cellRun   *telemetry.Histogram // fleetd_cell_run_ms
@@ -43,7 +46,25 @@ func newInstruments(reg *telemetry.Registry, s *Service) *instruments {
 	reg.GaugeFunc("fleetd_queue_depth", "Jobs queued and not yet running.", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		return float64(len(s.queue) + s.reserved)
+		return float64(s.sched.len() + s.reserved)
+	})
+	reg.GaugeFunc("fleetd_queue_depth_class", "Queued jobs by scheduling class.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.sched.lenClass(ClassForeground))
+	}, "class", "foreground")
+	reg.GaugeFunc("fleetd_queue_depth_class", "Queued jobs by scheduling class.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.sched.lenClass(ClassBackground))
+	}, "class", "background")
+	reg.GaugeFunc("fleetd_overload_shedding", "1 while the CoDel controller is shedding background admissions.", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.codel.shedding {
+			return 1
+		}
+		return 0
 	})
 	reg.GaugeFunc("fleetd_jobs_running", "Jobs currently executing on the worker pool.", func() float64 {
 		s.mu.Lock()
@@ -63,16 +84,19 @@ func newInstruments(reg *telemetry.Registry, s *Service) *instruments {
 		return 0
 	})
 	return &instruments{
-		submitted: reg.Counter("fleetd_jobs_submitted_total", "Jobs admitted into the queue."),
-		shed:      reg.Counter("fleetd_jobs_shed_total", "Submissions refused because the queue was full."),
-		done:      reg.Counter("fleetd_jobs_total", "Jobs by terminal state.", "state", "done"),
-		failed:    reg.Counter("fleetd_jobs_total", "Jobs by terminal state.", "state", "failed"),
-		cancelled: reg.Counter("fleetd_jobs_total", "Jobs by terminal state.", "state", "cancelled"),
-		busyMS:    reg.Counter("fleetd_worker_busy_ms_total", "Milliseconds workers spent executing cells (utilization numerator)."),
-		queueWait: reg.Histogram("fleetd_queue_wait_ms", "Time jobs spent queued before a worker picked them up.", telemetry.LatencyBuckets),
-		cellRun:   reg.Histogram("fleetd_cell_run_ms", "Execution time of one experiment cell.", telemetry.LatencyBuckets),
-		jobRun:    reg.Histogram("fleetd_job_run_ms", "Execution time of one whole job.", telemetry.LatencyBuckets),
-		fsync:     reg.Histogram("fleetd_journal_fsync_ms", "Latency of journal appends (marshal + write + fsync).", fsyncBuckets),
+		submitted:        reg.Counter("fleetd_jobs_submitted_total", "Jobs admitted into the queue."),
+		shed:             reg.Counter("fleetd_jobs_shed_total", "Submissions refused because the queue was full."),
+		shedOverload:     reg.Counter("fleetd_jobs_overload_shed_total", "Background submissions shed by the CoDel overload controller."),
+		deadlineExceeded: reg.Counter("fleetd_jobs_deadline_exceeded_total", "Jobs failed because their client deadline lapsed before completion."),
+		idemReplay:       reg.Counter("fleetd_idempotent_replays_total", "Submissions answered from an existing job via idempotency key."),
+		done:             reg.Counter("fleetd_jobs_total", "Jobs by terminal state.", "state", "done"),
+		failed:           reg.Counter("fleetd_jobs_total", "Jobs by terminal state.", "state", "failed"),
+		cancelled:        reg.Counter("fleetd_jobs_total", "Jobs by terminal state.", "state", "cancelled"),
+		busyMS:           reg.Counter("fleetd_worker_busy_ms_total", "Milliseconds workers spent executing cells (utilization numerator)."),
+		queueWait:        reg.Histogram("fleetd_queue_wait_ms", "Time jobs spent queued before a worker picked them up.", telemetry.LatencyBuckets),
+		cellRun:          reg.Histogram("fleetd_cell_run_ms", "Execution time of one experiment cell.", telemetry.LatencyBuckets),
+		jobRun:           reg.Histogram("fleetd_job_run_ms", "Execution time of one whole job.", telemetry.LatencyBuckets),
+		fsync:            reg.Histogram("fleetd_journal_fsync_ms", "Latency of journal appends (marshal + write + fsync).", fsyncBuckets),
 
 		journalErrAppend: reg.Counter("fleetd_journal_errors_total", "Journal appends refused, by reason.", "reason", "append"),
 		journalErrFenced: reg.Counter("fleetd_journal_errors_total", "Journal appends refused, by reason.", "reason", "fenced"),

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // InspectResult is the raw, replay-free audit of a journal file. Unlike
@@ -37,6 +38,21 @@ func (r InspectResult) Duplicates() []string {
 	for _, k := range r.Keys {
 		seen[k]++
 		if seen[k] == 2 {
+			dups = append(dups, k)
+		}
+	}
+	return dups
+}
+
+// DuplicateCells narrows Duplicates to cell-execution records (keys
+// containing a "/cell/" segment). A duplicated spec or done marker can
+// be a benign re-journal of metadata; a duplicated cell key means a cell
+// was executed and committed twice — the exactly-once violation the
+// overload and chaos harnesses assert against.
+func (r InspectResult) DuplicateCells() []string {
+	var dups []string
+	for _, k := range r.Duplicates() {
+		if strings.Contains(k, "/cell/") {
 			dups = append(dups, k)
 		}
 	}
