@@ -52,6 +52,9 @@ var (
 	scale       = flag.Int64("scale", 0, "per-job scale override (0 = daemon default)")
 	rounds      = flag.Int("rounds", 0, "per-job rounds override (0 = daemon default)")
 	seed        = flag.Uint64("seed", 0, "per-job seed override (0 = daemon default)")
+	devices     = flag.Int("devices", 0, "per-job population fleet size (0 = campaign default; only affects the population experiment)")
+	tiersFlag   = flag.String("tiers", "", "per-job population tier mix, name:weight,... (population experiment only)")
+	policiesF   = flag.String("policies", "", "per-job population policy list, comma-separated (population experiment only)")
 	quick       = flag.Bool("quick", false, "submit jobs with the quick (reduced rounds) flag")
 	stream      = flag.Bool("stream", true, "follow jobs via the NDJSON stream (false: poll status)")
 	pollEvery   = flag.Duration("poll", 50*time.Millisecond, "status poll period when -stream=false")
@@ -121,6 +124,9 @@ type jobSpec struct {
 	Class          string   `json:"class,omitempty"`
 	DeadlineMS     int64    `json:"deadline_ms,omitempty"`
 	IdempotencyKey string   `json:"idempotency_key,omitempty"`
+	Devices        int      `json:"devices,omitempty"`
+	Tiers          string   `json:"tiers,omitempty"`
+	Policies       string   `json:"policies,omitempty"`
 }
 
 // jobView mirrors the fields of service.JobView fleetload reads.
@@ -323,8 +329,10 @@ func runOne(client *http.Client, base, exp string, t *tally) {
 	spec := jobSpec{
 		Experiments: []string{exp}, Scale: *scale, Rounds: *rounds, Seed: *seed, Quick: *quick,
 		Tenant: *tenant, Class: *class, DeadlineMS: int64(*jobDeadline / time.Millisecond),
+		Devices: *devices, Tiers: *tiersFlag, Policies: *policiesF,
 	}
-	specKey := fmt.Sprintf("%s/s%d/r%d/seed%d/q%v", exp, *scale, *rounds, *seed, *quick)
+	specKey := fmt.Sprintf("%s/s%d/r%d/seed%d/q%v/d%d/%s/%s", exp, *scale, *rounds, *seed, *quick,
+		*devices, *tiersFlag, *policiesF)
 	body, _ := json.Marshal(spec)
 
 	submitted := time.Now()

@@ -6,7 +6,8 @@
 //
 // Experiments: fig2 fig3 fig4 fig5 fig6 fig7 fig11a fig11b fig11c fig12a
 // fig12b fig13 fig14 fig15 fig16 tab1 tab2 tab3 sec73 sec74, plus the
-// fault-injection chaos harness (`fleetsim chaos -seeds N`).
+// fault-injection chaos harness (`fleetsim chaos -seeds N`) and the
+// device-fleet campaign (`fleetsim population -devices N -tiers ...`).
 //
 // Experiments run concurrently on a worker pool (-parallel; default
 // GOMAXPROCS), and each experiment's internal policy legs fan out on the
@@ -52,6 +53,9 @@ var (
 	seeds      = flag.Int("seeds", 3, "seeds per fault profile for the chaos harness")
 	timeout    = flag.Duration("timeout", 0, "wall-clock deadline per experiment and per chaos cell (0 = none)")
 	retries    = flag.Int("retries", 1, "retry budget for transient chaos-cell failures")
+	devices    = flag.Int("devices", 0, "fleet size for the population campaign (0 = campaign default)")
+	tiers      = flag.String("tiers", "", "population tier mix as name:weight,... (e.g. low:3,mid:5,high:2; empty = default mix)")
+	policies   = flag.String("policies", "", "population policy list, comma-separated (e.g. Android,Fleet; empty = all)")
 	ckptDir    = flag.String("checkpoint-dir", "", "directory for campaign checkpoint journals and divergence reports")
 	resume     = flag.Bool("resume", false, "resume checkpointed campaigns in -checkpoint-dir instead of starting over")
 	traceOut   = flag.String("trace-out", "", "write the trace experiment's event log as Chrome trace-event JSON (Perfetto-loadable) to this file")
@@ -65,6 +69,9 @@ func params() fleet.Params {
 	p.Scale = *scale
 	p.Rounds = *rounds
 	p.Seed = *seed
+	p.Devices = *devices
+	p.Tiers = *tiers
+	p.Policies = *policies
 	if *quick {
 		p = p.Quick()
 	}
@@ -150,7 +157,7 @@ func main() {
 	// The shared registry provides every paper experiment; chaos and trace
 	// are frontend-specific and appended here.
 	for _, s := range fleet.Experiments() {
-		table = append(table, experiment{name: s.Name, desc: s.Desc, optIn: s.CSV, run: s.Run})
+		table = append(table, experiment{name: s.Name, desc: s.Desc, optIn: s.CSV || s.OptIn, run: s.Run})
 	}
 	table = append(table, localEntries...)
 
@@ -159,7 +166,7 @@ func main() {
 		for _, e := range table {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
 		}
-		fmt.Fprintf(os.Stderr, "  %-8s %s\n\nflags:\n", "all", "run everything except the CSV dumps and chaos")
+		fmt.Fprintf(os.Stderr, "  %-8s %s\n\nflags:\n", "all", "run everything except the CSV dumps and the opt-in campaigns (chaos, population)")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -202,6 +209,11 @@ func main() {
 	}
 	p := params()
 	fleet.SetParallelism(*parallel) // again: -parallel may have come trailing
+	// The population campaign shares the SIGINT latch and per-cell deadline
+	// with the chaos harness: interrupt stops it at the next device-range
+	// boundary with checkpoints flushed.
+	fleet.SetPopulationInterrupt(interrupted.Load)
+	fleet.SetPopulationDeadline(*timeout)
 
 	// First SIGINT/SIGTERM: stop campaigns at the next cell boundary,
 	// flush checkpoints, print the partial summary, exit 130. Second

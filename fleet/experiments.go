@@ -4,6 +4,8 @@
 package fleet
 
 import (
+	"time"
+
 	"fleetsim/internal/experiments"
 	"fleetsim/internal/runner"
 )
@@ -95,6 +97,19 @@ func ExperimentByName(name string) *ExperimentSpec { return experiments.ByName(n
 
 // ExperimentNames returns every registered experiment name in table order.
 func ExperimentNames() []string { return experiments.Names() }
+
+// RunPopulation runs the device-fleet campaign (the "population"
+// experiment): Params in, rendered per-tier report out. Shards checkpoint
+// into the sweep store when one is installed.
+func RunPopulation(p Params) string { return experiments.RunPopulation(p) }
+
+// SetPopulationInterrupt installs (nil: removes) the graceful-stop hook
+// the population campaign polls at device-range boundaries.
+func SetPopulationInterrupt(fn func() bool) { experiments.SetPopulationInterrupt(fn) }
+
+// SetPopulationDeadline sets the per-shard supervision deadline for the
+// population campaign (0 = none).
+func SetPopulationDeadline(d time.Duration) { experiments.SetPopulationDeadline(d) }
 
 // SweepCampaignKey is the campaign key for the figure sweeps' checkpoints.
 func SweepCampaignKey(p Params) string { return experiments.SweepCampaignKey(p) }

@@ -540,6 +540,18 @@ func (s *System) Use(d time.Duration) {
 	s.Clock.RunUntil(s.Clock.Now() + d)
 }
 
+// Idle models screen-off time: the foreground app (if any) is cached like
+// any other and the simulation runs forward with no foreground workload.
+// Background GC, Fleet grouping/advice and reclaim all proceed, so the
+// next SwitchTo is a true hot launch out of the cached state they left
+// behind.
+func (s *System) Idle(d time.Duration) {
+	if s.fg != nil {
+		s.toBackground(s.fg)
+	}
+	s.Clock.RunUntil(s.Clock.Now() + d)
+}
+
 // Debug summarises system state.
 func (s *System) Debug() string {
 	return fmt.Sprintf("t=%v alive=%d freeFrames=%d swapFree=%d kills=%d",

@@ -10,6 +10,9 @@ import (
 
 // detParams keeps the equivalence runs cheap enough to repeat nine times
 // per experiment (3 seeds × serial + two parallel runs) under -race.
+// Devices bounds the population campaign wherever a sweep runs the whole
+// registry — without it the campaign default (256 devices) dominates the
+// package's test budget.
 func detParams(seed uint64) Params {
 	return Params{
 		Scale:        64,
@@ -17,6 +20,7 @@ func detParams(seed uint64) Params {
 		UseTime:      2 * time.Second,
 		PressureApps: 8,
 		Seed:         seed,
+		Devices:      6,
 	}
 }
 

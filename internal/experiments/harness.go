@@ -33,6 +33,15 @@ type Params struct {
 	PressureApps int
 	// Seed drives all randomness.
 	Seed uint64
+
+	// Devices, Tiers and Policies parameterize the population campaign
+	// (the "population" experiment); zero values mean the campaign
+	// defaults (see internal/population.DefaultSpec). Tiers is a
+	// "name:weight,..." list over the built-in device classes and
+	// Policies a comma-separated policy list ("Android,Fleet").
+	Devices  int
+	Tiers    string
+	Policies string
 }
 
 // DefaultParams match the calibration used throughout the test suite.
@@ -49,6 +58,9 @@ func DefaultParams() Params {
 // Quick returns a reduced-cost variant for smoke tests and benchmarks.
 func (p Params) Quick() Params {
 	p.Rounds = 4
+	if p.Devices == 0 {
+		p.Devices = 24 // population campaign: smoke-sized fleet
+	}
 	return p
 }
 

@@ -30,6 +30,10 @@ type Spec struct {
 	// CSV marks bulk CSV dumps that frontends exclude from "run
 	// everything" sweeps (they are opt-in by name).
 	CSV bool
+	// OptIn marks non-CSV experiments that are likewise excluded from
+	// "run everything" sweeps — campaigns whose cost scales with their
+	// own parameters rather than the shared Params.
+	OptIn bool
 }
 
 // registry is the table-ordered experiment list (paper order: figures,
@@ -143,6 +147,9 @@ var registry = []Spec{
 	}},
 	{Name: "extadvice", Desc: "ablation: madvise halves (COLD/HOT_RUNTIME)", Run: func(p Params) string {
 		return FormatExt("Ablation — runtime-guided swap advice", ExtAdviceAblation(p))
+	}},
+	{Name: "population", Desc: "device-fleet campaign: per-tier launch percentiles and kill rates", OptIn: true, Run: func(p Params) string {
+		return RunPopulation(p)
 	}},
 }
 

@@ -54,6 +54,45 @@ func TestTelemetryDoesNotPerturbDeterminism(t *testing.T) {
 	}
 }
 
+// TestPopulationTelemetryDoesNotPerturbDeterminism extends the safety
+// property to the fleet campaign: the population experiment's rendered
+// report (fleet digest included) must be byte-identical with the
+// telemetry bridge on and off, while an installed registry does receive
+// the campaign's device totals and per-tier launch histograms.
+func TestPopulationTelemetryDoesNotPerturbDeterminism(t *testing.T) {
+	p := DefaultParams()
+	p.Devices = 4
+	p.Scale = 256
+	p.Policies = "Android,Fleet"
+
+	telemetry.SetSimRegistry(nil)
+	off := RunPopulation(p)
+
+	reg := telemetry.NewRegistry()
+	telemetry.SetSimRegistry(reg)
+	defer telemetry.SetSimRegistry(nil)
+	on := RunPopulation(p)
+
+	if off != on {
+		t.Fatalf("telemetry perturbed the campaign report:\noff: %s\non:  %s", off, on)
+	}
+	spec, err := PopulationSpec(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devices int64
+	for _, pol := range spec.Policies {
+		for _, tier := range spec.Tiers {
+			devices += reg.Counter("fleetsim_population_devices_total",
+				"Fleet devices simulated by population campaigns, by policy and tier.",
+				"policy", pol.String(), "tier", tier.Name).Value()
+		}
+	}
+	if want := int64(p.Devices * len(spec.Policies)); devices != want {
+		t.Fatalf("campaign telemetry published %d devices, want %d", devices, want)
+	}
+}
+
 // TestCaptureTraceDeterministic pins that the canonical trace scenario is
 // a pure function of (params, policy) — fleetsim and fleetd serve
 // byte-identical traces — and that its Chrome export is structurally

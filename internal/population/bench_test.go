@@ -1,0 +1,34 @@
+package population
+
+import (
+	"testing"
+
+	"fleetsim/internal/android"
+	"fleetsim/internal/apps"
+)
+
+// BenchmarkPopulationDeviceTick measures the campaign's unit of work: one
+// fleet member expanded and simulated end to end (install, warmup, diurnal
+// session plan) under one policy, reduced into an aggregate. Campaign wall
+// clock is devices × policies × this number ÷ workers, so scripts/bench.sh
+// tracks it in the checked-in baseline and CI gates regressions on it.
+//
+// The bench runs at the determinism-test calibration (coarse scale, small
+// device) rather than the campaign default: the per-device control flow
+// and reduction cost are the same, only the simulated heap is smaller, and
+// CI's fixed -benchtime=1000x stays affordable.
+func BenchmarkPopulationDeviceTick(b *testing.B) {
+	spec := DefaultSpec()
+	spec.Devices = 64
+	spec.Scale = 256
+	spec.Policies = []android.PolicyKind{android.PolicyFleet}
+	spec.AppsPerDevice = 4
+	spec.Sessions = 4
+	catalog := apps.CommercialProfiles(spec.Scale)
+	agg := NewAgg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec.SimulateDevice(i%spec.Devices, catalog, agg)
+	}
+}

@@ -1,0 +1,65 @@
+package population
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a campaign result: fleet-wide hot-launch percentiles and
+// kill rates per policy×tier, a per-policy all-tiers summary row (tier
+// sketches merge exactly, so the rollup is as accurate as the cells), and
+// the campaign digest the determinism checks compare.
+func Format(res *Result) string {
+	var b strings.Builder
+	spec := res.Spec
+	fmt.Fprintf(&b, "Population campaign — %d devices × %d policies, seed %d\n",
+		spec.Devices, len(spec.Policies), spec.Seed)
+	fmt.Fprintf(&b, "  tiers %s, scale %d, %d apps/device (zipf %g), %d sessions/device\n",
+		TiersString(spec.Tiers), spec.Scale, spec.AppsPerDevice, spec.ZipfS, spec.Sessions)
+	if res.Shards > 1 || res.ResumedShards > 0 || res.SkippedShards > 0 {
+		fmt.Fprintf(&b, "  shards: %d total, %d resumed from checkpoint, %d skipped\n",
+			res.Shards, res.ResumedShards, res.SkippedShards)
+	}
+	if !res.Complete() {
+		b.WriteString("  INCOMPLETE — partial fleet below; rerun with -resume to finish\n")
+		for _, e := range res.Errors {
+			fmt.Fprintf(&b, "  shard error: %s\n", e)
+		}
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "  %-8s %-9s %8s  %27s  %9s  %14s  %13s\n",
+		"policy", "tier", "devices", "hot launch ms p50/p95/p99", "cold p50", "kills /1k dev", "swap/dev i/o")
+
+	row := func(policy, tier string, c *TierAgg) {
+		if c == nil || c.Devices == 0 {
+			return
+		}
+		kills := c.Counts.Get("kill_hard") + c.Counts.Get("kill_psi") +
+			c.Counts.Get("kill_oom") + c.Counts.Get("kill_crash")
+		fmt.Fprintf(&b, "  %-8s %-9s %8d  %8.1f /%7.1f /%8.1f  %9.0f  %14.1f  %6.0f/%-6.0f\n",
+			policy, tier, c.Devices,
+			c.Hot.Quantile(0.50), c.Hot.Quantile(0.95), c.Hot.Quantile(0.99),
+			c.Cold.Quantile(0.50),
+			1000*float64(kills)/float64(c.Devices),
+			float64(c.Counts.Get("swap_in"))/float64(c.Devices),
+			float64(c.Counts.Get("swap_out"))/float64(c.Devices))
+	}
+
+	for _, pol := range spec.Policies {
+		policy := pol.String()
+		all := newTierAgg()
+		for _, t := range spec.Tiers {
+			c := res.Agg.Cells[cellKey(policy, t.Name)]
+			row(policy, t.Name, c)
+			if c != nil {
+				all.merge(c)
+			}
+		}
+		if len(spec.Tiers) > 1 {
+			row(policy, "ALL", all)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  fleet digest: %s\n", res.Digest())
+	return b.String()
+}

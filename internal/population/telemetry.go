@@ -1,0 +1,55 @@
+package population
+
+import (
+	"strings"
+
+	"fleetsim/internal/telemetry"
+)
+
+// publishTelemetry exports a finished campaign into the process
+// sim-telemetry registry: device totals and launch-latency histograms per
+// policy×tier, plus coordinator merge/shard counters. Like the
+// single-device bridge (android.System.PublishTelemetry) it is strictly
+// write-only and runs after all simulation — when no registry is
+// installed it is a nil-check and return, and when one is installed it
+// reads only the already-merged aggregate, so enabling it cannot perturb
+// campaign determinism (pinned by the telemetry test in
+// internal/experiments).
+func publishTelemetry(res *Result) {
+	reg := telemetry.SimRegistry()
+	if reg == nil {
+		return
+	}
+	for _, key := range sortedKeys(res.Agg.Cells) {
+		c := res.Agg.Cells[key]
+		policy, tier, _ := strings.Cut(key, "|")
+		reg.Counter("fleetsim_population_devices_total",
+			"Fleet devices simulated by population campaigns, by policy and tier.",
+			"policy", policy, "tier", tier).Add(c.Devices)
+
+		hot := reg.Histogram("fleetsim_population_hot_launch_ms",
+			"Fleet-wide hot-launch latency from population campaigns, by policy and tier.",
+			telemetry.LatencyBuckets, "policy", policy, "tier", tier)
+		c.Hot.Each(hot.ObserveN)
+		cold := reg.Histogram("fleetsim_population_cold_launch_ms",
+			"Fleet-wide cold-launch latency from population campaigns, by policy and tier.",
+			telemetry.LatencyBuckets, "policy", policy, "tier", tier)
+		c.Cold.Each(cold.ObserveN)
+
+		kills := c.Counts.Get("kill_hard") + c.Counts.Get("kill_psi") +
+			c.Counts.Get("kill_oom") + c.Counts.Get("kill_crash")
+		reg.Counter("fleetsim_population_kills_total",
+			"lmkd/OOM/crash kills observed across the fleet, by policy and tier.",
+			"policy", policy, "tier", tier).Add(kills)
+	}
+	reg.Counter("fleetsim_population_sketch_merges_total",
+		"Shard-aggregate sketch merges performed by campaign coordinators.").Add(res.Merges)
+	shardState := func(state string, n int) {
+		reg.Counter("fleetsim_population_shards_total",
+			"Campaign shards by outcome.", "state", state).Add(int64(n))
+	}
+	shardState("fresh", res.Shards-res.ResumedShards-res.SkippedShards-len(res.Errors))
+	shardState("resumed", res.ResumedShards)
+	shardState("skipped", res.SkippedShards)
+	shardState("failed", len(res.Errors))
+}

@@ -35,6 +35,7 @@ import (
 	"fleetsim/internal/experiments"
 	"fleetsim/internal/fsio"
 	"fleetsim/internal/metrics"
+	"fleetsim/internal/population"
 	"fleetsim/internal/runner"
 	"fleetsim/internal/snapshot"
 	"fleetsim/internal/telemetry"
@@ -120,6 +121,13 @@ type JobSpec struct {
 	// same journal entry) instead of double-enqueueing. Keys survive
 	// restarts via the journaled spec.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Devices, Tiers and Policies parameterize the population campaign
+	// when the job runs the "population" experiment (zero values keep the
+	// campaign defaults). Tiers is a "name:weight,..." mix over the
+	// built-in device classes, Policies a comma-separated policy list.
+	Devices  int    `json:"devices,omitempty"`
+	Tiers    string `json:"tiers,omitempty"`
+	Policies string `json:"policies,omitempty"`
 }
 
 // Event is one progress record of a job's lifetime, streamed to
@@ -599,6 +607,11 @@ func (s *Service) paramsFor(spec JobSpec) experiments.Params {
 	if spec.Seed > 0 {
 		p.Seed = spec.Seed
 	}
+	if spec.Devices > 0 {
+		p.Devices = spec.Devices
+	}
+	p.Tiers = spec.Tiers
+	p.Policies = spec.Policies
 	if spec.Quick {
 		p = p.Quick()
 	}
@@ -618,6 +631,22 @@ func (s *Service) Validate(spec JobSpec) error {
 	}
 	if spec.DeadlineMS < 0 {
 		return fmt.Errorf("service: negative deadline_ms")
+	}
+	if spec.Devices < 0 {
+		return fmt.Errorf("service: negative devices")
+	}
+	// Campaign parameters are rejected at admission, not when the cell
+	// runs: a population job with a bad tier mix should 400, not burn a
+	// queue slot to fail.
+	if spec.Tiers != "" {
+		if _, err := population.ParseTiers(spec.Tiers); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
+	}
+	if spec.Policies != "" {
+		if _, err := population.ParsePolicies(spec.Policies); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
 	}
 	if _, err := ParseClass(spec.Class); err != nil {
 		return fmt.Errorf("service: %w", err)

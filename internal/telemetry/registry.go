@@ -102,6 +102,32 @@ func (h *Histogram) Observe(x float64) {
 	}
 }
 
+// ObserveN records n identical observations in one shot — how sketch-fed
+// exporters replay a bucket's worth of a fleet campaign without n atomic
+// round trips.
+func (h *Histogram) ObserveN(x float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(n)
+	h.count.Add(n)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x*float64(n))) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -11,6 +11,22 @@ import "math"
 // each simulated component owns its own Rand derived from a master seed.
 type Rand struct {
 	s [4]uint64
+	// zmemo caches the Zipf sampler's per-(n,s) rejection bounds, which
+	// cost four exp/log calls to recompute and dominate the workload
+	// generators' access sampling. Two slots cover the common pattern of
+	// alternating draws over two ranges (hot views and the recency ring).
+	// Purely a cache of pure-function values: hit or miss, the draw
+	// stream is bit-identical.
+	zmemo [2]zipfMemo
+	znext uint8
+}
+
+// zipfMemo is one cached set of rejection-inversion bounds; n == 0 marks
+// an empty slot (Zipf never caches n <= 1).
+type zipfMemo struct {
+	n       int
+	s       float64
+	hx0, hn float64
 }
 
 // splitmix64 expands a 64-bit seed into a well-distributed stream; it is the
@@ -124,8 +140,7 @@ func (r *Rand) Zipf(n int, s float64) int {
 	q := s
 	oneMinusQ := 1 - q
 	oneMinusQInv := 1 / oneMinusQ
-	hx0 := helperH(0.5, oneMinusQ, oneMinusQInv) - 1
-	hn := helperH(float64(n)+0.5, oneMinusQ, oneMinusQInv)
+	hx0, hn := r.zipfBounds(n, s, oneMinusQ, oneMinusQInv)
 	for {
 		u := hn + r.Float64()*(hx0-hn)
 		x := helperHInv(u, oneMinusQ, oneMinusQInv)
@@ -139,6 +154,24 @@ func (r *Rand) Zipf(n int, s float64) int {
 			return int(k)
 		}
 	}
+}
+
+// zipfBounds returns (hx0, hn) for the rejection sampler, answering from
+// the per-Rand memo when the (n, s) pair repeats — the workload
+// generators draw millions of times over slowly-changing ranges, and
+// these bounds are the only per-draw cost that doesn't depend on the
+// drawn value. Slots fill round-robin on miss.
+func (r *Rand) zipfBounds(n int, s, oneMinusQ, oneMinusQInv float64) (hx0, hn float64) {
+	for i := range r.zmemo {
+		if m := &r.zmemo[i]; m.n == n && m.s == s {
+			return m.hx0, m.hn
+		}
+	}
+	hx0 = helperH(0.5, oneMinusQ, oneMinusQInv) - 1
+	hn = helperH(float64(n)+0.5, oneMinusQ, oneMinusQInv)
+	r.zmemo[r.znext] = zipfMemo{n: n, s: s, hx0: hx0, hn: hn}
+	r.znext ^= 1
+	return hx0, hn
 }
 
 func helperH(x, oneMinusQ, oneMinusQInv float64) float64 {
