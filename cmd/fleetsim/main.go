@@ -53,6 +53,7 @@ var (
 	seeds      = flag.Int("seeds", 3, "seeds per fault profile for the chaos harness")
 	timeout    = flag.Duration("timeout", 0, "wall-clock deadline per experiment and per chaos cell (0 = none)")
 	retries    = flag.Int("retries", 1, "retry budget for transient chaos-cell failures")
+	backend    = flag.String("backend", "", "swap backend for all experiments: flash (default) or zram")
 	devices    = flag.Int("devices", 0, "fleet size for the population campaign (0 = campaign default)")
 	tiers      = flag.String("tiers", "", "population tier mix as name:weight,... (e.g. low:3,mid:5,high:2; empty = default mix)")
 	policies   = flag.String("policies", "", "population policy list, comma-separated (e.g. Android,Fleet; empty = all)")
@@ -72,6 +73,7 @@ func params() fleet.Params {
 	p.Devices = *devices
 	p.Tiers = *tiers
 	p.Policies = *policies
+	p.Backend = *backend
 	if *quick {
 		p = p.Quick()
 	}
@@ -95,7 +97,7 @@ type experiment struct {
 var table []experiment
 
 var localEntries = []experiment{
-	{"chaos", "fault-injection chaos harness (3 profiles x -seeds seeds, determinism + invariants)", true, func(p fleet.Params) string {
+	{"chaos", "fault-injection chaos harness (4 profiles + zram/Swam variants x -seeds seeds, determinism + invariants)", true, func(p fleet.Params) string {
 		opts := fleet.ChaosOpts{
 			Seeds:       *seeds,
 			Deadline:    *timeout,
@@ -206,6 +208,11 @@ func main() {
 		}
 		want[strings.ToLower(rest[0])] = true
 		rest = rest[1:]
+	}
+	if _, ok := fleet.ParseBackend(*backend); !ok {
+		fmt.Fprintf(os.Stderr, "fleetsim: unknown swap backend %q\nvalid backends: %s\n",
+			*backend, strings.Join(fleet.BackendNames(), " "))
+		os.Exit(2)
 	}
 	p := params()
 	fleet.SetParallelism(*parallel) // again: -parallel may have come trailing

@@ -10,13 +10,14 @@ import (
 	"fleetsim/internal/core"
 	"fleetsim/internal/experiments"
 	"fleetsim/internal/trace"
+	"fleetsim/internal/vmem"
 )
 
 // Policy selects the memory-management design under test (Table 1 of the
 // paper).
 type Policy = android.PolicyKind
 
-// The three policies of Table 1.
+// The three policies of Table 1, plus the follow-on SWAM policy.
 const (
 	// PolicyAndroid is stock Android: native GC + kernel LRU page swap.
 	PolicyAndroid = android.PolicyAndroid
@@ -24,6 +25,9 @@ const (
 	PolicyMarvin = android.PolicyMarvin
 	// PolicyFleet is the paper's GC-swap co-design.
 	PolicyFleet = android.PolicyFleet
+	// PolicySwam keeps the stock runtime but drives reclaim and lmkd off
+	// modeled app responsiveness (refault + decompression stall).
+	PolicySwam = android.PolicySwam
 )
 
 // ParsePolicy maps a policy name ("Android", "Marvin", "Fleet";
@@ -52,6 +56,30 @@ func Pixel3(scale int64) DeviceConfig { return android.Pixel3(scale) }
 
 // Pixel3NoSwap is the same device with the swap partition disabled.
 func Pixel3NoSwap(scale int64) DeviceConfig { return android.Pixel3NoSwap(scale) }
+
+// Pixel3Zram is the same device with a vendor-style compressed-RAM
+// ("RAM plus") swap backend: a zram pool carved out of DRAM with a small
+// flash backing partition for incompressible fallthrough and writeback.
+func Pixel3Zram(scale int64) DeviceConfig { return android.Pixel3Zram(scale) }
+
+// Backend selects the swap-backend implementation a device runs on.
+type Backend = vmem.BackendKind
+
+// The registered swap backends.
+const (
+	// BackendFlash is the paper's flash swap partition (the default).
+	BackendFlash = vmem.BackendFlash
+	// BackendZram is the compressed-RAM backend.
+	BackendZram = vmem.BackendZram
+)
+
+// ParseBackend maps a swap-backend name ("flash", "zram", "" for the
+// default; case-insensitive) to its Backend. The second result is false
+// for unknown names.
+func ParseBackend(name string) (Backend, bool) { return vmem.ParseBackend(name) }
+
+// BackendNames lists the valid swap-backend names for CLI/API errors.
+func BackendNames() []string { return vmem.BackendNames() }
 
 // SystemConfig configures a simulated system: device, policy, GC
 // parameters, lmkd thresholds.

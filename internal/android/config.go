@@ -7,7 +7,6 @@
 package android
 
 import (
-	"strings"
 	"time"
 
 	"fleetsim/internal/core"
@@ -15,44 +14,6 @@ import (
 	"fleetsim/internal/units"
 	"fleetsim/internal/vmem"
 )
-
-// PolicyKind selects the memory-management policy (Table 1).
-type PolicyKind int
-
-// Policies.
-const (
-	// PolicyAndroid is stock Android: native GC + kernel LRU page swap.
-	PolicyAndroid PolicyKind = iota
-	// PolicyMarvin is the bookmarking-GC / object-granularity-swap
-	// baseline.
-	PolicyMarvin
-	// PolicyFleet is the paper's system: BGC + runtime-guided swap.
-	PolicyFleet
-)
-
-func (p PolicyKind) String() string {
-	switch p {
-	case PolicyAndroid:
-		return "Android"
-	case PolicyMarvin:
-		return "Marvin"
-	case PolicyFleet:
-		return "Fleet"
-	default:
-		return "unknown"
-	}
-}
-
-// ParsePolicy maps a policy name (case-insensitive) back to its
-// PolicyKind. The second result is false for unknown names.
-func ParsePolicy(name string) (PolicyKind, bool) {
-	for _, p := range []PolicyKind{PolicyAndroid, PolicyMarvin, PolicyFleet} {
-		if strings.EqualFold(name, p.String()) {
-			return p, true
-		}
-	}
-	return 0, false
-}
 
 // DeviceConfig sizes the simulated device.
 type DeviceConfig struct {
@@ -80,8 +41,8 @@ func Pixel3(scale int64) DeviceConfig {
 	}
 	swap := vmem.DefaultSwapConfig()
 	swap.SizeBytes = 2 * units.GiB / scale
-	swap.ReadBandwidth /= float64(scale)
-	swap.WriteBandwidth /= float64(scale)
+	swap.Profile.ReadBandwidth /= float64(scale)
+	swap.Profile.WriteBandwidth /= float64(scale)
 	return DeviceConfig{
 		DRAMBytes:           4 * units.GiB / scale,
 		SystemReservedBytes: 1400 * units.MiB / scale,
@@ -97,18 +58,40 @@ func Pixel3NoSwap(scale int64) DeviceConfig {
 	return d
 }
 
-// Pixel3Zram is the vendor "RAM plus" variant: 1.5 GB of DRAM become a
-// compressed swap device holding ~3 GB at 2:1, replacing the flash
-// partition. Swap IO runs at memory-ish speed, but usable DRAM shrinks.
+// Pixel3Zram is the compressed-swap variant on the real zram backend (the
+// vendor "RAM plus" configuration): the 2 GB flash swap partition is
+// replaced by a 512 MB compressed pool carved out of DRAM (seeded per-page
+// ratios, ~3.5:1 on compressible pages, so it effectively holds ~1.8 GB)
+// plus a 256 MB flash writeback partition for incompressible fallthrough
+// and cold-page demotion. Swap IO runs at memory speed plus compression
+// CPU, but usable DRAM shrinks by the pool and total swap capacity is
+// tighter than the flash device — the classic RAM-plus trade.
 func Pixel3Zram(scale int64) DeviceConfig {
 	if scale < 1 {
 		scale = 1
 	}
-	zramBacking := 1536 * units.MiB / scale
+	fscale := float64(scale)
+	pool := 512 * units.MiB / scale
+	backingBytes := 256 * units.MiB / scale
+	prof := vmem.ZramDeviceProfile()
+	prof.ReadBandwidth /= fscale
+	prof.WriteBandwidth /= fscale
+	backing := vmem.UFSFlashProfile()
+	backing.ReadBandwidth /= fscale
+	backing.WriteBandwidth /= fscale
 	return DeviceConfig{
-		DRAMBytes:           4*units.GiB/scale - zramBacking,
+		DRAMBytes:           4*units.GiB/scale - pool,
 		SystemReservedBytes: 1400 * units.MiB / scale,
-		Swap:                vmem.ZramSwapConfig(zramBacking, 2.0),
+		Swap: vmem.SwapDeviceConfig{
+			SizeBytes: pool + backingBytes,
+			Profile:   prof,
+			Backend:   vmem.BackendZram,
+			Zram: vmem.ZramConfig{
+				PoolBytes:      pool,
+				BackingBytes:   backingBytes,
+				BackingProfile: backing,
+			},
+		},
 	}
 }
 
@@ -148,6 +131,10 @@ type SystemConfig struct {
 	PSIWindow        time.Duration
 	PSIKillThreshold float64
 	PSICooldown      time.Duration
+
+	// Swam configures the responsiveness-driven reclaim/lmkd co-design
+	// (used when Policy == PolicySwam, replacing the PSI monitor).
+	Swam SwamConfig
 
 	// FleetNoBGC is the Fig. 12a ablation: Fleet still groups and advises
 	// the swap, but background collections fall back to full-heap major
@@ -210,6 +197,8 @@ func DefaultSystemConfig(policy PolicyKind, scale int64) SystemConfig {
 		PSIWindow:        30 * time.Second,
 		PSIKillThreshold: 0.15,
 		PSICooldown:      10 * time.Second,
+
+		Swam: DefaultSwamConfig(),
 
 		KswapdLowFrac:  0.08,
 		KswapdHighFrac: 0.14,

@@ -81,6 +81,12 @@ type Metrics struct {
 	CrashKills     int
 	AliveHighWater int
 
+	// SwamKills counts kills by the SWAM responsiveness monitor and
+	// SwamReclaims the pages its proactive reclaim passes swapped out
+	// (both zero unless Policy == PolicySwam).
+	SwamKills    int
+	SwamReclaims int64
+
 	// InvariantChecks counts cross-layer consistency sweeps run (when
 	// SystemConfig.CheckInvariants is on); InvariantFails counts sweeps
 	// that found at least one violation, with the first violations kept in

@@ -69,25 +69,38 @@ func (p *Proc) Name() string { return p.App.Name }
 // drives lmkd victim selection.
 func (p *Proc) LastForeground() time.Duration { return p.lastFg }
 
-// wirePolicy installs the policy's hooks into the heap.
+// wirePolicy installs the policy's hooks into the heap, resolved through
+// the policy registry.
 func (p *Proc) wirePolicy() {
+	p.RS = gc.NewRememberedSet(p.App.H, 10)
+	p.sys.Cfg.Policy.Info().Wire(p)
+}
+
+// wireFleet attaches the paper's system: BGC machinery plus a composite
+// write barrier feeding both the remembered set and Fleet's dirty tracking.
+func wireFleet(p *Proc) {
 	h := p.App.H
-	p.RS = gc.NewRememberedSet(h, 10)
-	switch p.sys.Cfg.Policy {
-	case PolicyFleet:
-		p.Fleet = core.New(p.sys.Cfg.Fleet, h, p.sys.VM)
-		h.WriteBarrier = func(id heap.ObjectID) {
-			p.RS.Barrier(id)
-			p.Fleet.WriteBarrier(id)
-		}
-	case PolicyMarvin:
-		p.Marvin = marvin.New(h, p.sys.VM)
-		h.WriteBarrier = p.RS.Barrier
-		h.ReadBarrier = p.Marvin.NoteAccess
-		p.App.OnAlloc = p.Marvin.PinAllocation
-	default:
-		h.WriteBarrier = p.RS.Barrier
+	p.Fleet = core.New(p.sys.Cfg.Fleet, h, p.sys.VM)
+	h.WriteBarrier = func(id heap.ObjectID) {
+		p.RS.Barrier(id)
+		p.Fleet.WriteBarrier(id)
 	}
+}
+
+// wireMarvin attaches the bookmarking-GC baseline: read barrier for access
+// tracking and the allocation pin hook.
+func wireMarvin(p *Proc) {
+	h := p.App.H
+	p.Marvin = marvin.New(h, p.sys.VM)
+	h.WriteBarrier = p.RS.Barrier
+	h.ReadBarrier = p.Marvin.NoteAccess
+	p.App.OnAlloc = p.Marvin.PinAllocation
+}
+
+// wireDefault is the stock runtime: remembered-set write barrier only
+// (used by PolicyAndroid and PolicySwam, whose novelty is system-side).
+func wireDefault(p *Proc) {
+	p.App.H.WriteBarrier = p.RS.Barrier
 }
 
 // backgroundGC runs the policy's cached-app collection (Table 1's "GC

@@ -41,6 +41,10 @@ type System struct {
 	psiSamples  []psiSample
 	lastPSIKill time.Duration
 	gcFaultCum  time.Duration
+
+	// SWAM responsiveness-monitor state — see swamTick.
+	swamSamples  []swamSample
+	lastSwamKill time.Duration
 }
 
 type psiSample struct {
@@ -51,7 +55,7 @@ type psiSample struct {
 // NewSystem boots a device with the given configuration.
 func NewSystem(cfg SystemConfig) *System {
 	phys := mem.NewPhysical(cfg.Device.AppBytes())
-	swap := vmem.NewSwapDevice(cfg.Device.Swap)
+	swap := vmem.NewBackend(cfg.Device.Swap, cfg.Seed)
 	s := &System{
 		Cfg:   cfg,
 		Clock: simclock.New(),
@@ -66,7 +70,10 @@ func NewSystem(cfg SystemConfig) *System {
 		s.VM.LowWatermark = int64(float64(phys.TotalFrames) * cfg.KswapdLowFrac)
 		s.VM.HighWatermark = int64(float64(phys.TotalFrames) * cfg.KswapdHighFrac)
 	}
-	if cfg.PSIWindow > 0 {
+	switch {
+	case cfg.Policy == PolicySwam && cfg.Swam.Window > 0:
+		s.Clock.ScheduleAfter(time.Second, "swam", s.swamTick)
+	case cfg.PSIWindow > 0:
 		s.Clock.ScheduleAfter(time.Second, "psi", s.psiTick)
 	}
 	if cfg.Faults != nil {
@@ -187,8 +194,8 @@ func (s *System) psiTick(c *simclock.Clock) {
 	elapsed := now - oldest.at
 	if elapsed >= s.Cfg.PSIWindow/2 && now-s.lastPSIKill >= s.Cfg.PSICooldown {
 		ioFrac := float64(s.gcFaultCum-oldest.stall) / float64(elapsed)
-		swapFull := s.VM.Swap.TotalSlots == 0 ||
-			float64(s.VM.Swap.UsedSlots()) > 0.7*float64(s.VM.Swap.TotalSlots)
+		swapFull := s.VM.Swap.TotalSlots() == 0 ||
+			float64(s.VM.Swap.UsedSlots()) > 0.7*float64(s.VM.Swap.TotalSlots())
 		if ioFrac > s.Cfg.PSIKillThreshold && swapFull {
 			if s.onPressure(0) {
 				s.M.PSIKills++

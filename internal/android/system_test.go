@@ -7,6 +7,7 @@ import (
 	"fleetsim/internal/apps"
 	"fleetsim/internal/core"
 	"fleetsim/internal/units"
+	"fleetsim/internal/vmem"
 )
 
 func TestLaunchRecordsCold(t *testing.T) {
@@ -222,8 +223,8 @@ func TestPixel3Config(t *testing.T) {
 	if d32.DRAMBytes != 4*units.GiB/32 {
 		t.Errorf("scaled DRAM = %d", d32.DRAMBytes)
 	}
-	if d32.Swap.ReadBandwidth != 20.3e6/32 {
-		t.Errorf("bandwidth must scale with memory: %v", d32.Swap.ReadBandwidth)
+	if want := vmem.UFSFlashProfile().ReadBandwidth / 32; d32.Swap.Profile.ReadBandwidth != want {
+		t.Errorf("bandwidth must scale with memory: %v", d32.Swap.Profile.ReadBandwidth)
 	}
 	if Pixel3NoSwap(32).Swap.SizeBytes != 0 {
 		t.Error("no-swap variant has swap")

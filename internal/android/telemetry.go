@@ -58,4 +58,32 @@ func (s *System) PublishTelemetry() {
 	kills("psi", s.M.PSIKills)
 	kills("oom", s.M.OOMKills)
 	kills("crash", s.M.CrashKills)
+	kills("swam", s.M.SwamKills)
+
+	// Compressed-backend counters, published only when the device actually
+	// runs one so flash-only fleets keep a clean /metrics page.
+	if s.VM.Swap.Name() != "zram" {
+		return
+	}
+	z := s.VM.Swap.BackendStats()
+	backend := s.VM.Swap.Name()
+	zc := func(name, help string, v int64) {
+		reg.Counter(name, help, "policy", policy, "backend", backend).Add(v)
+	}
+	zc("fleetsim_zram_stored_pages",
+		"Pages resident compressed in the zram pool at end of run.", z.StoredPages)
+	zc("fleetsim_zram_compressed_bytes",
+		"Pool bytes occupied by compressed pages at end of run.", z.CompressedBytes)
+	zc("fleetsim_zram_fallthroughs_total",
+		"Incompressible pages routed straight to backing flash.", z.Fallthroughs)
+	zc("fleetsim_zram_writebacks_total",
+		"Cold compressed pages written back to flash for pool room.", z.Writebacks)
+	zc("fleetsim_zram_full_rejects_total",
+		"Stores refused because neither pool nor backing had room.", z.FullRejects)
+	zc("fleetsim_zram_compress_cpu_ms_total",
+		"CPU time charged to reclaim for page compression.", int64(z.CompressCPU/time.Millisecond))
+	zc("fleetsim_zram_decompress_cpu_ms_total",
+		"CPU time charged to faulting threads for decompression.", int64(z.DecompressCPU/time.Millisecond))
+	zc("fleetsim_zram_writeback_io_ms_total",
+		"Asynchronous device time spent on hotness-driven writeback.", int64(z.WritebackIO/time.Millisecond))
 }

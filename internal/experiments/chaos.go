@@ -11,6 +11,7 @@ import (
 	"fleetsim/internal/faults"
 	"fleetsim/internal/runner"
 	"fleetsim/internal/snapshot"
+	"fleetsim/internal/vmem"
 )
 
 // ChaosRow summarises one (profile, seed) chaos run: the workload outcome,
@@ -20,6 +21,12 @@ import (
 type ChaosRow struct {
 	Profile string
 	Seed    uint64
+
+	// Backend and Policy name the matrix variant the cell ran on. The
+	// historical cells are "flash"/"Fleet"; zram-relevant profiles add
+	// compressed-backend and Swam-policy variants.
+	Backend string
+	Policy  string
 
 	// Workload outcome.
 	Launches  int
@@ -41,6 +48,14 @@ type ChaosRow struct {
 
 	// Injected fault events.
 	Faults faults.Stats
+
+	// Zram carries the compressed backend's counters (zero on flash);
+	// folding it into the determinism key extends the bitwise replay check
+	// to the compression model.
+	Zram vmem.BackendStats
+
+	// SwamKills counts responsiveness-monitor kills (Policy "Swam" only).
+	SwamKills int
 
 	// Invariant checker verdict.
 	InvariantChecks int64
@@ -76,11 +91,11 @@ type DivergenceInfo struct {
 
 // key renders the reproducible portion of a row for bitwise comparison.
 func (r ChaosRow) key() string {
-	return fmt.Sprintf("%s/%d L%d H%.6f K%d/%d/%d/%d/%d R%d W%d O%.6f A%d F%d %+v I%d V%v",
-		r.Profile, r.Seed, r.Launches, r.HotMeanMS,
-		r.Kills, r.HardKills, r.PSIKills, r.OOMKills, r.CrashKills,
+	return fmt.Sprintf("%s/%s/%s/%d L%d H%.6f K%d/%d/%d/%d/%d/%d R%d W%d O%.6f A%d F%d %+v Z%+v I%d V%v",
+		r.Profile, r.Backend, r.Policy, r.Seed, r.Launches, r.HotMeanMS,
+		r.Kills, r.HardKills, r.PSIKills, r.OOMKills, r.CrashKills, r.SwamKills,
 		r.SwapRetries, r.SwapWriteFails, r.OfflineWaitMS, r.OfflineAborts, r.SwapFallbacks,
-		r.Faults, r.InvariantChecks, r.Violations)
+		r.Faults, r.Zram, r.InvariantChecks, r.Violations)
 }
 
 // Clean reports whether the run finished with zero invariant violations
@@ -91,8 +106,12 @@ func (r ChaosRow) Clean() bool { return r.Err == "" && len(r.Violations) == 0 }
 // profile with the always-on invariant checker, and summarises it. When
 // digestEvery > 0, a snapshot recorder samples per-tick state digests of
 // every subsystem; the divergence bisector replays cells with this on.
-func chaosRun(p Params, prof faults.Profile, seed uint64, digestEvery time.Duration) (ChaosRow, []snapshot.SystemDigest) {
-	cfg := android.DefaultSystemConfig(android.PolicyFleet, p.Scale)
+func chaosRun(p Params, cell chaosCell, digestEvery time.Duration) (ChaosRow, []snapshot.SystemDigest) {
+	prof, seed := cell.prof, cell.seed
+	cfg := android.DefaultSystemConfig(cell.policy, p.Scale)
+	if cell.backend == vmem.BackendZram {
+		cfg.Device = android.Pixel3Zram(p.Scale)
+	}
 	cfg.Seed = seed
 	cfg.Faults = &prof
 	cfg.CheckInvariants = true
@@ -125,6 +144,10 @@ func chaosRun(p Params, prof faults.Profile, seed uint64, digestEvery time.Durat
 	row := ChaosRow{
 		Profile:         prof.Name,
 		Seed:            seed,
+		Backend:         cell.backend.String(),
+		Policy:          cell.policy.String(),
+		Zram:            sys.VM.Swap.BackendStats(),
+		SwamKills:       m.SwamKills,
 		Launches:        len(m.Launches),
 		Kills:           m.Kills,
 		HardKills:       m.HardKills,
@@ -217,8 +240,20 @@ func ChaosCampaignKey(p Params) string {
 var errSkipped = errors.New("chaos: cell skipped (campaign interrupted)")
 
 type chaosCell struct {
-	prof faults.Profile
-	seed uint64
+	prof    faults.Profile
+	backend vmem.BackendKind
+	policy  android.PolicyKind
+	seed    uint64
+}
+
+// checkpointKey names the cell in the resume store. The historical
+// flash×Fleet cells keep their v1 "profile/seed" key so existing campaign
+// checkpoints still resume; backend/policy variants get a longer key.
+func (c chaosCell) checkpointKey() string {
+	if c.backend == vmem.BackendFlash && c.policy == android.PolicyFleet {
+		return fmt.Sprintf("%s/%d", c.prof.Name, c.seed)
+	}
+	return fmt.Sprintf("%s/%s/%s/%d", c.prof.Name, c.backend, c.policy, c.seed)
 }
 
 // ChaosSupervised runs the fault-profile suite under full supervision:
@@ -231,10 +266,24 @@ func ChaosSupervised(p Params, opts ChaosOpts) ChaosReport {
 	if opts.Seeds < 1 {
 		opts.Seeds = 1
 	}
+	// Every profile runs the historical flash×Fleet cell; the zram-stress
+	// profile (whose fault streams only bite a compressed backend) fans out
+	// across the backend/policy matrix too, so compression-CPU spikes and
+	// pool exhaustion are exercised under both the Fleet runtime and the
+	// SWAM responsiveness monitor.
 	var cells []chaosCell
 	for _, prof := range faults.Profiles(p.Scale) {
-		for s := 0; s < opts.Seeds; s++ {
-			cells = append(cells, chaosCell{prof: prof, seed: p.Seed + uint64(s)})
+		variants := []chaosCell{{prof: prof, backend: vmem.BackendFlash, policy: android.PolicyFleet}}
+		if prof.ZramFullMTBF > 0 || prof.CompSpikeMTBF > 0 {
+			variants = append(variants,
+				chaosCell{prof: prof, backend: vmem.BackendZram, policy: android.PolicyFleet},
+				chaosCell{prof: prof, backend: vmem.BackendZram, policy: android.PolicySwam})
+		}
+		for _, v := range variants {
+			for s := 0; s < opts.Seeds; s++ {
+				v.seed = p.Seed + uint64(s)
+				cells = append(cells, v)
+			}
 		}
 	}
 
@@ -248,7 +297,7 @@ func ChaosSupervised(p Params, opts ChaosOpts) ChaosReport {
 		if opts.Interrupted != nil && opts.Interrupted() {
 			return ChaosRow{}, errSkipped
 		}
-		cellKey := fmt.Sprintf("%s/%d", c.prof.Name, c.seed)
+		cellKey := c.checkpointKey()
 		if opts.Store != nil {
 			var cached ChaosRow
 			if opts.Store.Get(cellKey, &cached) {
@@ -256,14 +305,14 @@ func ChaosSupervised(p Params, opts ChaosOpts) ChaosReport {
 				return cached, nil
 			}
 		}
-		row, _ := chaosRun(p, c.prof, c.seed, 0)
-		replay, _ := chaosRun(p, c.prof, c.seed, 0)
+		row, _ := chaosRun(p, c, 0)
+		replay, _ := chaosRun(p, c, 0)
 		row.Deterministic = row.key() == replay.key()
 		if !row.Deterministic {
 			// Same-seed divergence: rerun both cells with the per-tick
 			// digest recorder and bisect to the first divergent tick.
-			_, da := chaosRun(p, c.prof, c.seed, opts.DigestEvery)
-			_, db := chaosRun(p, c.prof, c.seed, opts.DigestEvery)
+			_, da := chaosRun(p, c, opts.DigestEvery)
+			_, db := chaosRun(p, c, opts.DigestEvery)
 			if d := snapshot.Bisect(da, db); d != nil {
 				row.Divergence = &DivergenceInfo{
 					Tick:      d.Tick,
@@ -296,7 +345,8 @@ func ChaosSupervised(p Params, opts ChaosOpts) ChaosReport {
 			continue
 		}
 		if le, bad := failed[i]; bad {
-			row = ChaosRow{Profile: cells[i].prof.Name, Seed: cells[i].seed, Err: le.Error()}
+			row = ChaosRow{Profile: cells[i].prof.Name, Seed: cells[i].seed,
+				Backend: cells[i].backend.String(), Policy: cells[i].policy.String(), Err: le.Error()}
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
@@ -330,8 +380,12 @@ func FormatChaos(rows []ChaosRow) string {
 		"profile", "seed", "launches", "hot(ms)", "kills", "oom", "crash",
 		"retries", "wrfails", "offln(ms)", "aborts", "fallbk", "checks", "ok")
 	for _, r := range rows {
+		label := r.Profile
+		if r.Backend != "" && (r.Backend != "flash" || r.Policy != "Fleet") {
+			label = fmt.Sprintf("%s+%s/%s", r.Profile, r.Backend, r.Policy)
+		}
 		if r.Err != "" {
-			fmt.Fprintf(&b, "%-14s %5d FAILED: %s\n", r.Profile, r.Seed, r.Err)
+			fmt.Fprintf(&b, "%-14s %5d FAILED: %s\n", label, r.Seed, r.Err)
 			continue
 		}
 		verdict := "yes"
@@ -341,7 +395,7 @@ func FormatChaos(rows []ChaosRow) string {
 			verdict = "DIVERGED"
 		}
 		fmt.Fprintf(&b, "%-14s %5d %8d %9.2f %6d %5d %6d %7d %8d %9.2f %6d %7d %7d %6s\n",
-			r.Profile, r.Seed, r.Launches, r.HotMeanMS,
+			label, r.Seed, r.Launches, r.HotMeanMS,
 			r.Kills, r.OOMKills, r.CrashKills,
 			r.SwapRetries, r.SwapWriteFails, r.OfflineWaitMS,
 			r.OfflineAborts, r.SwapFallbacks, r.InvariantChecks, verdict)

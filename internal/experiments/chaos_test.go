@@ -5,22 +5,32 @@ import (
 	"testing"
 )
 
-// TestChaosSuite runs the full chaos matrix (3 fault profiles × 3 seeds,
-// each cell replayed twice by Chaos itself) and requires every cell to be
-// deterministic and invariant-clean, and every profile to actually trip
-// its degradation path.
+// TestChaosSuite runs the full chaos matrix (4 fault profiles × 3 seeds,
+// plus the zram-stress backend/policy variants, each cell replayed twice by
+// Chaos itself) and requires every cell to be deterministic and
+// invariant-clean, and every profile to actually trip its degradation path.
 func TestChaosSuite(t *testing.T) {
 	p := DefaultParams()
 	p.Rounds = 2 // Chaos caps at 4; trim further to keep the matrix cheap
 	rows := Chaos(p, 3)
-	if len(rows) != 9 {
-		t.Fatalf("got %d rows, want 3 profiles x 3 seeds", len(rows))
+	// 4 profiles × flash/Fleet + zram-stress × {zram/Fleet, zram/Swam},
+	// 3 seeds each.
+	if len(rows) != 18 {
+		t.Fatalf("got %d rows, want 6 variants x 3 seeds", len(rows))
 	}
 
-	agg := map[string]*ChaosRow{}
+	type variantAgg struct {
+		ChaosRow
+		compSpikes, zramFulls int64
+		zramStored            int64
+		zramRejects           int64
+	}
+	agg := map[string]*variantAgg{}
+	profiles := map[string]bool{}
 	for i := range rows {
 		r := rows[i]
-		t.Run(fmt.Sprintf("%s/seed%d", r.Profile, r.Seed), func(t *testing.T) {
+		variant := fmt.Sprintf("%s/%s/%s", r.Profile, r.Backend, r.Policy)
+		t.Run(fmt.Sprintf("%s/seed%d", variant, r.Seed), func(t *testing.T) {
 			if !r.Deterministic {
 				t.Error("same-seed replay diverged")
 			}
@@ -36,31 +46,61 @@ func TestChaosSuite(t *testing.T) {
 			if r.Faults == (ChaosRow{}.Faults) {
 				t.Error("profile injected no faults at all")
 			}
+			if r.Backend == "flash" && r.Zram != (ChaosRow{}.Zram) {
+				t.Errorf("flash cell reported zram stats: %+v", r.Zram)
+			}
 		})
-		a, ok := agg[r.Profile]
+		profiles[r.Profile] = true
+		a, ok := agg[variant]
 		if !ok {
-			a = &ChaosRow{}
-			agg[r.Profile] = a
+			a = &variantAgg{}
+			agg[variant] = a
 		}
 		a.SwapRetries += r.SwapRetries
 		a.SwapWriteFails += r.SwapWriteFails
 		a.SwapFallbacks += r.SwapFallbacks
 		a.CrashKills += r.CrashKills
+		a.SwamKills += r.SwamKills
 		a.OfflineWaitMS += r.OfflineWaitMS
+		a.compSpikes += r.Faults.CompSpikes
+		a.zramFulls += r.Faults.ZramFulls
+		a.zramStored += r.Zram.StoredPages + r.Zram.Fallthroughs + r.Zram.Writebacks
+		a.zramRejects += r.Zram.FullRejects
 	}
-	if len(agg) != 3 {
-		t.Fatalf("profiles seen = %d, want 3", len(agg))
+	if len(profiles) != 4 {
+		t.Fatalf("profiles seen = %d, want 4", len(profiles))
 	}
 
 	// Each profile must demonstrably exercise its degradation path
 	// somewhere in its three seeds.
-	if a := agg["swap-stress"]; a.SwapRetries == 0 || a.OfflineWaitMS == 0 {
+	if a := agg["swap-stress/flash/Fleet"]; a.SwapRetries == 0 || a.OfflineWaitMS == 0 {
 		t.Errorf("swap-stress tripped no offline backoff: %+v", a)
 	}
-	if a := agg["slot-squeeze"]; a.SwapWriteFails == 0 {
+	if a := agg["slot-squeeze/flash/Fleet"]; a.SwapWriteFails == 0 {
 		t.Errorf("slot-squeeze caused no failed swap-outs: %+v", a)
 	}
-	if a := agg["crash-monkey"]; a.CrashKills == 0 {
+	if a := agg["crash-monkey/flash/Fleet"]; a.CrashKills == 0 {
 		t.Errorf("crash-monkey killed nothing: %+v", a)
+	}
+	// zram-stress: both fault streams fire on the compressed backend and the
+	// compression model is actually in play under both policies.
+	var rejects int64
+	for _, v := range []string{"zram-stress/zram/Fleet", "zram-stress/zram/Swam"} {
+		a := agg[v]
+		if a == nil {
+			t.Fatalf("missing variant %s", v)
+		}
+		if a.compSpikes == 0 || a.zramFulls == 0 {
+			t.Errorf("%s: fault streams idle: spikes=%d fulls=%d", v, a.compSpikes, a.zramFulls)
+		}
+		if a.zramStored == 0 {
+			t.Errorf("%s: compressed backend stored nothing", v)
+		}
+		rejects += a.zramRejects
+	}
+	// Forced pool exhaustion must reject stores somewhere in the matrix
+	// (which policy trips it depends on reclaim timing, so aggregate).
+	if rejects == 0 {
+		t.Error("zram-stress: forced pool exhaustion rejected no stores")
 	}
 }

@@ -35,8 +35,10 @@ func TestParallelSerialEquivalence(t *testing.T) {
 		run  func(Params) any
 	}{
 		{"Fig13", func(p Params) any { return Fig13(p) }},
+		{"Fig13zram", func(p Params) any { p.Backend = "zram"; return Fig13(p) }},
 		{"Fig11a", func(p Params) any { return Fig11a(p) }},
 		{"Sec74", func(p Params) any { return Sec74(p) }},
+		{"ExtSwam", func(p Params) any { return ExtSwam(p) }},
 	}
 	defer runner.SetParallelism(0)
 	for _, seed := range []uint64{1, 7, 42} {

@@ -30,7 +30,7 @@ func extRow(label string, r *hotRun) ExtRow {
 // runWithConfig is runHotLaunches with an arbitrary config mutator.
 func runWithConfig(p Params, policy android.PolicyKind, mutate func(*android.SystemConfig)) *hotRun {
 	pop, measured := pressurePopulation(p, Fig13Apps)
-	cfg := android.DefaultSystemConfig(policy, p.Scale)
+	cfg := systemConfig(p, policy)
 	cfg.Seed = p.Seed
 	if mutate != nil {
 		mutate(&cfg)
@@ -79,6 +79,22 @@ func ExtZram(p Params) []ExtRow {
 		extLeg{"Fleet flash", android.PolicyFleet, nil},
 		extLeg{"Android zram", android.PolicyAndroid, zram},
 		extLeg{"Fleet zram", android.PolicyFleet, zram},
+	)
+}
+
+// ExtSwam compares the PSI-driven stock lmkd against the SWAM-style
+// responsiveness monitor (reclaim and kill decisions driven by modeled
+// refault + decompression stall pressure) on both swap backends. The
+// compressed device is where the policies diverge most: decompression
+// stalls are invisible to the refault-only PSI signal but first-class to
+// SWAM.
+func ExtSwam(p Params) []ExtRow {
+	zram := func(c *android.SystemConfig) { c.Device = android.Pixel3Zram(p.Scale) }
+	return extLegs(p,
+		extLeg{"Android flash", android.PolicyAndroid, nil},
+		extLeg{"Swam flash", android.PolicySwam, nil},
+		extLeg{"Android zram", android.PolicyAndroid, zram},
+		extLeg{"Swam zram", android.PolicySwam, zram},
 	)
 }
 

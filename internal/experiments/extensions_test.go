@@ -48,6 +48,32 @@ func TestExtZramStory(t *testing.T) {
 	}
 }
 
+func TestExtSwamStory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows := ExtSwam(quick())
+	flashA, flashS, zramA, zramS := rows[0], rows[1], rows[2], rows[3]
+	// On flash the refault-stall signal is strong: SWAM's proactive reclaim
+	// converts synchronous GC-time faults into background write-out and
+	// beats the PSI lmkd's median without extra kills.
+	if flashS.MedianMs >= flashA.MedianMs {
+		t.Errorf("Swam flash median %v not below Android %v", flashS.MedianMs, flashA.MedianMs)
+	}
+	if flashS.Kills > flashA.Kills {
+		t.Errorf("Swam flash kills %d exceed Android %d", flashS.Kills, flashA.Kills)
+	}
+	// On the compressed device decompression is nearly free, the signal
+	// barely registers, and capacity (hard kills) binds for both policies —
+	// SWAM must at least not make things worse.
+	if zramS.MedianMs > zramA.MedianMs*1.05 {
+		t.Errorf("Swam zram median %v materially worse than Android %v", zramS.MedianMs, zramA.MedianMs)
+	}
+	if zramS.Kills > zramA.Kills {
+		t.Errorf("Swam zram kills %d exceed Android %d", zramS.Kills, zramA.Kills)
+	}
+}
+
 func TestExtDepthSweepUShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

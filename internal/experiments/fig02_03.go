@@ -35,7 +35,7 @@ func Fig2(p Params) []Fig2Row {
 				target = pr
 			}
 		}
-		cfg := android.DefaultSystemConfig(android.PolicyAndroid, p.Scale)
+		cfg := systemConfig(p, android.PolicyAndroid)
 		cfg.Seed = p.Seed
 		sys := android.NewSystem(cfg)
 		filler := apps.SyntheticProfile("filler", 512, p.SyntheticFootprint()/8)

@@ -20,7 +20,7 @@ type Fig11Series struct {
 // runCapacity launches launches apps one after another, using each for
 // useTime, and records the alive count after each launch.
 func runCapacity(p Params, policy android.PolicyKind, noSwap bool, profiles []apps.Profile, label string) Fig11Series {
-	cfg := android.DefaultSystemConfig(policy, p.Scale)
+	cfg := systemConfig(p, policy)
 	cfg.Seed = p.Seed
 	if noSwap {
 		cfg.Device = android.Pixel3NoSwap(p.Scale)
@@ -79,7 +79,7 @@ func Fig11c(p Params) []Fig11Series {
 	// only when the first one died; SwitchTo semantics are what the paper
 	// uses, so run the cycle through an activity-manager walk instead.
 	run := func(policy android.PolicyKind, noSwap bool, label string) Fig11Series {
-		cfg := android.DefaultSystemConfig(policy, p.Scale)
+		cfg := systemConfig(p, policy)
 		cfg.Seed = p.Seed
 		if noSwap {
 			cfg.Device = android.Pixel3NoSwap(p.Scale)
@@ -132,7 +132,7 @@ func Fig12a(p Params) []Fig12aRow {
 		pq.Rounds = 4
 	}
 	run := func(policy android.PolicyKind, noBGC bool, label string) Fig12aRow {
-		cfg := android.DefaultSystemConfig(policy, pq.Scale)
+		cfg := systemConfig(pq, policy)
 		cfg.Seed = pq.Seed
 		cfg.FleetNoBGC = noBGC
 		sys := android.NewSystem(cfg)
@@ -185,7 +185,7 @@ type Fig12bResult struct {
 func Fig12b(p Params) Fig12bResult {
 	res := Fig12bResult{BackSec: 180, FrontSec: 480}
 	run := func(policy android.PolicyKind) []Fig12bPoint {
-		cfg := android.DefaultSystemConfig(policy, p.Scale)
+		cfg := systemConfig(p, policy)
 		cfg.Seed = p.Seed
 		sys := android.NewSystem(cfg)
 		twitch := *apps.ProfileByName("Twitch", p.Scale)

@@ -25,7 +25,7 @@ type Fig14Row struct {
 func Fig14(p Params) []Fig14Row {
 	type frames struct{ jank, fps map[string]float64 }
 	run := func(policy android.PolicyKind) frames {
-		cfg := android.DefaultSystemConfig(policy, p.Scale)
+		cfg := systemConfig(p, policy)
 		cfg.Seed = p.Seed
 		sys := android.NewSystem(cfg)
 		pop, _ := pressurePopulation(p, Fig13Apps)
@@ -87,7 +87,7 @@ const (
 // protocol (30 s foreground, 30 s background per app).
 func Sec73(p Params) Sec73Result {
 	run := func(policy android.PolicyKind) (gcShare, power float64) {
-		cfg := android.DefaultSystemConfig(policy, p.Scale)
+		cfg := systemConfig(p, policy)
 		cfg.Seed = p.Seed
 		sys := android.NewSystem(cfg)
 		names := Fig13Apps[:8]
@@ -164,7 +164,7 @@ func Sec74(p Params) []Sec74Row {
 	// (capacity sweep + pressure protocol); fan the four legs out.
 	return runner.Map(legs, func(_ int, l cfgLeg) Sec74Row {
 		// Capacity with synthetic apps.
-		cfg := android.DefaultSystemConfig(l.pol, p.Scale)
+		cfg := systemConfig(p, l.pol)
 		cfg.Seed = p.Seed
 		cfg.BgHeapGrowth = l.growth
 		sys := android.NewSystem(cfg)

@@ -14,6 +14,7 @@ import (
 	"fleetsim/internal/apps"
 	"fleetsim/internal/metrics"
 	"fleetsim/internal/units"
+	"fleetsim/internal/vmem"
 	"fleetsim/internal/xrand"
 )
 
@@ -42,6 +43,12 @@ type Params struct {
 	Devices  int
 	Tiers    string
 	Policies string
+
+	// Backend selects the swap backend every experiment's device runs on:
+	// "" or "flash" is the paper's UFS flash partition (Pixel3), "zram"
+	// the compressed-RAM device (Pixel3Zram). Frontends validate the name
+	// with vmem.ParseBackend before running.
+	Backend string
 }
 
 // DefaultParams match the calibration used throughout the test suite.
@@ -97,7 +104,7 @@ type hotRun struct {
 func runHotLaunches(p Params, policy android.PolicyKind, population []apps.Profile,
 	measured map[string]bool, noSwap bool, bgGrowth float64) *hotRun {
 
-	cfg := android.DefaultSystemConfig(policy, p.Scale)
+	cfg := systemConfig(p, policy)
 	cfg.Seed = p.Seed
 	if noSwap {
 		cfg.Device = android.Pixel3NoSwap(p.Scale)
@@ -152,6 +159,23 @@ func runHotLaunchesWithSystem(p Params, sys *android.System, population []apps.P
 	// cannot change what the run computed.
 	sys.PublishTelemetry()
 	return run
+}
+
+// systemConfig is the one place experiment legs turn Params into a system
+// configuration: the policy's defaults at p.Scale, on the device p.Backend
+// selects ("" or "flash" → the flash Pixel 3, "zram" → Pixel3Zram). Legs
+// apply their own seed and mutations afterwards. An unknown backend panics;
+// frontends validate the name with vmem.ParseBackend before dispatching.
+func systemConfig(p Params, policy android.PolicyKind) android.SystemConfig {
+	cfg := android.DefaultSystemConfig(policy, p.Scale)
+	kind, ok := vmem.ParseBackend(p.Backend)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown swap backend %q (valid: %v)", p.Backend, vmem.BackendNames()))
+	}
+	if kind == vmem.BackendZram {
+		cfg.Device = android.Pixel3Zram(p.Scale)
+	}
+	return cfg
 }
 
 func sampleFor(m map[string]*metrics.Sample, k string) *metrics.Sample {

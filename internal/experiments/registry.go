@@ -142,6 +142,9 @@ var registry = []Spec{
 	{Name: "extzram", Desc: "extension: compressed-RAM (zram) swap device", Run: func(p Params) string {
 		return FormatExt("Extension — flash vs zram swap", ExtZram(p))
 	}},
+	{Name: "extswam", Desc: "extension: SWAM-style responsiveness-driven lmkd/reclaim", Run: func(p Params) string {
+		return FormatExt("Extension — PSI lmkd vs SWAM responsiveness policy", ExtSwam(p))
+	}},
 	{Name: "extdepth", Desc: "ablation: NRO depth sweep, end to end", Run: func(p Params) string {
 		return FormatExt("Ablation — NRO depth (end-to-end)", ExtDepthSweep(p))
 	}},

@@ -93,6 +93,39 @@ func TestPopulationTelemetryDoesNotPerturbDeterminism(t *testing.T) {
 	}
 }
 
+// TestZramTelemetryFamilies pins that a run on the compressed backend
+// publishes the fleetsim_zram_* counter families (and the swam kill kind
+// registers without perturbing anything) — the same families the fleetd
+// smoke workflow asserts on /metrics.
+func TestZramTelemetryFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.SetSimRegistry(reg)
+	defer telemetry.SetSimRegistry(nil)
+
+	p := DefaultParams().Quick()
+	p.Rounds = 2
+	p.Backend = "zram"
+	pop := allCommercial(p)[:4]
+	runHotLaunches(p, android.PolicyFleet, pop, nil, false, 0)
+
+	policy := android.PolicyFleet.String()
+	get := func(name, help string) int64 {
+		return reg.Counter(name, help, "policy", policy, "backend", "zram").Value()
+	}
+	stored := get("fleetsim_zram_stored_pages",
+		"Pages resident compressed in the zram pool at end of run.")
+	falls := get("fleetsim_zram_fallthroughs_total",
+		"Incompressible pages routed straight to backing flash.")
+	comp := get("fleetsim_zram_compress_cpu_ms_total",
+		"CPU time charged to reclaim for page compression.")
+	if stored+falls == 0 {
+		t.Errorf("zram run published no page activity: stored=%d fallthroughs=%d", stored, falls)
+	}
+	if comp == 0 {
+		t.Error("zram run published zero compression CPU")
+	}
+}
+
 // TestCaptureTraceDeterministic pins that the canonical trace scenario is
 // a pure function of (params, policy) — fleetsim and fleetd serve
 // byte-identical traces — and that its Chrome export is structurally

@@ -15,7 +15,7 @@ import (
 // fleetd's GET /v1/jobs/{id}/trace endpoint; keeping it here means both
 // frontends serve byte-identical traces for the same params and policy.
 func CaptureTrace(p Params, policy android.PolicyKind) *trace.Log {
-	cfg := android.DefaultSystemConfig(policy, p.Scale)
+	cfg := systemConfig(p, policy)
 	cfg.Seed = p.Seed
 	sys := android.NewSystem(cfg)
 	log := sys.EnableTrace(0)

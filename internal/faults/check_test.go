@@ -104,7 +104,7 @@ func TestCheckCounterClasses(t *testing.T) {
 		buildGraph(h, 10)
 		// A negative unreserve inflates the reservation past capacity —
 		// the squeeze-stream bug class the free-slot audit exists for.
-		vm.Swap.UnreserveSlots(-(vm.Swap.TotalSlots + 1))
+		vm.Swap.UnreserveSlots(-(vm.Swap.TotalSlots() + 1))
 		checkFinds(t, vm, h, "swap device oversubscribed")
 	})
 	t.Run("latched corruption", func(t *testing.T) {

@@ -44,12 +44,12 @@ func TestFleetFallsBackWhenSwapOffline(t *testing.T) {
 	buildGraph(h, 50)
 
 	offline := false
-	vm.Swap.Faults = func() vmem.FaultState {
+	vm.Swap.SetFaults(func() vmem.FaultState {
 		if offline {
 			return vmem.FaultState{OfflineFor: time.Second}
 		}
 		return vmem.FaultState{}
-	}
+	})
 
 	f := core.New(core.Config{}, h, vm)
 	f.OnBackground()

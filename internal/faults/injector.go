@@ -16,6 +16,8 @@ type Stats struct {
 	Squeezes       int64
 	Storms         int64
 	Crashes        int64
+	CompSpikes     int64
+	ZramFulls      int64
 	// StormFaults counts storm touches that themselves hit an error
 	// (ErrOOM while applying pressure). The storm absorbs it — it is
 	// background noise, not an app — but the count is reported.
@@ -37,9 +39,11 @@ type Injector struct {
 	rng   *xrand.Rand
 
 	// Window state served to the swap device via its fault hook.
-	stallUntil   time.Duration
-	stallFactor  float64
-	offlineUntil time.Duration
+	stallUntil    time.Duration
+	stallFactor   float64
+	offlineUntil  time.Duration
+	cpuSpikeUntil time.Duration
+	cpuFactor     float64
 
 	stormAS    *mem.AddressSpace
 	stormSlots []stormSlot
@@ -58,7 +62,7 @@ type stormSlot struct {
 // to schedule the first events.
 func NewInjector(p Profile, seed uint64, clock *simclock.Clock, vm *vmem.Manager) *Injector {
 	inj := &Injector{prof: p, clock: clock, vm: vm, rng: xrand.New(seed)}
-	vm.Swap.Faults = inj.swapState
+	vm.Swap.SetFaults(inj.swapState)
 	return inj
 }
 
@@ -87,6 +91,9 @@ func (inj *Injector) swapState() vmem.FaultState {
 	}
 	if now < inj.offlineUntil {
 		st.OfflineFor = inj.offlineUntil - now
+	}
+	if now < inj.cpuSpikeUntil {
+		st.CPUFactor = inj.cpuFactor
 	}
 	return st
 }
@@ -119,6 +126,12 @@ func (inj *Injector) Start() {
 	if p.CrashMTBF > 0 {
 		inj.clock.ScheduleAfter(inj.expAfter(p.CrashMTBF), "fault-crash", inj.crashEvent)
 	}
+	if p.CompSpikeMTBF > 0 && p.CompSpikeDuration > 0 && p.CompSpikeFactor > 1 {
+		inj.clock.ScheduleAfter(inj.expAfter(p.CompSpikeMTBF), "fault-compspike", inj.compSpikeEvent)
+	}
+	if p.ZramFullMTBF > 0 && p.ZramFullDuration > 0 {
+		inj.clock.ScheduleAfter(inj.expAfter(p.ZramFullMTBF), "fault-zramfull", inj.zramFullEvent)
+	}
 }
 
 func (inj *Injector) stallEvent(c *simclock.Clock) {
@@ -137,7 +150,7 @@ func (inj *Injector) offlineEvent(c *simclock.Clock) {
 
 func (inj *Injector) squeezeEvent(c *simclock.Clock) {
 	inj.stats.Squeezes++
-	got := inj.vm.Swap.ReserveSlots(int64(inj.prof.SqueezeFrac * float64(inj.vm.Swap.TotalSlots)))
+	got := inj.vm.Swap.ReserveSlots(int64(inj.prof.SqueezeFrac * float64(inj.vm.Swap.TotalSlots())))
 	c.ScheduleAfter(inj.prof.SqueezeDuration, "fault-squeeze-end", func(c *simclock.Clock) {
 		inj.vm.Swap.UnreserveSlots(got)
 	})
@@ -174,6 +187,28 @@ func (inj *Injector) stormEvent(c *simclock.Clock) {
 		}
 	})
 	c.ScheduleAfter(inj.prof.StormHold+inj.expAfter(inj.prof.StormMTBF), "fault-storm", inj.stormEvent)
+}
+
+// compSpikeEvent opens a compression-CPU throttling window. Flash
+// transfers ignore CPUFactor, so this stream only bites on compressed
+// backends.
+func (inj *Injector) compSpikeEvent(c *simclock.Clock) {
+	inj.stats.CompSpikes++
+	inj.cpuFactor = inj.prof.CompSpikeFactor
+	inj.cpuSpikeUntil = c.Now() + inj.prof.CompSpikeDuration
+	c.ScheduleAfter(inj.prof.CompSpikeDuration+inj.expAfter(inj.prof.CompSpikeMTBF), "fault-compspike", inj.compSpikeEvent)
+}
+
+// zramFullEvent reserves every free page-slot for the window, modeling
+// another subsystem flooding the compressed pool; swap-outs fail with
+// ErrSwapFull until the hold releases.
+func (inj *Injector) zramFullEvent(c *simclock.Clock) {
+	inj.stats.ZramFulls++
+	got := inj.vm.Swap.ReserveSlots(inj.vm.Swap.FreeSlots())
+	c.ScheduleAfter(inj.prof.ZramFullDuration, "fault-zramfull-end", func(c *simclock.Clock) {
+		inj.vm.Swap.UnreserveSlots(got)
+	})
+	c.ScheduleAfter(inj.prof.ZramFullDuration+inj.expAfter(inj.prof.ZramFullMTBF), "fault-zramfull", inj.zramFullEvent)
 }
 
 func (inj *Injector) crashEvent(c *simclock.Clock) {

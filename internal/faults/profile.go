@@ -53,6 +53,22 @@ type Profile struct {
 	// App crashes: a deterministically chosen cached app dies, exercising
 	// release and cold-relaunch paths.
 	CrashMTBF time.Duration
+
+	// Compression-CPU spikes: windows where (de)compression work costs
+	// CompSpikeFactor times more CPU (thermal throttling of the cores the
+	// zram driver runs on). Only compressed-pool IO pays; flash transfers
+	// are DMA and ignore it, so flash-backend runs are byte-identical with
+	// or without this stream.
+	CompSpikeMTBF     time.Duration
+	CompSpikeDuration time.Duration
+	CompSpikeFactor   float64
+
+	// Zram-full windows: every free page-slot is reserved for the duration
+	// (another subsystem flooding the compressed pool), so swap-outs fail
+	// with ErrSwapFull and reclaim must fall back to keeping victims
+	// resident — or killing.
+	ZramFullMTBF     time.Duration
+	ZramFullDuration time.Duration
 }
 
 // SwapStress exercises the device-fault degradation paths: frequent
@@ -97,7 +113,22 @@ func CrashMonkey() Profile {
 	}
 }
 
+// ZramStress exercises the compressed-backend degradation paths: thermal
+// compression-CPU spikes plus pool-flooding windows that bounce swap-outs.
+// On a flash backend the CPU spikes are inert (DMA ignores them) and the
+// full windows reduce to slot squeezes of the whole device.
+func ZramStress() Profile {
+	return Profile{
+		Name:              "zram-stress",
+		CompSpikeMTBF:     8 * time.Second,
+		CompSpikeDuration: 2 * time.Second,
+		CompSpikeFactor:   6,
+		ZramFullMTBF:      20 * time.Second,
+		ZramFullDuration:  3 * time.Second,
+	}
+}
+
 // Profiles returns the standard chaos suite at a device scale.
 func Profiles(scale int64) []Profile {
-	return []Profile{SwapStress(), SlotSqueeze(scale), CrashMonkey()}
+	return []Profile{SwapStress(), SlotSqueeze(scale), CrashMonkey(), ZramStress()}
 }

@@ -147,7 +147,7 @@ func TestSwapCompactByDefault(t *testing.T) {
 		t.Fatal("no bookmarked object")
 	}
 	h.Access(victim, false, 101*time.Second)
-	perPage := 80*time.Microsecond + units.TransferTime(units.PageSize, 20.3e6)
+	perPage := vmem.UFSFlashProfile().ReadTime(units.PageSize)
 	if got := vm.Stats().FaultStall - stallBefore; got < perPage {
 		t.Errorf("object fault stall %v < one page %v", got, perPage)
 	}

@@ -35,25 +35,44 @@ type Tier struct {
 	// CPUFactor multiplies app launch CPU costs (1.0 = Pixel 3 class;
 	// >1 slower silicon, <1 faster).
 	CPUFactor float64 `json:"cpu_factor"`
+	// DRAMBandwidth is the tier silicon's DRAM streaming rate in bytes/s
+	// (0 = the paper's Pixel 3 measurement); it lands in the device
+	// profile's DRAMBandwidth field.
+	DRAMBandwidth float64 `json:"dram_bandwidth,omitempty"`
+	// Backend names the tier's swap backend ("" or "flash" for the flash
+	// partition, "zram" for the compressed backend with flash backing).
+	Backend string `json:"backend,omitempty"`
 	// Weight is the tier's share of the fleet (relative to the sum).
 	Weight int `json:"weight"`
 }
 
 // builtinTiers are the named device classes -tiers weight specs select
 // from. Sizes follow the Android-fleet spread around the paper's Pixel 3
-// (the "mid" tier is exactly the evaluation device).
+// (the "mid" tier is exactly the evaluation device); "zram" is a mid-class
+// device whose vendor shipped compressed swap — select it explicitly, e.g.
+// "-tiers mid:4,zram:2".
 func builtinTiers() []Tier {
 	return []Tier{
-		{Name: "low", DRAMBytes: 3 * units.GiB, SwapBytes: 1 * units.GiB, CPUFactor: 1.6, Weight: 3},
+		{Name: "low", DRAMBytes: 3 * units.GiB, SwapBytes: 1 * units.GiB, CPUFactor: 1.6, DRAMBandwidth: 6.4e9, Weight: 3},
 		{Name: "mid", DRAMBytes: 4 * units.GiB, SwapBytes: 2 * units.GiB, CPUFactor: 1.0, Weight: 6},
-		{Name: "high", DRAMBytes: 6 * units.GiB, SwapBytes: 3 * units.GiB, CPUFactor: 0.8, Weight: 2},
-		{Name: "flagship", DRAMBytes: 8 * units.GiB, SwapBytes: 4 * units.GiB, CPUFactor: 0.65, Weight: 1},
+		{Name: "high", DRAMBytes: 6 * units.GiB, SwapBytes: 3 * units.GiB, CPUFactor: 0.8, DRAMBandwidth: 12.8e9, Weight: 2},
+		{Name: "flagship", DRAMBytes: 8 * units.GiB, SwapBytes: 4 * units.GiB, CPUFactor: 0.65, DRAMBandwidth: 17e9, Weight: 1},
+		{Name: "zram", DRAMBytes: 4 * units.GiB, SwapBytes: 2 * units.GiB, CPUFactor: 1.0, Backend: "zram", Weight: 1},
 	}
 }
 
-// DefaultTiers returns the built-in tier mix (low:3 mid:6 high:2
-// flagship:1 — a mid-heavy fleet).
-func DefaultTiers() []Tier { return builtinTiers() }
+// DefaultTiers returns the default tier mix (low:3 mid:6 high:2
+// flagship:1 — a mid-heavy fleet). The zram tier stays opt-in so existing
+// campaign keys and digests are unchanged.
+func DefaultTiers() []Tier {
+	var out []Tier
+	for _, t := range builtinTiers() {
+		if t.Backend == "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
 
 // ParseTiers parses a "-tiers" weight spec like "low:4,mid:8,high:1" into
 // tier definitions. Only named built-in tiers may appear; a tier omitted
@@ -176,8 +195,10 @@ func (s Spec) PoliciesString() string {
 	return strings.Join(parts, ",")
 }
 
-// ParsePolicies parses a comma-separated policy list ("android,fleet").
-// The empty string selects all three.
+// ParsePolicies parses a comma-separated policy list ("android,fleet"),
+// resolved through the android policy registry. The empty string selects
+// the paper's trio (not every registered policy, so default campaign keys
+// stay stable as policies are added).
 func ParsePolicies(spec string) ([]android.PolicyKind, error) {
 	if strings.TrimSpace(spec) == "" {
 		return []android.PolicyKind{android.PolicyAndroid, android.PolicyMarvin, android.PolicyFleet}, nil
@@ -191,7 +212,8 @@ func ParsePolicies(spec string) ([]android.PolicyKind, error) {
 		}
 		p, ok := android.ParsePolicy(part)
 		if !ok {
-			return nil, fmt.Errorf("population: unknown policy %q (android, marvin, fleet)", part)
+			return nil, fmt.Errorf("population: unknown policy %q (policies: %s)",
+				part, strings.Join(android.PolicyNames(), ", "))
 		}
 		if seen[p] {
 			return nil, fmt.Errorf("population: policy %q listed twice", part)
@@ -359,15 +381,43 @@ func (s Spec) ExpandDevice(i, nApps int) Device {
 
 // TierDevice scales a tier's hardware into a DeviceConfig, the same way
 // android.Pixel3 scales the paper's device: capacities and swap bandwidth
-// divide by scale so per-launch fault milliseconds stay faithful.
+// divide by scale so per-launch fault milliseconds stay faithful. A tier
+// with Backend "zram" carves a quarter of its DRAM into the compressed
+// pool and demotes the swap partition to backing store.
 func TierDevice(t Tier, scale int64) android.DeviceConfig {
 	if scale < 1 {
 		scale = 1
 	}
+	fscale := float64(scale)
+	if kind, _ := vmem.ParseBackend(t.Backend); kind == vmem.BackendZram {
+		pool := t.DRAMBytes / 4 / scale
+		prof := vmem.ZramDeviceProfile()
+		prof.ReadBandwidth /= fscale
+		prof.WriteBandwidth /= fscale
+		prof.DRAMBandwidth = t.DRAMBandwidth
+		backing := vmem.UFSFlashProfile()
+		backing.ReadBandwidth /= fscale
+		backing.WriteBandwidth /= fscale
+		return android.DeviceConfig{
+			DRAMBytes:           t.DRAMBytes/scale - pool,
+			SystemReservedBytes: 1400 * units.MiB / scale,
+			Swap: vmem.SwapDeviceConfig{
+				SizeBytes: pool + t.SwapBytes/scale,
+				Profile:   prof,
+				Backend:   vmem.BackendZram,
+				Zram: vmem.ZramConfig{
+					PoolBytes:      pool,
+					BackingBytes:   t.SwapBytes / scale,
+					BackingProfile: backing,
+				},
+			},
+		}
+	}
 	swap := vmem.DefaultSwapConfig()
 	swap.SizeBytes = t.SwapBytes / scale
-	swap.ReadBandwidth /= float64(scale)
-	swap.WriteBandwidth /= float64(scale)
+	swap.Profile.ReadBandwidth /= fscale
+	swap.Profile.WriteBandwidth /= fscale
+	swap.Profile.DRAMBandwidth = t.DRAMBandwidth
 	return android.DeviceConfig{
 		DRAMBytes:           t.DRAMBytes / scale,
 		SystemReservedBytes: 1400 * units.MiB / scale,

@@ -39,6 +39,7 @@ import (
 	"fleetsim/internal/runner"
 	"fleetsim/internal/snapshot"
 	"fleetsim/internal/telemetry"
+	"fleetsim/internal/vmem"
 )
 
 // Campaign is the journal campaign key: it names the job wire format, not
@@ -128,6 +129,11 @@ type JobSpec struct {
 	Devices  int    `json:"devices,omitempty"`
 	Tiers    string `json:"tiers,omitempty"`
 	Policies string `json:"policies,omitempty"`
+	// Backend selects the swap backend every experiment cell runs on:
+	// "" or "flash" for the paper's flash partition, "zram" for the
+	// compressed-RAM device. Validated at admission against the vmem
+	// backend registry.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Event is one progress record of a job's lifetime, streamed to
@@ -612,6 +618,7 @@ func (s *Service) paramsFor(spec JobSpec) experiments.Params {
 	}
 	p.Tiers = spec.Tiers
 	p.Policies = spec.Policies
+	p.Backend = spec.Backend
 	if spec.Quick {
 		p = p.Quick()
 	}
@@ -647,6 +654,10 @@ func (s *Service) Validate(spec JobSpec) error {
 		if _, err := population.ParsePolicies(spec.Policies); err != nil {
 			return fmt.Errorf("service: %w", err)
 		}
+	}
+	if _, ok := vmem.ParseBackend(spec.Backend); !ok {
+		return fmt.Errorf("service: unknown swap backend %q (valid: %s)",
+			spec.Backend, strings.Join(vmem.BackendNames(), " "))
 	}
 	if _, err := ParseClass(spec.Class); err != nil {
 		return fmt.Errorf("service: %w", err)

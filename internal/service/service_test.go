@@ -102,6 +102,7 @@ func TestValidateRejects(t *testing.T) {
 		{Experiments: []string{"nonsense"}},
 		{Experiments: make([]string, MaxCells+1)},
 		{Experiments: []string{"tab1"}, Scale: -1},
+		{Experiments: []string{"tab1"}, Backend: "ramster"},
 	}
 	for i, spec := range cases {
 		if _, err := s.Submit(spec); err == nil {
@@ -112,6 +113,17 @@ func TestValidateRejects(t *testing.T) {
 	_, err = s.Submit(JobSpec{Experiments: []string{"nonsense"}})
 	if err == nil || !strings.Contains(err.Error(), "fig13") {
 		t.Fatalf("unknown-experiment error should list valid names, got: %v", err)
+	}
+	// The unknown-backend error lists the backend registry.
+	_, err = s.Submit(JobSpec{Experiments: []string{"tab1"}, Backend: "ramster"})
+	if err == nil || !strings.Contains(err.Error(), "zram") {
+		t.Fatalf("unknown-backend error should list valid backends, got: %v", err)
+	}
+	// The canonical backend names are accepted.
+	for _, b := range []string{"", "flash", "zram"} {
+		if err := s.Validate(JobSpec{Experiments: []string{"tab1"}, Backend: b}); err != nil {
+			t.Errorf("Validate rejected backend %q: %v", b, err)
+		}
 	}
 }
 

@@ -150,6 +150,15 @@ func VMemDigest(vm *vmem.Manager, spaces []*mem.AddressSpace) Digest {
 	h.I64(vm.Swap.ReservedSlots())
 	h.I64(vm.Swap.Reads())
 	h.I64(vm.Swap.Writes())
+	bs := vm.Swap.BackendStats()
+	h.I64(bs.StoredPages)
+	h.I64(bs.CompressedBytes)
+	h.I64(bs.Fallthroughs)
+	h.I64(bs.Writebacks)
+	h.I64(bs.FullRejects)
+	h.Dur(bs.CompressCPU)
+	h.Dur(bs.DecompressCPU)
+	h.Dur(bs.WritebackIO)
 	a, i := vm.LRUSizes()
 	h.I64(a)
 	h.I64(i)
@@ -228,6 +237,8 @@ func AndroidDigest(sys *android.System) Digest {
 	h.I64(int64(m.PSIKills))
 	h.I64(int64(m.OOMKills))
 	h.I64(int64(m.CrashKills))
+	h.I64(int64(m.SwamKills))
+	h.I64(m.SwamReclaims)
 	h.I64(m.InvariantChecks)
 	h.I64(m.InvariantFails)
 	h.I64(m.SwapRetries)

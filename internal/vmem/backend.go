@@ -1,0 +1,150 @@
+package vmem
+
+import (
+	"strings"
+	"time"
+
+	"fleetsim/internal/mem"
+)
+
+// SwapBackend is the pluggable swap-device seam: the manager (reclaim,
+// fault-in, prefetch, madvise) talks only to this interface, so policies
+// can run against flash, compressed RAM, or anything else that models
+// per-page store/load costs deterministically.
+//
+// Contract (the determinism harness and invariant checker rely on it):
+//
+//   - Every method is deterministic: equal call sequences produce equal
+//     durations, errors and counter states. All randomness must derive
+//     from the backend's construction seed and the page identities passed
+//     in — never from wall clock or map iteration order.
+//   - WritePage stores the page and consumes capacity; ReadPage /
+//     ReadPageSequential / Discard release it. UsedSlots() must equal the
+//     number of pages currently stored (faults.Check cross-validates it
+//     against the page tables), and FreeSlots() must never go negative.
+//   - WritePage fails fast with ErrSwapFull (no capacity) or
+//     ErrSwapOffline (injected outage); the reclaim path treats both as
+//     "skip this swap-out". Reads during an offline window are the
+//     manager's concern — it waits the window out in sim time first.
+//   - Returned durations are the synchronous IO+CPU the calling thread
+//     pays (compression CPU included); asynchronous device work
+//     (hotness-driven writeback) is reported via BackendStats instead.
+//   - BackendStats must be a pure function of the call history, so
+//     snapshot digests can fold it.
+type SwapBackend interface {
+	// Name returns the backend kind name ("flash", "zram").
+	Name() string
+
+	// Capacity and occupancy, in 4 KiB page slots. For compressed
+	// backends TotalSlots is the nominal (uncompressed) capacity, so
+	// UsedSlots/TotalSlots can exceed 1 when compression packs well.
+	TotalSlots() int64
+	UsedSlots() int64
+	FreeSlots() int64
+
+	// ReserveSlots takes up to n slots out of circulation (an injected
+	// capacity-exhaustion fault) and returns how many it actually got;
+	// UnreserveSlots returns them. ReservedSlots reports the current hold.
+	ReserveSlots(n int64) int64
+	UnreserveSlots(n int64)
+	ReservedSlots() int64
+
+	// SetFaults installs the injected-fault hook, sampled before every IO.
+	SetFaults(fn func() FaultState)
+	// OfflineFor reports how long the device remains unreachable (zero
+	// when online); Online and CanWrite are the fast-path predicates.
+	OfflineFor() time.Duration
+	Online() bool
+	CanWrite() bool
+
+	// Page IO. The page identifies what is stored (compressed backends
+	// model per-page compressibility off its identity and hotness); flash
+	// ignores it. Durations are synchronous stall for the calling thread.
+	WritePage(p *mem.Page) (time.Duration, error)
+	ReadPage(p *mem.Page) (time.Duration, error)
+	ReadPageSequential(p *mem.Page) (time.Duration, error)
+	Discard(p *mem.Page) error
+
+	// Lifetime page-op counters (swap-ins / swap-outs, writeback included).
+	Reads() int64
+	Writes() int64
+
+	// BackendStats returns the backend's extended deterministic counters
+	// (all zero for flash); snapshot.VMemDigest folds every field.
+	BackendStats() BackendStats
+}
+
+// BackendStats are the extended per-backend counters. Flash leaves them
+// zero; zram fills them. All fields are deterministic and digest-folded.
+type BackendStats struct {
+	// StoredPages is how many pages currently live compressed in the pool
+	// (excludes pages that fell through or were written back to flash).
+	StoredPages int64
+	// CompressedBytes is the pool bytes those pages occupy.
+	CompressedBytes int64
+	// Fallthroughs counts incompressible pages routed straight to the
+	// backing flash device (size-adaptive store selection).
+	Fallthroughs int64
+	// Writebacks counts cold compressed pages moved to backing flash to
+	// make pool room (hotness-aware writeback).
+	Writebacks int64
+	// FullRejects counts stores refused with ErrSwapFull because neither
+	// the pool nor the backing device had room.
+	FullRejects int64
+	// CompressCPU / DecompressCPU are the cumulative CPU time charged to
+	// faulting/reclaiming threads for (de)compression.
+	CompressCPU   time.Duration
+	DecompressCPU time.Duration
+	// WritebackIO is the cumulative asynchronous IO spent on writeback
+	// (device time, not charged to any thread — the zram analogue of
+	// Stats.ReclaimIO).
+	WritebackIO time.Duration
+}
+
+// BackendKind selects the swap-backend implementation.
+type BackendKind int
+
+// Backends.
+const (
+	// BackendFlash is the paper's flash swap partition (the default).
+	BackendFlash BackendKind = iota
+	// BackendZram is the Ariadne-style compressed-RAM backend with
+	// size-adaptive flash fallthrough and hotness-aware writeback.
+	BackendZram
+)
+
+func (k BackendKind) String() string {
+	switch k {
+	case BackendZram:
+		return "zram"
+	default:
+		return "flash"
+	}
+}
+
+// ParseBackend maps a backend name (case-insensitive) to its kind. The
+// empty string selects flash. The second result is false for unknown
+// names.
+func ParseBackend(name string) (BackendKind, bool) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "flash":
+		return BackendFlash, true
+	case "zram":
+		return BackendZram, true
+	}
+	return 0, false
+}
+
+// BackendNames lists the valid backend names for CLI/API error messages.
+func BackendNames() []string { return []string{"flash", "zram"} }
+
+// NewBackend builds the configured swap backend. seed feeds the zram
+// compressibility model; flash ignores it.
+func NewBackend(cfg SwapDeviceConfig, seed uint64) SwapBackend {
+	switch cfg.Backend {
+	case BackendZram:
+		return NewZram(cfg, seed)
+	default:
+		return NewSwapDevice(cfg)
+	}
+}

@@ -150,7 +150,7 @@ func FuzzVMOps(f *testing.F) {
 		m.Now = func() time.Duration { return now }
 
 		var fault FaultState
-		m.Swap.Faults = func() FaultState { return fault }
+		m.Swap.SetFaults(func() FaultState { return fault })
 
 		const pages = 48
 		as := mem.NewAddressSpace("fuzz")

@@ -12,9 +12,6 @@ import (
 	"fleetsim/internal/units"
 )
 
-// dramByteTime is the cost to move one byte from DRAM (9182.7 MB/s, §3.2).
-const dramBandwidth = 9182.7e6
-
 // MinorFaultCost approximates servicing a fault that only needs a zero
 // page (no IO).
 const MinorFaultCost = 3 * time.Microsecond
@@ -58,10 +55,10 @@ type Stats struct {
 	OfflineGiveUps int64
 }
 
-// Manager owns physical memory, the LRU and the swap device.
+// Manager owns physical memory, the LRU and the swap backend.
 type Manager struct {
 	Phys *mem.Physical
-	Swap *SwapDevice
+	Swap SwapBackend
 	lru  twoListLRU
 
 	// LowWatermark / HighWatermark are free-frame thresholds in frames:
@@ -101,7 +98,7 @@ type Manager struct {
 
 // NewManager wires DRAM and swap together. Watermarks default to 2% / 4% of
 // DRAM, mirroring typical zone watermark scale on Android devices.
-func NewManager(phys *mem.Physical, swap *SwapDevice) *Manager {
+func NewManager(phys *mem.Physical, swap SwapBackend) *Manager {
 	m := &Manager{Phys: phys, Swap: swap}
 	m.LowWatermark = phys.TotalFrames / 50
 	if m.LowWatermark < 8 {
@@ -228,7 +225,7 @@ func (m *Manager) touchPage(p *mem.Page, write bool) (time.Duration, error) {
 			}
 			break
 		}
-		io, err = m.Swap.ReadPage()
+		io, err = m.Swap.ReadPage(p)
 		if err != nil {
 			m.noteCorrupt(err)
 			return stall, err
@@ -295,7 +292,7 @@ func (m *Manager) Release(p *mem.Page) {
 		m.lru.remove(p)
 		m.Phys.Release(p)
 	case mem.PageSwapped:
-		if err := m.Swap.Discard(); err != nil {
+		if err := m.Swap.Discard(p); err != nil {
 			m.noteCorrupt(err)
 		}
 		m.Phys.Release(p)
@@ -327,7 +324,7 @@ func (m *Manager) AdviseCold(as *mem.AddressSpace, addr, size int64) time.Durati
 			return
 		}
 		p.Hot = false
-		wio, err := m.Swap.WritePage()
+		wio, err := m.Swap.WritePage(p)
 		if err != nil {
 			m.stats.SwapWriteFails++
 			m.lru.moveToInactiveTail(p)
@@ -338,7 +335,7 @@ func (m *Manager) AdviseCold(as *mem.AddressSpace, addr, size int64) time.Durati
 		if err := m.Phys.MoveToSwap(p); err != nil {
 			// Undo the slot; leave the page where it was.
 			m.noteCorrupt(err)
-			if derr := m.Swap.Discard(); derr != nil {
+			if derr := m.Swap.Discard(p); derr != nil {
 				m.noteCorrupt(derr)
 			}
 			m.lru.insert(p)
@@ -407,7 +404,7 @@ func (m *Manager) Prefetch(as *mem.AddressSpace, addr, size int64) (int64, time.
 		if p.State != mem.PageSwapped {
 			return // released by the pressure callback mid-prefetch
 		}
-		rio, err := m.Swap.ReadPageSequential()
+		rio, err := m.Swap.ReadPageSequential(p)
 		if err != nil {
 			m.noteCorrupt(err)
 			firstErr = err
@@ -502,7 +499,7 @@ scan:
 			break
 		}
 		for vi, p := range victims {
-			wio, err := m.Swap.WritePage()
+			wio, err := m.Swap.WritePage(p)
 			if err != nil {
 				// Swap refused the store (full or went offline): put this
 				// and all remaining victims back; the caller escalates.
@@ -515,7 +512,7 @@ scan:
 			io += wio
 			if err := m.Phys.MoveToSwap(p); err != nil {
 				m.noteCorrupt(err)
-				if derr := m.Swap.Discard(); derr != nil {
+				if derr := m.Swap.Discard(p); derr != nil {
 					m.noteCorrupt(derr)
 				}
 				m.lru.insert(p)
@@ -539,14 +536,31 @@ func (m *Manager) noteSwapOut(p *mem.Page) {
 	}
 }
 
+// ProactiveReclaim swaps out up to want LRU-tail pages ahead of any
+// watermark breach, returning how many pages actually moved. The SWAM
+// policy calls it when modeled app responsiveness degrades, trading
+// background residency for headroom before lmkd has to kill. The write-out
+// IO is asynchronous (tracked in Stats.ReclaimIO, like kswapd's).
+func (m *Manager) ProactiveReclaim(want int64) int64 {
+	if want <= 0 {
+		return 0
+	}
+	io, freed := m.reclaim(want, false)
+	m.stats.ReclaimIO += io
+	return freed
+}
+
 // LRUSizes reports (active, inactive) list lengths, for tests and the
 // debugging CLI.
 func (m *Manager) LRUSizes() (active, inactive int64) {
 	return m.lru.active.len(), m.lru.inactive.len()
 }
 
-// DRAMCost returns the CPU-side cost of streaming n bytes from DRAM; the
-// heap layer charges this for object copies during GC evacuation.
+// DRAMCost returns the CPU-side cost of streaming n bytes from DRAM at the
+// paper's default bandwidth; the heap layer charges this for object copies
+// during GC evacuation (its visit-cost table is memoised at init, which is
+// why this helper stays on the package-level default — per-tier DRAM speed
+// lives in DeviceProfile.DRAMBandwidth).
 func DRAMCost(n int64) time.Duration {
-	return units.TransferTime(n, dramBandwidth)
+	return units.TransferTime(n, DefaultDRAMBandwidth)
 }

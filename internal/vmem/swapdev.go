@@ -3,6 +3,7 @@ package vmem
 import (
 	"time"
 
+	"fleetsim/internal/mem"
 	"fleetsim/internal/units"
 )
 
@@ -16,95 +17,86 @@ type FaultState struct {
 	// OfflineFor is how long the device remains unreachable (device-offline
 	// window). Zero means online.
 	OfflineFor time.Duration
+	// CPUFactor multiplies compression/decompression CPU time (a
+	// compression-CPU-spike window: thermal throttling or a contended
+	// little-core cluster). Only compressed backends pay it; flash IO is
+	// unaffected. Values <= 0 or == 1 mean no spike.
+	CPUFactor float64
 }
 
 // SwapDevice models the flash-based swap partition: a fixed number of 4 KB
 // slots with strongly asymmetric performance versus DRAM. The paper measures
-// DRAM at 9182.7 MB/s and the swap partition at 20.3 MB/s (§3.2), a ~452×
-// gap; those are the defaults here.
+// DRAM at 9182.7 MB/s and the swap partition at 20.3 MB/s (§3.2); those are
+// the UFSFlashProfile defaults. It is the "flash" SwapBackend.
 type SwapDevice struct {
-	TotalSlots int64
+	totalSlots int64
 	usedSlots  int64
 	// reserved slots are held hostage by an injected slot-exhaustion fault
 	// (e.g. another subsystem filling zram); they count as neither free nor
 	// used.
 	reserved int64
 
-	// ReadBandwidth / WriteBandwidth are sustained throughputs in bytes/s.
-	ReadBandwidth  float64
-	WriteBandwidth float64
-	// OpLatency is the fixed per-operation overhead (queueing + flash
-	// translation), paid once per page moved.
-	OpLatency time.Duration
-	// SeqReadFactor is how much faster a sequential batched read runs
-	// than the random-read ReadBandwidth (flash readahead); prefetchers
-	// exploit it. 1 means no benefit.
-	SeqReadFactor float64
+	// Profile is the device's performance envelope.
+	Profile DeviceProfile
 
-	// Faults, when non-nil, is sampled before every IO to pick up injected
+	// faults, when non-nil, is sampled before every IO to pick up injected
 	// stall and offline windows. Left nil in fault-free runs, costing one
 	// predictable branch.
-	Faults func() FaultState
+	faults func() FaultState
 
 	reads, writes int64 // lifetime page-op counters
 }
 
-// SwapDeviceConfig configures a SwapDevice.
+// SwapDeviceConfig configures a swap backend: its nominal capacity, its
+// performance profile, which backend implementation serves it, and the
+// zram-specific knobs when Backend is BackendZram.
 type SwapDeviceConfig struct {
-	SizeBytes      int64
-	ReadBandwidth  float64 // bytes/s
-	WriteBandwidth float64 // bytes/s
-	OpLatency      time.Duration
-	// SeqReadFactor is the sequential-over-random read speedup (see
-	// SwapDevice.SeqReadFactor); 0 defaults to 8 for flash.
-	SeqReadFactor float64
+	SizeBytes int64
+	Profile   DeviceProfile
+	// Backend selects the implementation (flash by default).
+	Backend BackendKind
+	// Zram configures the compressed backend; ignored for flash.
+	Zram ZramConfig
 }
 
 // DefaultSwapConfig matches the paper's Pixel 3 measurements: a 2 GB
-// partition reading at 20.3 MB/s. Write bandwidth on flash is somewhat
-// higher than the measured (random-read) figure; 60 MB/s is representative
-// and only affects background swap-out cost, never launch stalls.
+// partition on the UFS flash profile.
 func DefaultSwapConfig() SwapDeviceConfig {
 	return SwapDeviceConfig{
-		SizeBytes:      2 * units.GiB,
-		ReadBandwidth:  20.3e6,
-		WriteBandwidth: 60e6,
-		OpLatency:      80 * time.Microsecond,
-		SeqReadFactor:  8,
+		SizeBytes: 2 * units.GiB,
+		Profile:   UFSFlashProfile(),
 	}
 }
 
-// ZramSwapConfig models a compressed-RAM swap device (the "RAM plus"
-// vendors ship): sizeBytes of DRAM hold sizeBytes×ratio of swapped data,
-// and both directions run at memory-ish speed. The DRAM the device
-// occupies must be subtracted from the system by the caller.
+// ZramSwapConfig models the legacy vendor "RAM plus" device as a plain
+// constant-ratio swap area: sizeBytes of DRAM hold sizeBytes×ratio of
+// swapped data at memory-ish speed, with no per-page compression model.
+// The DRAM the device occupies must be subtracted from the system by the
+// caller. For the Ariadne-style backend with per-page compressibility,
+// fallthrough and writeback, use Backend: BackendZram instead.
 func ZramSwapConfig(sizeBytes int64, ratio float64) SwapDeviceConfig {
 	return SwapDeviceConfig{
-		SizeBytes:      int64(float64(sizeBytes) * ratio),
-		ReadBandwidth:  1.2e9, // LZ4 decompress
-		WriteBandwidth: 0.8e9, // LZ4 compress
-		OpLatency:      4 * time.Microsecond,
-		SeqReadFactor:  1, // already memory-speed; no readahead win
+		SizeBytes: int64(float64(sizeBytes) * ratio),
+		Profile:   ZramDeviceProfile(),
 	}
 }
 
-// NewSwapDevice builds a device from cfg.
+// NewSwapDevice builds a flash-style device from cfg.
 func NewSwapDevice(cfg SwapDeviceConfig) *SwapDevice {
-	seq := cfg.SeqReadFactor
-	if seq <= 0 {
-		seq = 8
-	}
 	return &SwapDevice{
-		TotalSlots:     units.PagesFor(cfg.SizeBytes),
-		ReadBandwidth:  cfg.ReadBandwidth,
-		WriteBandwidth: cfg.WriteBandwidth,
-		OpLatency:      cfg.OpLatency,
-		SeqReadFactor:  seq,
+		totalSlots: units.PagesFor(cfg.SizeBytes),
+		Profile:    cfg.Profile.normalized(),
 	}
 }
+
+// Name returns "flash".
+func (d *SwapDevice) Name() string { return "flash" }
+
+// TotalSlots returns the device capacity in page slots.
+func (d *SwapDevice) TotalSlots() int64 { return d.totalSlots }
 
 // FreeSlots returns the number of slots available for new writes.
-func (d *SwapDevice) FreeSlots() int64 { return d.TotalSlots - d.usedSlots - d.reserved }
+func (d *SwapDevice) FreeSlots() int64 { return d.totalSlots - d.usedSlots - d.reserved }
 
 // UsedSlots returns the number of occupied swap slots.
 func (d *SwapDevice) UsedSlots() int64 { return d.usedSlots }
@@ -134,12 +126,15 @@ func (d *SwapDevice) UnreserveSlots(n int64) {
 	}
 }
 
+// SetFaults installs the injected-fault hook.
+func (d *SwapDevice) SetFaults(fn func() FaultState) { d.faults = fn }
+
 // faultState samples the injected fault hook, if any.
 func (d *SwapDevice) faultState() FaultState {
-	if d.Faults == nil {
+	if d.faults == nil {
 		return FaultState{}
 	}
-	return d.Faults()
+	return d.faults()
 }
 
 // OfflineFor reports how long the device remains unreachable (zero when
@@ -154,7 +149,7 @@ func (d *SwapDevice) Online() bool { return d.OfflineFor() <= 0 }
 // CanWrite reports whether a swap-out could succeed right now: device
 // present, online, and at least one free slot.
 func (d *SwapDevice) CanWrite() bool {
-	return d.TotalSlots > 0 && d.FreeSlots() > 0 && d.Online()
+	return d.totalSlots > 0 && d.FreeSlots() > 0 && d.Online()
 }
 
 // stretch applies the injected latency factor of a transient stall window.
@@ -168,8 +163,9 @@ func (d *SwapDevice) stretch(io time.Duration) time.Duration {
 // WritePage stores one page, consuming a slot, and returns the IO time.
 // Fails fast with ErrSwapFull when no slot is free and ErrSwapOffline
 // during an injected offline window — the reclaim path treats both as
-// "skip this swap-out", exactly like zram refusing a store.
-func (d *SwapDevice) WritePage() (time.Duration, error) {
+// "skip this swap-out", exactly like zram refusing a store. Flash costs
+// are content-independent, so the page argument is unused.
+func (d *SwapDevice) WritePage(*mem.Page) (time.Duration, error) {
 	if !d.Online() {
 		return 0, ErrSwapOffline
 	}
@@ -178,7 +174,7 @@ func (d *SwapDevice) WritePage() (time.Duration, error) {
 	}
 	d.usedSlots++
 	d.writes++
-	return d.stretch(d.OpLatency + units.TransferTime(units.PageSize, d.WriteBandwidth)), nil
+	return d.stretch(d.Profile.WriteTime(units.PageSize)), nil
 }
 
 // ReadPage loads one page back, freeing its slot, and returns the IO time.
@@ -186,28 +182,28 @@ func (d *SwapDevice) WritePage() (time.Duration, error) {
 // (ErrSwapCorrupt). Offline windows are the manager's concern: it waits
 // them out in sim time before calling (a read can always be retried; the
 // data is still on the device).
-func (d *SwapDevice) ReadPage() (time.Duration, error) {
+func (d *SwapDevice) ReadPage(*mem.Page) (time.Duration, error) {
 	if d.usedSlots <= 0 {
 		return 0, ErrSwapCorrupt
 	}
 	d.usedSlots--
 	d.reads++
-	return d.stretch(d.OpLatency + units.TransferTime(units.PageSize, d.ReadBandwidth)), nil
+	return d.stretch(d.Profile.ReadTime(units.PageSize)), nil
 }
 
 // ReadPageSequential is ReadPage at readahead (sequential) speed, for
 // prefetchers that batch a known page set.
-func (d *SwapDevice) ReadPageSequential() (time.Duration, error) {
+func (d *SwapDevice) ReadPageSequential(*mem.Page) (time.Duration, error) {
 	if d.usedSlots <= 0 {
 		return 0, ErrSwapCorrupt
 	}
 	d.usedSlots--
 	d.reads++
-	return d.stretch(d.OpLatency/4 + units.TransferTime(units.PageSize, d.ReadBandwidth*d.SeqReadFactor)), nil
+	return d.stretch(d.Profile.SeqReadTime(units.PageSize)), nil
 }
 
 // Discard frees a slot without a read (the page's memory was released).
-func (d *SwapDevice) Discard() error {
+func (d *SwapDevice) Discard(*mem.Page) error {
 	if d.usedSlots <= 0 {
 		return ErrSwapCorrupt
 	}
@@ -220,3 +216,6 @@ func (d *SwapDevice) Reads() int64 { return d.reads }
 
 // Writes returns the lifetime count of page writes (swap-outs).
 func (d *SwapDevice) Writes() int64 { return d.writes }
+
+// BackendStats returns zeroes: flash has no compression machinery.
+func (d *SwapDevice) BackendStats() BackendStats { return BackendStats{} }

@@ -13,10 +13,8 @@ import (
 func rig(dramPages, swapPages int64) (*Manager, *mem.AddressSpace) {
 	phys := mem.NewPhysical(dramPages * units.PageSize)
 	swap := NewSwapDevice(SwapDeviceConfig{
-		SizeBytes:      swapPages * units.PageSize,
-		ReadBandwidth:  20.3e6,
-		WriteBandwidth: 60e6,
-		OpLatency:      80 * time.Microsecond,
+		SizeBytes: swapPages * units.PageSize,
+		Profile:   UFSFlashProfile(),
 	})
 	m := NewManager(phys, swap)
 	m.LowWatermark = 2
@@ -77,7 +75,7 @@ func TestReclaimAndMajorFault(t *testing.T) {
 		t.Fatal("no swapped page found")
 	}
 	stall := touchPage(t, m, as, victim)
-	perPage := 80*time.Microsecond + units.TransferTime(units.PageSize, 20.3e6)
+	perPage := UFSFlashProfile().ReadTime(units.PageSize)
 	if stall < perPage {
 		t.Errorf("major fault stall = %v, want >= %v", stall, perPage)
 	}
@@ -275,18 +273,19 @@ func TestResidentQuery(t *testing.T) {
 }
 
 func TestSwapDeviceAccounting(t *testing.T) {
-	d := NewSwapDevice(SwapDeviceConfig{SizeBytes: 2 * units.PageSize, ReadBandwidth: 1e6, WriteBandwidth: 1e6, OpLatency: time.Millisecond})
-	if d.TotalSlots != 2 {
-		t.Fatalf("slots = %d", d.TotalSlots)
+	prof := DeviceProfile{ReadBandwidth: 1e6, WriteBandwidth: 1e6, OpLatency: time.Millisecond}
+	d := NewSwapDevice(SwapDeviceConfig{SizeBytes: 2 * units.PageSize, Profile: prof})
+	if d.TotalSlots() != 2 {
+		t.Fatalf("slots = %d", d.TotalSlots())
 	}
-	w, werr := d.WritePage()
+	w, werr := d.WritePage(nil)
 	if werr != nil {
 		t.Fatalf("WritePage: %v", werr)
 	}
 	if w <= time.Millisecond {
 		t.Errorf("write cost = %v", w)
 	}
-	r, rerr := d.ReadPage()
+	r, rerr := d.ReadPage(nil)
 	if rerr != nil {
 		t.Fatalf("ReadPage: %v", rerr)
 	}
@@ -296,19 +295,20 @@ func TestSwapDeviceAccounting(t *testing.T) {
 	if d.Reads() != 1 || d.Writes() != 1 {
 		t.Errorf("ops: r=%d w=%d", d.Reads(), d.Writes())
 	}
-	d.WritePage()
-	d.Discard()
+	d.WritePage(nil)
+	d.Discard(nil)
 	if d.UsedSlots() != 0 {
 		t.Errorf("used = %d", d.UsedSlots())
 	}
 }
 
 func TestSwapDeviceFullReturnsErrSwapFull(t *testing.T) {
-	d := NewSwapDevice(SwapDeviceConfig{SizeBytes: units.PageSize, ReadBandwidth: 1e6, WriteBandwidth: 1e6})
-	if _, err := d.WritePage(); err != nil {
+	prof := DeviceProfile{ReadBandwidth: 1e6, WriteBandwidth: 1e6}
+	d := NewSwapDevice(SwapDeviceConfig{SizeBytes: units.PageSize, Profile: prof})
+	if _, err := d.WritePage(nil); err != nil {
 		t.Fatalf("first write: %v", err)
 	}
-	if _, err := d.WritePage(); !errors.Is(err, ErrSwapFull) {
+	if _, err := d.WritePage(nil); !errors.Is(err, ErrSwapFull) {
 		t.Errorf("WritePage on full device = %v, want ErrSwapFull", err)
 	}
 	if d.UsedSlots() != 1 {
@@ -321,8 +321,11 @@ func TestDefaultSwapConfigMatchesPaper(t *testing.T) {
 	if cfg.SizeBytes != 2*units.GiB {
 		t.Errorf("swap size = %d", cfg.SizeBytes)
 	}
-	if cfg.ReadBandwidth != 20.3e6 {
-		t.Errorf("read bw = %v", cfg.ReadBandwidth)
+	if cfg.Profile.ReadBandwidth != 20.3e6 {
+		t.Errorf("read bw = %v", cfg.Profile.ReadBandwidth)
+	}
+	if cfg.Profile != UFSFlashProfile() {
+		t.Errorf("default profile %+v is not the UFS flash preset", cfg.Profile)
 	}
 }
 
@@ -341,7 +344,7 @@ func TestOfflineWindowWaitsWithBackoff(t *testing.T) {
 	m.AdviseCold(as, base, units.PageSize)
 
 	window := 5 * time.Millisecond
-	m.Swap.Faults = func() FaultState { return FaultState{OfflineFor: window} }
+	m.Swap.SetFaults(func() FaultState { return FaultState{OfflineFor: window} })
 	stall, err := m.TouchRange(as, base, units.PageSize, false)
 	if err != nil {
 		t.Fatalf("swap-in across offline window: %v", err)
@@ -364,7 +367,7 @@ func TestOfflineWindowWaitsWithBackoff(t *testing.T) {
 func TestOfflineSkipsSwapOutAndEscalates(t *testing.T) {
 	m, as := rig(8, 64)
 	as.Reserve(64 * units.PageSize)
-	m.Swap.Faults = func() FaultState { return FaultState{OfflineFor: time.Second} }
+	m.Swap.SetFaults(func() FaultState { return FaultState{OfflineFor: time.Second} })
 	kills := 0
 	m.OnPressure = func(need int64) bool {
 		kills++

@@ -1,9 +1,9 @@
 #!/bin/sh
 # Runs the hot-path micro-benchmarks (GC trace, page-table lookup, fleetd
-# per-job service overhead) plus the end-to-end per-policy device-tick
-# bench and the population campaign's per-device cost, and writes the raw
-# `go test -json` stream to $BENCH_OUT (default BENCH_4.json) at the repo
-# root.
+# per-job service overhead, the zram store/load round trip) plus the
+# end-to-end per-policy device-tick bench and the population campaign's
+# per-device cost, and writes the raw `go test -json` stream to $BENCH_OUT
+# (default BENCH_5.json) at the repo root.
 #
 # Usage: [BENCH_OUT=out.json] [BENCH_COUNT=N] scripts/bench.sh [extra go-test args]
 #
@@ -14,11 +14,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${BENCH_OUT:-BENCH_4.json}
+out=${BENCH_OUT:-BENCH_5.json}
 count=${BENCH_COUNT:-1}
-go test -run '^$' -bench 'TraceHotPath|PageLookup|PageRangeWalk|ServiceJob|DeviceTick' \
+go test -run '^$' -bench 'TraceHotPath|PageLookup|PageRangeWalk|ServiceJob|DeviceTick|ZramSwapOut' \
 	-benchmem -count "$count" -json \
-	"$@" ./internal/gc ./internal/mem ./internal/service ./internal/core ./internal/population | tee "$out" | \
+	"$@" ./internal/gc ./internal/mem ./internal/vmem ./internal/service ./internal/core ./internal/population | tee "$out" | \
 	grep -o '"Output":"Benchmark[^"]*' | sed 's/"Output":"//; s/\\t/\t/g; s/\\n//' || true
 
 echo "wrote $out"
